@@ -1,0 +1,161 @@
+// Command gridnode hosts one node (one OS process, a contiguous range of
+// PEs) of a multi-process GridMDO run over TCP — the paper's co-allocated
+// deployment, with each gridnode process standing in for one cluster's
+// allocation. Node 0 is the coordinator: it starts the program, reports
+// the result, and announces shutdown to the workers.
+//
+// Processes may start in any order (connections retry with backoff for
+// ~15 seconds). For example:
+//
+//	gridnode -node 1 -addrs 127.0.0.1:9101,127.0.0.1:9102 -app stencil -procs 4 &
+//	gridnode -node 0 -addrs 127.0.0.1:9101,127.0.0.1:9102 -app stencil -procs 4
+//
+// Every process must be given identical application flags; the node count
+// is the number of comma-separated addresses, and PEs are split evenly
+// across nodes (procs must be divisible by the node count). With two
+// nodes, the node boundary coincides with the cluster boundary, so all
+// node-to-node TCP traffic is the "wide area" path and carries the
+// configured injected latency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gridmdo/internal/core"
+	"gridmdo/internal/leanmd"
+	"gridmdo/internal/stencil"
+	"gridmdo/internal/topology"
+	"gridmdo/internal/vmi"
+)
+
+func main() {
+	var (
+		node    = flag.Int("node", 0, "this process's node index")
+		addrs   = flag.String("addrs", "", "comma-separated listen addresses, one per node")
+		app     = flag.String("app", "stencil", "stencil|leanmd")
+		procs   = flag.Int("procs", 4, "total PEs across all nodes")
+		latency = flag.Duration("latency", 1725*time.Microsecond, "one-way inter-cluster latency")
+		objects = flag.Int("objects", 64, "stencil: virtualization degree (perfect square)")
+		width   = flag.Int("width", 1024, "stencil: mesh width and height")
+		cells   = flag.Int("cells", 4, "leanmd: cells per axis")
+		atoms   = flag.Int("atoms", 8, "leanmd: atoms per cell")
+		steps   = flag.Int("steps", 10, "time steps")
+		warmup  = flag.Int("warmup", 3, "warmup steps")
+	)
+	flag.Parse()
+	if err := run(*node, *addrs, *app, *procs, *latency, *objects, *width, *cells, *atoms, *steps, *warmup); err != nil {
+		fmt.Fprintf(os.Stderr, "gridnode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(node int, addrList, app string, procs int, latency time.Duration,
+	objects, width, cells, atoms, steps, warmup int) error {
+
+	addrs := strings.Split(addrList, ",")
+	nodes := len(addrs)
+	if addrList == "" || nodes < 2 {
+		return fmt.Errorf("need -addrs with at least two addresses")
+	}
+	if node < 0 || node >= nodes {
+		return fmt.Errorf("node %d out of range for %d addresses", node, nodes)
+	}
+	if procs%nodes != 0 {
+		return fmt.Errorf("procs=%d not divisible by %d nodes", procs, nodes)
+	}
+	perNode := procs / nodes
+
+	topo, err := topology.TwoClusters(procs, latency)
+	if err != nil {
+		return err
+	}
+
+	var prog *core.Program
+	switch app {
+	case "stencil":
+		v := 1
+		for v*v < objects {
+			v++
+		}
+		if v*v != objects {
+			return fmt.Errorf("objects=%d is not a perfect square", objects)
+		}
+		prog, err = stencil.BuildProgram(&stencil.Params{
+			Width: width, Height: width, VX: v, VY: v, Steps: steps, Warmup: warmup,
+		})
+	case "leanmd":
+		p := leanmd.DefaultParams()
+		p.NX, p.NY, p.NZ = cells, cells, cells
+		p.AtomsPerCell = atoms
+		p.Steps, p.Warmup = steps, warmup
+		prog, _, err = leanmd.BuildProgram(p)
+	default:
+		return fmt.Errorf("unknown app %q", app)
+	}
+	if err != nil {
+		return err
+	}
+
+	addrMap := make(map[int]string, nodes)
+	for i, a := range addrs {
+		addrMap[i] = a
+	}
+	nodeOf := func(pe int) int { return pe / perNode }
+
+	var rt *core.Runtime
+	tcp := vmi.NewTCP(node, addrMap, func(pe int32) int { return nodeOf(int(pe)) }, func(f *vmi.Frame) error {
+		return rt.InjectFrame(f)
+	})
+	tcp.OnControl = func(f *vmi.Frame) {
+		if f.Dst == vmi.ControlShutdown && rt != nil {
+			rt.Stop()
+		}
+	}
+	if _, err := tcp.Listen(); err != nil {
+		return err
+	}
+	defer tcp.Close()
+
+	rt, err = core.NewRuntime(topo, prog, core.Options{
+		Transport: tcp,
+		NodeOf:    nodeOf,
+		Node:      node,
+		PELo:      node * perNode,
+		PEHi:      (node + 1) * perNode,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "gridnode %d/%d: hosting PEs [%d,%d) of %s on %s\n",
+		node, nodes, node*perNode, (node+1)*perNode, topo, addrMap[node])
+
+	v, err := rt.Run()
+	if err != nil {
+		return err
+	}
+
+	if node == 0 {
+		switch res := v.(type) {
+		case *stencil.Result:
+			fmt.Printf("stencil: per-step %v, total %v, checksum %.6f\n", res.PerStep, res.Total, res.Checksum)
+		case *leanmd.Result:
+			fmt.Printf("leanmd: per-step %v, total %v, drift %.4f%%\n", res.PerStep, res.Total, 100*res.Drift())
+		default:
+			fmt.Printf("result: %v\n", v)
+		}
+		// Announce shutdown to the workers.
+		for n := 1; n < nodes; n++ {
+			if err := tcp.SendControl(n, &vmi.Frame{Src: int32(node), Dst: vmi.ControlShutdown}); err != nil {
+				fmt.Fprintf(os.Stderr, "gridnode: shutdown announce to node %d: %v\n", n, err)
+			}
+		}
+		// Give the frames time to flush before closing connections.
+		time.Sleep(100 * time.Millisecond)
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+// Command gridsim regenerates the paper's evaluation artifacts: Figure 3
+// and Table 1 (five-point stencil), Figure 4 and Table 2 (LeanMD), and the
+// DESIGN.md ablations. Results print as aligned text tables; -csv also
+// writes machine-readable files.
+//
+// Usage:
+//
+//	gridsim -experiment all                # everything, paper-scale
+//	gridsim -experiment figure3 -fast      # scaled-down quick look
+//	gridsim -experiment table1 -skip-realtime
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gridmdo/internal/bench"
+)
+
+func main() {
+	var (
+		experiment   = flag.String("experiment", "all", "figure3|figure4|table1|table2|ablations|classes|sdsc|irregular|all")
+		fast         = flag.Bool("fast", false, "use the scaled-down fast profile")
+		skipRealtime = flag.Bool("skip-realtime", false, "skip wall-clock (host) columns in tables 1 and 2")
+		csvDir       = flag.String("csv", "", "also write CSV files into this directory")
+		svgDir       = flag.String("svg", "", "also write SVG charts (figures only) into this directory")
+		quiet        = flag.Bool("quiet", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	profile := bench.PaperProfile()
+	if *fast {
+		profile = bench.FastProfile()
+	}
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+
+	run := func(name string) error {
+		start := time.Now()
+		var csvName string
+		var render func() error
+		switch name {
+		case "figure3":
+			fig, err := bench.Figure3(progress, profile)
+			if err != nil {
+				return err
+			}
+			csvName = "figure3.csv"
+			render = func() error {
+				fig.Render(os.Stdout)
+				if err := writeSVG(*svgDir, "figure3.svg", fig); err != nil {
+					return err
+				}
+				return writeCSV(*csvDir, csvName, fig.CSV)
+			}
+		case "figure4":
+			fig, err := bench.Figure4(progress, profile)
+			if err != nil {
+				return err
+			}
+			csvName = "figure4.csv"
+			render = func() error {
+				fig.Render(os.Stdout)
+				if err := writeSVG(*svgDir, "figure4.svg", fig); err != nil {
+					return err
+				}
+				return writeCSV(*csvDir, csvName, fig.CSV)
+			}
+		case "table1":
+			tbl, err := bench.Table1(progress, profile, *skipRealtime)
+			if err != nil {
+				return err
+			}
+			csvName = "table1.csv"
+			render = func() error { tbl.Render(os.Stdout); return writeCSV(*csvDir, csvName, tbl.CSV) }
+		case "table2":
+			tbl, err := bench.Table2(progress, profile, *skipRealtime)
+			if err != nil {
+				return err
+			}
+			csvName = "table2.csv"
+			render = func() error { tbl.Render(os.Stdout); return writeCSV(*csvDir, csvName, tbl.CSV) }
+		case "ablations":
+			prio, err := bench.AblationPriority(progress, profile)
+			if err != nil {
+				return err
+			}
+			lb, err := bench.AblationGridLB(progress, profile)
+			if err != nil {
+				return err
+			}
+			het, err := bench.AblationHetero(progress, profile)
+			if err != nil {
+				return err
+			}
+			virt, err := bench.AblationVirtualization(progress, profile)
+			if err != nil {
+				return err
+			}
+			bun, err := bench.AblationBundling(progress, profile)
+			if err != nil {
+				return err
+			}
+			render = func() error {
+				prio.Render(os.Stdout)
+				lb.Render(os.Stdout)
+				het.Render(os.Stdout)
+				virt.Render(os.Stdout)
+				bun.Render(os.Stdout)
+				if err := writeCSV(*csvDir, "ablation_priority.csv", prio.CSV); err != nil {
+					return err
+				}
+				if err := writeCSV(*csvDir, "ablation_gridlb.csv", lb.CSV); err != nil {
+					return err
+				}
+				if err := writeCSV(*csvDir, "ablation_hetero.csv", het.CSV); err != nil {
+					return err
+				}
+				if err := writeCSV(*csvDir, "ablation_bundling.csv", bun.CSV); err != nil {
+					return err
+				}
+				return writeCSV(*csvDir, "ablation_virtualization.csv", virt.CSV)
+			}
+		case "classes":
+			tbl, err := bench.Classes(progress, profile)
+			if err != nil {
+				return err
+			}
+			csvName = "classes.csv"
+			render = func() error { tbl.Render(os.Stdout); return writeCSV(*csvDir, csvName, tbl.CSV) }
+		case "irregular":
+			tbl, err := bench.Irregular(progress, profile)
+			if err != nil {
+				return err
+			}
+			csvName = "irregular.csv"
+			render = func() error { tbl.Render(os.Stdout); return writeCSV(*csvDir, csvName, tbl.CSV) }
+		case "sdsc":
+			tbl, err := bench.SDSC(progress, profile)
+			if err != nil {
+				return err
+			}
+			csvName = "sdsc.csv"
+			render = func() error { tbl.Render(os.Stdout); return writeCSV(*csvDir, csvName, tbl.CSV) }
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		if err := render(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = []string{"figure3", "table1", "figure4", "table2", "ablations", "classes", "sdsc", "irregular"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeSVG(dir, name string, fig *bench.Figure) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := fig.SVG(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeCSV(dir, name string, fn func(w io.Writer)) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	fn(f)
+	return f.Close()
+}

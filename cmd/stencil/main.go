@@ -1,0 +1,73 @@
+// Command stencil runs the five-point stencil application standalone on
+// either executor.
+//
+//	stencil -procs 8 -objects 64 -latency 4ms                 # virtual time
+//	stencil -executor realtime -procs 4 -objects 16 -steps 20 # wall clock
+//	stencil -executor tcp -procs 4 -objects 64                # two TCP nodes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gridmdo/internal/bench"
+	"gridmdo/internal/sim"
+	"gridmdo/internal/stencil"
+	"gridmdo/internal/trace"
+)
+
+func main() {
+	var (
+		executor = flag.String("executor", "sim", "sim|realtime|tcp")
+		procs    = flag.Int("procs", 8, "processors, split evenly over two clusters (1 = single cluster)")
+		objects  = flag.Int("objects", 64, "virtualization degree (perfect square)")
+		width    = flag.Int("width", 2048, "mesh width")
+		height   = flag.Int("height", 2048, "mesh height")
+		steps    = flag.Int("steps", 12, "time steps")
+		warmup   = flag.Int("warmup", 4, "warmup steps excluded from per-step timing")
+		latency  = flag.Duration("latency", 4*time.Millisecond, "one-way inter-cluster latency")
+		prio     = flag.Bool("prioritize-wan", false, "deliver cross-cluster messages first (sim only)")
+		bundle   = flag.Bool("bundle", false, "bundle per-handler same-destination messages (sim only)")
+		timeline = flag.Bool("timeline", false, "print a per-PE utilization timeline (sim only)")
+	)
+	flag.Parse()
+
+	cfg := bench.StencilConfig{
+		Width: *width, Height: *height,
+		Steps: *steps, Warmup: *warmup,
+		Model: stencil.DefaultModel(),
+	}
+	var (
+		res *stencil.Result
+		err error
+		tr  *trace.Tracer
+	)
+	if *timeline {
+		tr = trace.New(*procs)
+	}
+	switch *executor {
+	case "sim":
+		res, err = bench.StencilSim(cfg, *procs, *objects, *latency, sim.Options{PrioritizeWAN: *prio, Bundle: *bundle, Trace: tr})
+	case "realtime":
+		res, err = bench.StencilRealtime(cfg, *procs, *objects, *latency)
+	case "tcp":
+		res, err = bench.StencilTCP(cfg, *procs, *objects, *latency)
+	default:
+		err = fmt.Errorf("unknown executor %q", *executor)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stencil: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("stencil %dx%d  procs=%d objects=%d latency=%v executor=%s\n",
+		*width, *height, *procs, *objects, *latency, *executor)
+	fmt.Printf("  per-step: %v   total: %v (%d steps, %d warmup)\n",
+		res.PerStep, res.Total, res.Steps, res.Warmup)
+	fmt.Printf("  checksum: %.6f\n", res.Checksum)
+	if tr != nil {
+		fmt.Println()
+		tr.RenderTimeline(os.Stdout, res.FinishAt, 100)
+	}
+}

@@ -1,0 +1,109 @@
+// AMPI Jacobi: an unmodified MPI-style program gaining latency tolerance
+// from the runtime — the paper's Adaptive MPI story.
+//
+// The program is a textbook 1-D Jacobi relaxation written against the
+// blocking MPI-ish API (Sendrecv, Allreduce, Barrier). It is run twice on
+// the virtual-time engine with a 10ms WAN between the two clusters:
+//
+//   - 4 ranks on 4 PEs (classic MPI: one process per processor), and
+//   - 32 ranks on the same 4 PEs ("processor virtualization": each PE
+//     hosts 8 rank threads).
+//
+// The code is identical; only the rank count changes. With many ranks per
+// PE, a rank blocked in Sendrecv on a wide-area ghost exchange leaves the
+// PE to its co-resident ranks, and the virtual-time per-step cost drops.
+//
+// Run:  go run ./examples/ampi-jacobi
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gridmdo/internal/ampi"
+	"gridmdo/internal/core"
+	"gridmdo/internal/sim"
+	"gridmdo/internal/stencil"
+	"gridmdo/internal/topology"
+)
+
+const (
+	cellsTotal = 8192
+	steps      = 30
+	workPerMsg = 500 * time.Microsecond // modeled compute per rank per step
+)
+
+func jacobi(c *ampi.Comm) {
+	per := cellsTotal / c.Size()
+	cur := make([]float64, per+2)
+	next := make([]float64, per+2)
+	for i := 0; i < per; i++ {
+		cur[i+1] = stencil.Init(c.Rank()*per+i, 0)
+	}
+	for s := 0; s < steps; s++ {
+		if c.Rank() > 0 {
+			v, _ := c.Sendrecv(c.Rank()-1, s, cur[1], c.Rank()-1, s)
+			cur[0] = v.(float64)
+		}
+		if c.Rank() < c.Size()-1 {
+			v, _ := c.Sendrecv(c.Rank()+1, s, cur[per], c.Rank()+1, s)
+			cur[per+1] = v.(float64)
+		}
+		for i := 1; i <= per; i++ {
+			g := c.Rank()*per + i - 1
+			if g == 0 || g == cellsTotal-1 {
+				next[i] = cur[i]
+				continue
+			}
+			next[i] = 0.5 * (cur[i-1] + cur[i+1])
+		}
+		cur, next = next, cur
+		c.Charge(workPerMsg) // modeled per-step compute on the virtual machine
+	}
+	// A final residual-ish reduction, as real MPI codes do.
+	var local float64
+	for i := 1; i <= per; i++ {
+		local += cur[i]
+	}
+	sum := c.Allreduce(local, core.OpSum)
+	if c.Rank() == 0 {
+		fmt.Printf("    field sum after %d steps: %.6f\n", steps, sum.(float64))
+	}
+}
+
+func run(ranks int) time.Duration {
+	prog, err := ampi.BuildProgram(ranks, jacobi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := topology.TwoClusters(4, 10*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := sim.New(topo, prog, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, final, err := e.Run(); err != nil {
+		log.Fatal(err)
+	} else {
+		return final
+	}
+	return 0
+}
+
+func main() {
+	fmt.Println("AMPI 1-D Jacobi over a 10ms WAN (4 PEs, two clusters) — same code, two rank counts")
+	fmt.Println()
+	fmt.Println("  4 ranks on 4 PEs (no virtualization):")
+	t4 := run(4)
+	fmt.Printf("    virtual time: %v\n\n", t4.Round(time.Millisecond))
+	fmt.Println("  32 ranks on 4 PEs (8 virtual processors per PE):")
+	t32 := run(32)
+	fmt.Printf("    virtual time: %v\n\n", t32.Round(time.Millisecond))
+	fmt.Printf("Speedup from virtualization alone: %.2fx — the runtime overlapped the\n",
+		float64(t4)/float64(t32))
+	fmt.Println("wide-area ghost exchanges with other ranks' compute. No MPI-level")
+	fmt.Println("code changed between the two runs.")
+}

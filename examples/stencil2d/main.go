@@ -1,0 +1,69 @@
+// Stencil2D: the paper's five-point stencil experiment in miniature.
+//
+// Sweeps the inter-cluster latency for several virtualization degrees on
+// the virtual-time executor and prints a small version of Figure 3's
+// 8-processor panel: higher degrees of virtualization keep the per-step
+// time flat deeper into the latency sweep.
+//
+// Run:  go run ./examples/stencil2d
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gridmdo/internal/sim"
+	"gridmdo/internal/stencil"
+	"gridmdo/internal/topology"
+)
+
+func perStep(procs, vx int, lat time.Duration) time.Duration {
+	p := &stencil.Params{
+		Width: 1024, Height: 1024,
+		VX: vx, VY: vx,
+		Steps: 16, Warmup: 6,
+		Model: stencil.DefaultModel(),
+	}
+	prog, err := stencil.BuildProgram(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := topology.TwoClusters(procs, lat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := sim.New(topo, prog, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _, err := e.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v.(*stencil.Result).PerStep
+}
+
+func main() {
+	const procs = 8
+	degrees := []int{4, 8, 16} // 16, 64, 256 objects
+	lats := []time.Duration{0, 1e6, 2e6, 4e6, 8e6, 16e6, 32e6}
+
+	fmt.Printf("1024x1024 five-point stencil on %d processors (two clusters of %d)\n", procs, procs/2)
+	fmt.Printf("per-step time (ms) vs one-way inter-cluster latency\n\n")
+	fmt.Printf("%10s", "latency")
+	for _, d := range degrees {
+		fmt.Printf(" %12d obj", d*d)
+	}
+	fmt.Println()
+	for _, lat := range lats {
+		fmt.Printf("%10s", lat)
+		for _, d := range degrees {
+			fmt.Printf(" %14.3fms", float64(perStep(procs, d, lat))/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nNote the flat region extending (and the knee softening) as the")
+	fmt.Println("object count grows: more objects per PE give the scheduler more")
+	fmt.Println("local work to overlap with wide-area ghost exchanges.")
+}

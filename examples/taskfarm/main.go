@@ -1,0 +1,61 @@
+// Taskfarm: the paper's "master-slave" application class.
+//
+// A master on cluster 0 farms independent 50ms tasks to workers spread
+// across both clusters of an 8-PE machine. With enough tasks prefetched
+// per worker, even a 64ms wide-area link barely moves the makespan —
+// quantifying the paper's §1 observation that master-slave applications
+// "typically have small communication requirements and ... communication
+// delays are often not on the critical path."
+//
+// Run:  go run ./examples/taskfarm
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gridmdo/internal/sim"
+	"gridmdo/internal/taskfarm"
+	"gridmdo/internal/topology"
+)
+
+func makespan(lat time.Duration, prefetch int) time.Duration {
+	prog, err := taskfarm.BuildProgramFor(&taskfarm.Params{
+		Tasks: 200, Prefetch: prefetch, TaskCost: 50 * time.Millisecond, TaskBytes: 2048,
+		Workers: 7, DedicatedMaster: true, // PE 0 serves the master only
+	}, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := topology.TwoClusters(8, lat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := sim.New(topo, prog, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _, err := e.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v.(*taskfarm.Result).Makespan
+}
+
+func main() {
+	fmt.Println("Task farm: 200 × 50ms tasks, 8 workers across two clusters")
+	fmt.Println()
+	fmt.Printf("%10s %16s %16s\n", "latency", "prefetch=1", "prefetch=4")
+	for _, lat := range []time.Duration{0, 4e6, 16e6, 64e6, 256e6} {
+		fmt.Printf("%10s %16s %16s\n", lat,
+			makespan(lat, 1).Round(time.Millisecond),
+			makespan(lat, 4).Round(time.Millisecond))
+	}
+	fmt.Println()
+	fmt.Println("With one task in flight, remote workers idle a round trip between")
+	fmt.Println("tasks; with four prefetched, dispatch rides inside compute and the")
+	fmt.Println("farm shrugs off the wide area — no runtime tricks required, which")
+	fmt.Println("is why the paper's problem statement focuses on the tightly-coupled")
+	fmt.Println("classes instead.")
+}

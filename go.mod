@@ -1,0 +1,3 @@
+module gridmdo
+
+go 1.22

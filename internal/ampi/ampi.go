@@ -1,0 +1,231 @@
+// Package ampi is GridMDO's Adaptive MPI layer: an MPI-flavored
+// programming model in which each rank is a user-level thread (a
+// goroutine) embedded in a message-driven array element, exactly as AMPI
+// embeds MPI processes in Charm++ objects. Blocking operations (Recv,
+// collectives) suspend the rank thread and return control to the PE's
+// scheduler, so other objects — or other ranks mapped to the same PE —
+// keep the processor busy; this is how "any MPI application can take
+// advantage of" the paper's latency-masking technique without changes.
+//
+// Exactly one entity executes per PE at any instant: the scheduler hands
+// execution to a rank thread through a channel handshake and waits until
+// the rank blocks or finishes before dispatching the next message.
+package ampi
+
+import (
+	"fmt"
+	"time"
+
+	"gridmdo/internal/core"
+)
+
+// Wildcards for Recv. AnyTag matches only application tags (>= 0);
+// collective-internal traffic uses reserved negative tags.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Entry methods of the rank array.
+const (
+	entryBoot core.EntryID = 0
+	entryMsg  core.EntryID = 1
+)
+
+// pkt is one rank-to-rank message.
+type pkt struct {
+	Src, Tag int
+	Data     any
+	Bytes    int
+}
+
+// PayloadBytes implements core.Sizer.
+func (p pkt) PayloadBytes() int {
+	if p.Bytes > 0 {
+		return p.Bytes
+	}
+	return core.DefaultPayloadBytes
+}
+
+// Status describes a received message.
+type Status struct {
+	Source int
+	Tag    int
+}
+
+type recvReq struct {
+	src, tag int
+}
+
+func (r recvReq) matches(p *pkt) bool {
+	if r.src != AnySource && r.src != p.Src {
+		return false
+	}
+	if r.tag == AnyTag {
+		return p.Tag >= 0 // wildcards never capture collective traffic
+	}
+	return r.tag == p.Tag
+}
+
+type yieldKind uint8
+
+const (
+	yBlocked yieldKind = iota
+	yDone
+)
+
+// Comm is a rank's communicator handle. It is valid only within the
+// rank's main function (and on the rank's goroutine).
+type Comm struct {
+	rank, size int
+
+	ctx     *core.Ctx // valid while this rank holds the execution slot
+	inbox   []*pkt
+	waiting *recvReq
+
+	resume chan *pkt
+	yield  chan yieldKind
+}
+
+// Rank reports this rank's index.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Wtime returns the executor clock (virtual or wall).
+func (c *Comm) Wtime() time.Duration { return c.ctx.Time() }
+
+// PE reports the processor currently executing this rank.
+func (c *Comm) PE() int { return c.ctx.PE() }
+
+// Charge accounts modeled compute time (virtual-time executor).
+func (c *Comm) Charge(d time.Duration) { c.ctx.Charge(d) }
+
+// Send delivers data to (dst, tag) asynchronously.
+func (c *Comm) Send(dst, tag int, data any) {
+	c.sendPkt(dst, tag, data, 0)
+}
+
+// SendBytes is Send with an explicit modeled payload size.
+func (c *Comm) SendBytes(dst, tag int, data any, bytes int) {
+	c.sendPkt(dst, tag, data, bytes)
+}
+
+func (c *Comm) sendPkt(dst, tag int, data any, bytes int) {
+	if dst < 0 || dst >= c.size {
+		panic(fmt.Sprintf("ampi: send to rank %d of %d", dst, c.size))
+	}
+	c.ctx.Send(core.ElemRef{Array: 0, Index: dst}, entryMsg,
+		pkt{Src: c.rank, Tag: tag, Data: data, Bytes: bytes})
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns its
+// payload. src may be AnySource and tag AnyTag.
+func (c *Comm) Recv(src, tag int) (any, Status) {
+	req := recvReq{src: src, tag: tag}
+	// Unexpected-message queue first (MPI ordering: earliest match wins).
+	for i, p := range c.inbox {
+		if req.matches(p) {
+			c.inbox = append(c.inbox[:i], c.inbox[i+1:]...)
+			return p.Data, Status{Source: p.Src, Tag: p.Tag}
+		}
+	}
+	// Suspend: hand the PE back to the scheduler until a match arrives.
+	c.waiting = &req
+	c.yield <- yBlocked
+	p := <-c.resume
+	return p.Data, Status{Source: p.Src, Tag: p.Tag}
+}
+
+// Sendrecv sends to dst and then receives from src; the send is
+// asynchronous, so the exchange cannot deadlock.
+func (c *Comm) Sendrecv(dst, sendTag int, data any, src, recvTag int) (any, Status) {
+	c.Send(dst, sendTag, data)
+	return c.Recv(src, recvTag)
+}
+
+// rankChare is the array element hosting one rank thread.
+type rankChare struct {
+	comm *Comm
+	main func(*Comm)
+	done bool
+}
+
+// Recv implements core.Chare: it runs on the scheduler and trampolines
+// execution into the rank goroutine.
+func (r *rankChare) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
+	c := r.comm
+	c.ctx = ctx // the Ctx is handler-scoped; refresh it each delivery
+	switch entry {
+	case entryBoot:
+		go func() {
+			r.main(c)
+			// Completion: contribute to the finalize reduction while the
+			// rank still holds the execution slot, then release it.
+			c.ctx.Contribute(1.0, core.OpSum)
+			c.yield <- yDone
+		}()
+		r.wait()
+	case entryMsg:
+		p := data.(pkt)
+		if r.done {
+			return
+		}
+		if c.waiting != nil && c.waiting.matches(&p) {
+			c.waiting = nil
+			c.resume <- &p
+			r.wait()
+			return
+		}
+		c.inbox = append(c.inbox, &p)
+	default:
+		panic(fmt.Sprintf("ampi: unknown entry %d", entry))
+	}
+}
+
+// wait parks the scheduler until the rank blocks or finishes.
+func (r *rankChare) wait() {
+	if <-r.comm.yield == yDone {
+		r.done = true
+	}
+}
+
+// BuildProgram wraps an MPI-style main into a runnable core.Program with
+// n ranks. The program exits (with nil) when every rank's main returns.
+func BuildProgram(n int, main func(*Comm)) (*core.Program, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ampi: %d ranks", n)
+	}
+	if main == nil {
+		return nil, fmt.Errorf("ampi: nil main")
+	}
+	prog := &core.Program{
+		Arrays: []core.ArraySpec{{
+			ID: 0, N: n,
+			New: func(i int) core.Chare {
+				return &rankChare{
+					main: main,
+					comm: &Comm{
+						rank: i, size: n,
+						resume: make(chan *pkt),
+						yield:  make(chan yieldKind),
+					},
+				}
+			},
+		}},
+		Start: func(ctx *core.Ctx) {
+			for i := 0; i < n; i++ {
+				ctx.Send(core.ElemRef{Array: 0, Index: i}, entryBoot, nil)
+			}
+		},
+		OnReduction: func(ctx *core.Ctx, a core.ArrayID, seq int64, v any) {
+			ctx.ExitWith(v)
+		},
+	}
+	return prog, nil
+}
+
+func init() {
+	core.RegisterPayload(pkt{})
+}

@@ -1,0 +1,364 @@
+package ampi
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"gridmdo/internal/core"
+	"gridmdo/internal/sim"
+	"gridmdo/internal/stencil"
+	"gridmdo/internal/topology"
+)
+
+// runRealtime executes an AMPI main on the real-time runtime.
+func runRealtime(t *testing.T, procs, ranks int, lat time.Duration, main func(*Comm)) {
+	t.Helper()
+	prog, err := BuildProgram(ranks, main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var topo *topology.Topology
+	if procs == 1 {
+		topo, err = topology.Single(1)
+	} else {
+		topo, err = topology.TwoClusters(procs, lat)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.NewRuntime(topo, prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runSim executes an AMPI main on the virtual-time engine, returning the
+// final virtual time.
+func runSim(t *testing.T, procs, ranks int, lat time.Duration, main func(*Comm)) time.Duration {
+	t.Helper()
+	prog, err := BuildProgram(ranks, main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.TwoClusters(procs, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(topo, prog, sim.Options{MaxEvents: 20_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, final, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return final
+}
+
+func TestBuildProgramValidation(t *testing.T) {
+	if _, err := BuildProgram(0, func(*Comm) {}); err == nil {
+		t.Error("0 ranks accepted")
+	}
+	if _, err := BuildProgram(4, nil); err == nil {
+		t.Error("nil main accepted")
+	}
+}
+
+func TestPointToPoint(t *testing.T) {
+	var mu sync.Mutex
+	got := map[int]int{}
+	runRealtime(t, 2, 4, time.Millisecond, func(c *Comm) {
+		if c.Rank() == 0 {
+			for dst := 1; dst < c.Size(); dst++ {
+				c.Send(dst, 7, dst*100)
+			}
+			return
+		}
+		v, st := c.Recv(0, 7)
+		mu.Lock()
+		got[c.Rank()] = v.(int)
+		mu.Unlock()
+		if st.Source != 0 || st.Tag != 7 {
+			t.Errorf("status = %+v", st)
+		}
+	})
+	for r := 1; r < 4; r++ {
+		if got[r] != r*100 {
+			t.Errorf("rank %d got %d", r, got[r])
+		}
+	}
+}
+
+func TestRecvWildcardsAndOrdering(t *testing.T) {
+	var order []int
+	runRealtime(t, 2, 2, 0, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 5, 1)
+			c.Send(1, 6, 2)
+			c.Send(1, 5, 3)
+		case 1:
+			// Tag-specific first: must match the earliest tag-5 message
+			// even though a tag-6 message may already be queued.
+			v1, _ := c.Recv(AnySource, 5)
+			v2, _ := c.Recv(0, AnyTag)
+			v3, _ := c.Recv(AnySource, AnyTag)
+			order = append(order, v1.(int), v2.(int), v3.(int))
+		}
+	})
+	if len(order) != 3 || order[0] != 1 {
+		t.Fatalf("order = %v", order)
+	}
+	// The two wildcard receives drain the remaining messages in
+	// arrival order.
+	if order[1] != 2 || order[2] != 3 {
+		t.Errorf("wildcard order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	var mu sync.Mutex
+	vals := map[int]int{}
+	runRealtime(t, 2, 2, 2*time.Millisecond, func(c *Comm) {
+		other := 1 - c.Rank()
+		v, _ := c.Sendrecv(other, 3, c.Rank()+10, other, 3)
+		mu.Lock()
+		vals[c.Rank()] = v.(int)
+		mu.Unlock()
+	})
+	if vals[0] != 11 || vals[1] != 10 {
+		t.Errorf("exchange = %v", vals)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const ranks = 8
+	var mu sync.Mutex
+	phase := make(map[int]int)
+	runRealtime(t, 4, ranks, time.Millisecond, func(c *Comm) {
+		mu.Lock()
+		phase[c.Rank()] = 1
+		mu.Unlock()
+		c.Barrier()
+		// After the barrier, every rank must have reached phase 1.
+		mu.Lock()
+		for r := 0; r < ranks; r++ {
+			if phase[r] < 1 {
+				t.Errorf("rank %d passed barrier before rank %d arrived", c.Rank(), r)
+			}
+		}
+		phase[c.Rank()] = 2
+		mu.Unlock()
+	})
+}
+
+func TestCollectives(t *testing.T) {
+	const ranks = 7 // non-power-of-two exercises tree edge cases
+	var mu sync.Mutex
+	sums := map[int]float64{}
+	runRealtime(t, 2, ranks, time.Millisecond, func(c *Comm) {
+		r := float64(c.Rank())
+
+		// Bcast from a non-zero root.
+		v := c.Bcast(3, any("hello-"+string(rune('0'+c.Rank()%10))))
+		if c.Rank() != 3 && v.(string) != "hello-3" {
+			t.Errorf("rank %d bcast got %v", c.Rank(), v)
+		}
+
+		// Reduce to root 2.
+		sum, ok := c.Reduce(2, r, core.OpSum)
+		if ok != (c.Rank() == 2) {
+			t.Errorf("rank %d reduce ok=%v", c.Rank(), ok)
+		}
+		if ok && sum.(float64) != 21 { // 0+..+6
+			t.Errorf("reduce sum = %v", sum)
+		}
+
+		// Allreduce max.
+		m := c.Allreduce(r, core.OpMax)
+		mu.Lock()
+		sums[c.Rank()] = m.(float64)
+		mu.Unlock()
+
+		// Gather at 1 and Allgather.
+		g := c.Gather(1, c.Rank()*2)
+		if c.Rank() == 1 {
+			for i, x := range g {
+				if x.(int) != i*2 {
+					t.Errorf("gather[%d] = %v", i, x)
+				}
+			}
+		}
+		ag := c.Allgather(c.Rank())
+		for i, x := range ag {
+			if x.(int) != i {
+				t.Errorf("rank %d allgather[%d] = %v", c.Rank(), i, x)
+			}
+		}
+	})
+	for r := 0; r < ranks; r++ {
+		if sums[r] != 6 {
+			t.Errorf("rank %d allreduce max = %v, want 6", r, sums[r])
+		}
+	}
+}
+
+// TestAMPIOverlapAcrossRanks shows the AMPI payoff on virtual time: with
+// two ranks per PE, a rank blocked on a WAN receive leaves the PE free to
+// run its co-resident rank.
+func TestAMPIOverlapAcrossRanks(t *testing.T) {
+	const lat = 20 * time.Millisecond
+	const work = 2 * time.Millisecond
+	// Ranks 0,1 on PE 0 (cluster 0); ranks 2,3 on PE 1 (cluster 1).
+	// Rank 0 ping-pongs with rank 2 across the WAN; ranks 1 and 3 grind
+	// local compute.
+	final := runSim(t, 2, 4, lat, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			for i := 0; i < 3; i++ {
+				c.Send(2, 1, i)
+				c.Recv(2, 1)
+			}
+		case 2:
+			for i := 0; i < 3; i++ {
+				c.Recv(0, 1)
+				c.Send(0, 1, i)
+			}
+		default:
+			for i := 0; i < 50; i++ {
+				c.Charge(work)
+			}
+		}
+	})
+	rtts := 6 * lat // 3 round trips
+	serial := rtts + 100*work
+	if final < rtts {
+		t.Errorf("finished before the WAN traffic could: %v < %v", final, rtts)
+	}
+	if final >= serial {
+		t.Errorf("no overlap between blocked rank and co-resident rank: %v >= %v", final, serial)
+	}
+}
+
+// TestAMPIStencilMatchesChareStencil runs a 1-D Jacobi relaxation written
+// against the AMPI API and checks it against the same relaxation done
+// serially — demonstrating an unmodified MPI-style code on the runtime.
+func TestAMPIStencilMatchesChareStencil(t *testing.T) {
+	const n = 64    // cells
+	const ranks = 4 // 16 cells each
+	const steps = 10
+	per := n / ranks
+
+	results := make([][]float64, ranks)
+	var mu sync.Mutex
+
+	runRealtime(t, 2, ranks, time.Millisecond, func(c *Comm) {
+		r := c.Rank()
+		cur := make([]float64, per+2) // with ghosts
+		next := make([]float64, per+2)
+		for i := 0; i < per; i++ {
+			cur[i+1] = stencil.Init(r*per+i, 0)
+		}
+		for s := 0; s < steps; s++ {
+			// Exchange ghosts with neighbors (boundary ranks hold edges fixed).
+			if r > 0 {
+				v, _ := c.Sendrecv(r-1, s, cur[1], r-1, s)
+				cur[0] = v.(float64)
+			}
+			if r < c.Size()-1 {
+				v, _ := c.Sendrecv(r+1, s, cur[per], r+1, s)
+				cur[per+1] = v.(float64)
+			}
+			for i := 1; i <= per; i++ {
+				g := r*per + i - 1
+				if g == 0 || g == n-1 {
+					next[i] = cur[i]
+					continue
+				}
+				next[i] = 0.5 * (cur[i-1] + cur[i+1])
+			}
+			cur, next = next, cur
+		}
+		mu.Lock()
+		results[r] = append([]float64(nil), cur[1:per+1]...)
+		mu.Unlock()
+	})
+
+	// Serial reference.
+	ref := make([]float64, n)
+	tmp := make([]float64, n)
+	for i := range ref {
+		ref[i] = stencil.Init(i, 0)
+	}
+	for s := 0; s < steps; s++ {
+		for i := 0; i < n; i++ {
+			if i == 0 || i == n-1 {
+				tmp[i] = ref[i]
+				continue
+			}
+			tmp[i] = 0.5 * (ref[i-1] + ref[i+1])
+		}
+		ref, tmp = tmp, ref
+	}
+	for r := 0; r < ranks; r++ {
+		for i, v := range results[r] {
+			if want := ref[r*per+i]; math.Abs(v-want) > 1e-14 {
+				t.Fatalf("rank %d cell %d = %v, want %v", r, i, v, want)
+			}
+		}
+	}
+}
+
+func TestCommAccessors(t *testing.T) {
+	runRealtime(t, 2, 2, 0, func(c *Comm) {
+		if c.Wtime() < 0 {
+			t.Error("negative Wtime")
+		}
+		if c.PE() < 0 || c.PE() >= 2 {
+			t.Errorf("PE = %d", c.PE())
+		}
+		c.Charge(0)
+		if c.Rank() == 0 {
+			c.SendBytes(1, 4, "big", 1<<20)
+		} else {
+			v, _ := c.Recv(0, 4)
+			if v.(string) != "big" {
+				t.Errorf("got %v", v)
+			}
+		}
+	})
+}
+
+func TestSendToInvalidRankPanics(t *testing.T) {
+	runRealtime(t, 2, 2, 0, func(c *Comm) {
+		if c.Rank() != 0 {
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("send to out-of-range rank did not panic")
+			}
+		}()
+		c.Send(99, 0, nil)
+	})
+}
+
+func TestAMPIOnSimDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		return runSim(t, 2, 4, 3*time.Millisecond, func(c *Comm) {
+			v := c.Allreduce(float64(c.Rank()), core.OpSum)
+			if v.(float64) != 6 {
+				t.Errorf("allreduce = %v", v)
+			}
+			c.Barrier()
+		})
+	}
+	if t1, t2 := run(), run(); t1 != t2 {
+		t.Errorf("AMPI on sim not deterministic: %v vs %v", t1, t2)
+	}
+}

@@ -1,0 +1,206 @@
+package ampi
+
+import (
+	"fmt"
+
+	"gridmdo/internal/core"
+)
+
+// Collective operations, implemented over point-to-point messages with
+// reserved negative tags (so application AnyTag receives never intercept
+// them). All ranks must call each collective in the same order.
+
+// Reserved internal tags.
+const (
+	tagBarrierUp = -2
+	tagBarrierDn = -3
+	tagBcast     = -4
+	tagReduce    = -5
+	tagGather    = -6
+	tagAllgather = -7
+	tagScatter   = -8
+	tagAlltoall  = -9
+	tagScan      = -10
+)
+
+// binomial tree helpers rooted at 0 (rank relabeling handles other roots).
+func relabel(rank, root, size int) int   { return (rank - root + size) % size }
+func unrelabel(rank, root, size int) int { return (rank + root) % size }
+
+// treeChildren yields the children of relabeled rank r in a binomial tree.
+func treeChildren(r, size int) []int {
+	var out []int
+	for bit := 1; bit < size; bit <<= 1 {
+		if r&bit != 0 {
+			break
+		}
+		child := r | bit
+		if child < size {
+			out = append(out, child)
+		}
+	}
+	return out
+}
+
+// treeParent yields the parent of relabeled rank r (r != 0).
+func treeParent(r int) int {
+	bit := 1
+	for r&bit == 0 {
+		bit <<= 1
+	}
+	return r &^ bit
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	if c.size == 1 {
+		return
+	}
+	r := c.rank
+	// Reduce-to-0 then broadcast, both over binomial trees.
+	for _, child := range treeChildren(r, c.size) {
+		c.Recv(child, tagBarrierUp)
+	}
+	if r != 0 {
+		c.Send(treeParent(r), tagBarrierUp, nil)
+		c.Recv(treeParent(r), tagBarrierDn)
+	}
+	for _, child := range treeChildren(r, c.size) {
+		c.Send(child, tagBarrierDn, nil)
+	}
+}
+
+// Bcast distributes root's value to every rank and returns it.
+func (c *Comm) Bcast(root int, data any) any {
+	if c.size == 1 {
+		return data
+	}
+	r := relabel(c.rank, root, c.size)
+	if r != 0 {
+		data, _ = c.Recv(unrelabel(treeParent(r), root, c.size), tagBcast)
+	}
+	for _, child := range treeChildren(r, c.size) {
+		c.Send(unrelabel(child, root, c.size), tagBcast, data)
+	}
+	return data
+}
+
+// Reduce folds every rank's value with op; the combined value is returned
+// at root (other ranks get the zero value and false).
+func (c *Comm) Reduce(root int, v any, op core.ReduceOp) (any, bool) {
+	r := relabel(c.rank, root, c.size)
+	acc := v
+	for _, child := range treeChildren(r, c.size) {
+		cv, _ := c.Recv(unrelabel(child, root, c.size), tagReduce)
+		acc = core.Combine(op, acc, cv)
+	}
+	if r != 0 {
+		c.Send(unrelabel(treeParent(r), root, c.size), tagReduce, acc)
+		return nil, false
+	}
+	return acc, true
+}
+
+// Allreduce folds every rank's value and returns the result everywhere.
+func (c *Comm) Allreduce(v any, op core.ReduceOp) any {
+	acc, ok := c.Reduce(0, v, op)
+	if !ok {
+		acc = nil
+	}
+	return c.Bcast(0, acc)
+}
+
+// Gather collects every rank's value at root, indexed by rank. Non-root
+// ranks receive nil.
+func (c *Comm) Gather(root int, v any) []any {
+	if c.rank != root {
+		c.Send(root, tagGather, v)
+		return nil
+	}
+	out := make([]any, c.size)
+	seen := make([]bool, c.size)
+	out[root], seen[root] = v, true
+	for i := 0; i < c.size-1; i++ {
+		p, st := c.recvInternal(AnySource, tagGather)
+		if seen[st.Source] {
+			panic(fmt.Sprintf("ampi: duplicate gather contribution from %d", st.Source))
+		}
+		out[st.Source], seen[st.Source] = p, true
+	}
+	return out
+}
+
+// Allgather collects every rank's value everywhere.
+func (c *Comm) Allgather(v any) []any {
+	res := c.Gather(0, v)
+	got := c.Bcast(0, any(res))
+	return got.([]any)
+}
+
+// Scatter distributes vals[i] from root to rank i and returns this rank's
+// element. Only root's vals argument is consulted; it must have Size
+// entries.
+func (c *Comm) Scatter(root int, vals []any) any {
+	if c.rank == root {
+		if len(vals) != c.size {
+			panic(fmt.Sprintf("ampi: scatter of %d values over %d ranks", len(vals), c.size))
+		}
+		for dst := 0; dst < c.size; dst++ {
+			if dst != root {
+				c.Send(dst, tagScatter, vals[dst])
+			}
+		}
+		return vals[root]
+	}
+	v, _ := c.recvInternal(root, tagScatter)
+	return v
+}
+
+// Alltoall sends vals[j] to rank j for every j and returns the values
+// received, indexed by source rank. vals must have Size entries.
+func (c *Comm) Alltoall(vals []any) []any {
+	if len(vals) != c.size {
+		panic(fmt.Sprintf("ampi: alltoall of %d values over %d ranks", len(vals), c.size))
+	}
+	for dst := 0; dst < c.size; dst++ {
+		if dst != c.rank {
+			c.Send(dst, tagAlltoall, vals[dst])
+		}
+	}
+	out := make([]any, c.size)
+	out[c.rank] = vals[c.rank]
+	for i := 0; i < c.size-1; i++ {
+		p, st := c.recvInternal(AnySource, tagAlltoall)
+		out[st.Source] = p
+	}
+	return out
+}
+
+// Scan returns the inclusive prefix reduction over ranks 0..Rank.
+func (c *Comm) Scan(v any, op core.ReduceOp) any {
+	acc := v
+	if c.rank > 0 {
+		prev, _ := c.recvInternal(c.rank-1, tagScan)
+		acc = core.Combine(op, prev, v)
+	}
+	if c.rank < c.size-1 {
+		c.Send(c.rank+1, tagScan, acc)
+	}
+	return acc
+}
+
+// recvInternal is Recv that may match reserved tags (used by collectives
+// needing AnySource on internal traffic).
+func (c *Comm) recvInternal(src, tag int) (any, Status) {
+	req := recvReq{src: src, tag: tag}
+	for i, p := range c.inbox {
+		if (req.src == AnySource || req.src == p.Src) && p.Tag == tag {
+			c.inbox = append(c.inbox[:i], c.inbox[i+1:]...)
+			return p.Data, Status{Source: p.Src, Tag: p.Tag}
+		}
+	}
+	c.waiting = &req
+	c.yield <- yBlocked
+	p := <-c.resume
+	return p.Data, Status{Source: p.Src, Tag: p.Tag}
+}

@@ -1,0 +1,111 @@
+package ampi
+
+// Nonblocking operations. GridMDO sends are always asynchronous, so Isend
+// completes immediately; Irecv posts a receive that Wait (or Waitall)
+// completes later. As in MPI, two outstanding Irecvs with overlapping
+// matching criteria complete in posting order only if waited in posting
+// order; disjoint tags are always safe.
+
+// Request is the handle of a nonblocking operation.
+type Request struct {
+	c        *Comm
+	src, tag int
+	done     bool
+	val      any
+	status   Status
+}
+
+// Isend starts a send. Sends are asynchronous in this runtime, so the
+// returned request is already complete; it exists for MPI-shaped code.
+func (c *Comm) Isend(dst, tag int, data any) *Request {
+	c.Send(dst, tag, data)
+	return &Request{c: c, done: true}
+}
+
+// Irecv posts a nonblocking receive. If a matching message is already in
+// the unexpected queue it is claimed immediately; otherwise the match
+// happens inside Wait.
+func (c *Comm) Irecv(src, tag int) *Request {
+	r := &Request{c: c, src: src, tag: tag}
+	req := recvReq{src: src, tag: tag}
+	for i, p := range c.inbox {
+		if req.matches(p) {
+			c.inbox = append(c.inbox[:i], c.inbox[i+1:]...)
+			r.done = true
+			r.val = p.Data
+			r.status = Status{Source: p.Src, Tag: p.Tag}
+			break
+		}
+	}
+	return r
+}
+
+// Test reports whether the request has completed, claiming a matching
+// queued message if one has arrived since posting. It never blocks — and
+// therefore never yields the PE: a busy loop around Test starves the
+// scheduler that would deliver the message. Poll with Test only between
+// blocking calls; otherwise use Wait.
+func (r *Request) Test() bool {
+	if r.done {
+		return true
+	}
+	req := recvReq{src: r.src, tag: r.tag}
+	for i, p := range r.c.inbox {
+		if req.matches(p) {
+			r.c.inbox = append(r.c.inbox[:i], r.c.inbox[i+1:]...)
+			r.done = true
+			r.val = p.Data
+			r.status = Status{Source: p.Src, Tag: p.Tag}
+			return true
+		}
+	}
+	return false
+}
+
+// Wait blocks until the request completes and returns its payload and
+// status. Completed requests return immediately.
+func (r *Request) Wait() (any, Status) {
+	if !r.Test() {
+		r.val, r.status = r.c.Recv(r.src, r.tag)
+		r.done = true
+	}
+	return r.val, r.status
+}
+
+// Waitall waits for every request, in order.
+func Waitall(reqs ...*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}
+
+// Probe blocks until a message matching (src, tag) is available without
+// receiving it, and reports its envelope.
+func (c *Comm) Probe(src, tag int) Status {
+	req := recvReq{src: src, tag: tag}
+	for {
+		for _, p := range c.inbox {
+			if req.matches(p) {
+				return Status{Source: p.Src, Tag: p.Tag}
+			}
+		}
+		// Suspend until the next message arrives for this rank, then
+		// recheck. We wait for *any* message and requeue it if it does
+		// not match the probe.
+		c.waiting = &recvReq{src: AnySource, tag: AnyTag}
+		c.yield <- yBlocked
+		p := <-c.resume
+		c.inbox = append(c.inbox, p)
+	}
+}
+
+// Iprobe reports whether a matching message is queued, without blocking.
+func (c *Comm) Iprobe(src, tag int) (Status, bool) {
+	req := recvReq{src: src, tag: tag}
+	for _, p := range c.inbox {
+		if req.matches(p) {
+			return Status{Source: p.Src, Tag: p.Tag}, true
+		}
+	}
+	return Status{}, false
+}

@@ -1,0 +1,166 @@
+package ampi
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gridmdo/internal/core"
+)
+
+func TestIsendIrecvWait(t *testing.T) {
+	var got any
+	runRealtime(t, 2, 2, time.Millisecond, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			r := c.Isend(1, 3, "payload")
+			if !r.Test() {
+				t.Error("Isend request not immediately complete")
+			}
+			r.Wait() // idempotent
+		case 1:
+			r := c.Irecv(0, 3)
+			v, st := r.Wait()
+			got = v
+			if st.Source != 0 || st.Tag != 3 {
+				t.Errorf("status %+v", st)
+			}
+			// Waiting again returns the same value without blocking.
+			if v2, _ := r.Wait(); v2 != v {
+				t.Error("second Wait returned different value")
+			}
+		}
+	})
+	if got != "payload" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestIrecvMatchesAlreadyQueued(t *testing.T) {
+	runRealtime(t, 2, 2, 0, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, 10)
+			c.Send(1, 2, 20)
+		case 1:
+			// Force both messages into the unexpected queue first.
+			v, _ := c.Recv(0, 1)
+			if v.(int) != 10 {
+				t.Errorf("first recv %v", v)
+			}
+			r := c.Irecv(0, 2)
+			if !r.done && !r.Test() {
+				// The message may not have arrived yet; Wait covers it.
+				t.Log("tag-2 message not yet queued; waiting")
+			}
+			v2, _ := r.Wait()
+			if v2.(int) != 20 {
+				t.Errorf("irecv got %v", v2)
+			}
+		}
+	})
+}
+
+func TestWaitallAndOverlap(t *testing.T) {
+	const n = 4
+	var mu sync.Mutex
+	sums := map[int]int{}
+	runRealtime(t, 2, n, time.Millisecond, func(c *Comm) {
+		// Everyone posts Irecvs from all peers, then sends — the classic
+		// nonblocking exchange that would deadlock with blocking calls.
+		var reqs []*Request
+		for src := 0; src < n; src++ {
+			if src != c.Rank() {
+				reqs = append(reqs, c.Irecv(src, 9))
+			}
+		}
+		for dst := 0; dst < n; dst++ {
+			if dst != c.Rank() {
+				c.Send(dst, 9, c.Rank()+1)
+			}
+		}
+		Waitall(reqs...)
+		total := 0
+		for _, r := range reqs {
+			v, _ := r.Wait()
+			total += v.(int)
+		}
+		mu.Lock()
+		sums[c.Rank()] = total
+		mu.Unlock()
+	})
+	for r := 0; r < n; r++ {
+		want := 10 - (r + 1) // 1+2+3+4 minus own
+		if sums[r] != want {
+			t.Errorf("rank %d sum %d, want %d", r, sums[r], want)
+		}
+	}
+}
+
+func TestProbeAndIprobe(t *testing.T) {
+	runRealtime(t, 2, 2, time.Millisecond, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 5, "hello")
+		case 1:
+			if _, ok := c.Iprobe(0, 99); ok {
+				t.Error("Iprobe matched a message that was never sent")
+			}
+			st := c.Probe(0, 5)
+			if st.Source != 0 || st.Tag != 5 {
+				t.Errorf("probe status %+v", st)
+			}
+			// The message is still receivable after the probe.
+			v, _ := c.Recv(0, 5)
+			if v.(string) != "hello" {
+				t.Errorf("recv after probe: %v", v)
+			}
+			if _, ok := c.Iprobe(0, 5); ok {
+				t.Error("Iprobe matched an already-received message")
+			}
+		}
+	})
+}
+
+func TestScatterAlltoallScan(t *testing.T) {
+	const n = 5
+	var mu sync.Mutex
+	scans := map[int]float64{}
+	runRealtime(t, 2, n, time.Millisecond, func(c *Comm) {
+		// Scatter from rank 2.
+		var vals []any
+		if c.Rank() == 2 {
+			for i := 0; i < n; i++ {
+				vals = append(vals, i*11)
+			}
+		}
+		v := c.Scatter(2, vals)
+		if v.(int) != c.Rank()*11 {
+			t.Errorf("rank %d scatter got %v", c.Rank(), v)
+		}
+
+		// Alltoall: send rank*10+dst to each dst.
+		out := make([]any, n)
+		for d := 0; d < n; d++ {
+			out[d] = c.Rank()*10 + d
+		}
+		in := c.Alltoall(out)
+		for src, x := range in {
+			if x.(int) != src*10+c.Rank() {
+				t.Errorf("rank %d alltoall[%d] = %v", c.Rank(), src, x)
+			}
+		}
+
+		// Inclusive prefix sum of rank values.
+		s := c.Scan(float64(c.Rank()), core.OpSum)
+		mu.Lock()
+		scans[c.Rank()] = s.(float64)
+		mu.Unlock()
+	})
+	for r := 0; r < n; r++ {
+		want := float64(r * (r + 1) / 2)
+		if scans[r] != want {
+			t.Errorf("rank %d scan = %v, want %v", r, scans[r], want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation section (Figure 3, Table 1, Figure 4,
+// Table 2) plus the ablations called out in DESIGN.md, and formats them as
+// the same rows/series the paper reports.
+//
+// Two measurement instruments are used (see DESIGN.md §5):
+//
+//   - The virtual-time engine (internal/sim) with Itanium-calibrated cost
+//     models reproduces the paper's absolute scale and its shapes
+//     deterministically; this is the "artificial latency" column/curve.
+//   - The real-time runtime — in one process with the VMI delay device,
+//     and in a two-node configuration over real TCP sockets — provides the
+//     "real" validation pathway: the same program, wall-clock measured,
+//     with the delay device standing in for the wide area exactly as in
+//     the paper's simulated-Grid environment.
+package bench
+
+import (
+	"time"
+
+	"gridmdo/internal/leanmd"
+	"gridmdo/internal/stencil"
+)
+
+// StencilConfig fixes the stencil workload for an experiment.
+type StencilConfig struct {
+	Width, Height int
+	Steps, Warmup int
+	Model         *stencil.CostModel
+}
+
+// MDConfig fixes the LeanMD workload for an experiment.
+type MDConfig struct {
+	NX, NY, NZ   int
+	AtomsPerCell int
+	Steps        int
+	Warmup       int
+	Model        *leanmd.CostModel
+}
+
+// Profile selects experiment scale.
+type Profile struct {
+	Name    string
+	Stencil StencilConfig
+	MD      MDConfig
+
+	// Fig3Latencies is the artificial-latency sweep for Figure 3.
+	Fig3Latencies []time.Duration
+	// Fig4Latencies is the sweep for Figure 4.
+	Fig4Latencies []time.Duration
+	// RealLatency is the emulated NCSA–ANL one-way latency for the
+	// Table 1/2 validation columns.
+	RealLatency time.Duration
+
+	// IrregularVertices sizes the irregular-mesh generality experiment.
+	IrregularVertices int
+}
+
+// PaperProfile reproduces the paper's exact workloads: a 2048×2048 mesh
+// and the 216-cell / 3,024-pair LeanMD benchmark, with the paper's
+// latency sweeps and the measured TeraGrid one-way latency of 1.725 ms.
+func PaperProfile() Profile {
+	return Profile{
+		Name: "paper",
+		Stencil: StencilConfig{
+			Width: 2048, Height: 2048,
+			Steps: 12, Warmup: 4,
+			Model: stencil.DefaultModel(),
+		},
+		MD: MDConfig{
+			NX: 6, NY: 6, NZ: 6,
+			AtomsPerCell: 12, // numerics scale; time is charged at 200 model atoms
+			Steps:        8, Warmup: 3,
+			Model: leanmd.DefaultModel(),
+		},
+		Fig3Latencies:     msList(0, 1, 2, 4, 8, 16, 32),
+		Fig4Latencies:     msList(1, 2, 4, 8, 16, 32, 64, 128, 256),
+		RealLatency:       1725 * time.Microsecond,
+		IrregularVertices: 60000,
+	}
+}
+
+// FastProfile is a scaled-down configuration for tests and testing.B
+// benchmarks: the same experiment structure at a fraction of the cost.
+func FastProfile() Profile {
+	return Profile{
+		Name: "fast",
+		Stencil: StencilConfig{
+			Width: 512, Height: 512,
+			Steps: 8, Warmup: 3,
+			Model: stencil.DefaultModel(),
+		},
+		MD: MDConfig{
+			NX: 4, NY: 4, NZ: 4,
+			AtomsPerCell: 6,
+			Steps:        6, Warmup: 2,
+			Model: leanmd.DefaultModel(),
+		},
+		Fig3Latencies:     msList(0, 2, 8, 32),
+		Fig4Latencies:     msList(1, 8, 64, 256),
+		RealLatency:       1725 * time.Microsecond,
+		IrregularVertices: 6000,
+	}
+}
+
+func msList(vals ...int) []time.Duration {
+	out := make([]time.Duration, len(vals))
+	for i, v := range vals {
+		out[i] = time.Duration(v) * time.Millisecond
+	}
+	return out
+}
+
+// stencilRow is one (processors, objects) configuration.
+type stencilRow struct {
+	Procs, Objects int
+}
+
+// table1Rows are the exact (P, V) rows of the paper's Table 1; the same
+// V-per-P sets define the curves of Figure 3's sub-plots.
+func table1Rows() []stencilRow {
+	return []stencilRow{
+		{2, 4}, {2, 16}, {2, 64},
+		{4, 4}, {4, 16}, {4, 64},
+		{8, 16}, {8, 64}, {8, 256},
+		{16, 16}, {16, 64}, {16, 256},
+		{32, 64}, {32, 256}, {32, 1024},
+		{64, 64}, {64, 256}, {64, 1024},
+	}
+}
+
+// figure3Virt gives the virtualization degrees plotted for each processor
+// count in Figure 3.
+func figure3Virt(procs int) []int {
+	switch {
+	case procs <= 4:
+		return []int{4, 16, 64}
+	case procs <= 16:
+		return []int{16, 64, 256}
+	default:
+		return []int{64, 256, 1024}
+	}
+}
+
+// figure4Procs are the processor counts of Figure 4 and Table 2.
+func figure4Procs() []int { return []int{2, 4, 8, 16, 32, 64} }

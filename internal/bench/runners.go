@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gridmdo/internal/core"
+	"gridmdo/internal/leanmd"
+	"gridmdo/internal/sim"
+	"gridmdo/internal/stencil"
+	"gridmdo/internal/topology"
+	"gridmdo/internal/vmi"
+)
+
+func intSqrt(v int) (int, error) {
+	r := int(math.Round(math.Sqrt(float64(v))))
+	if r*r != v {
+		return 0, fmt.Errorf("bench: virtualization degree %d is not a perfect square", v)
+	}
+	return r, nil
+}
+
+func buildTopo(procs int, lat time.Duration) (*topology.Topology, error) {
+	if procs == 1 {
+		return topology.Single(1)
+	}
+	return topology.TwoClusters(procs, lat)
+}
+
+func (c StencilConfig) params(objects int, model bool) (*stencil.Params, error) {
+	v, err := intSqrt(objects)
+	if err != nil {
+		return nil, err
+	}
+	p := &stencil.Params{
+		Width: c.Width, Height: c.Height,
+		VX: v, VY: v,
+		Steps: c.Steps, Warmup: c.Warmup,
+	}
+	if model {
+		p.Model = c.Model
+	}
+	return p, nil
+}
+
+// StencilSim runs the stencil on the virtual-time engine with the
+// Itanium-calibrated cost model ("artificial latency" instrument).
+func StencilSim(cfg StencilConfig, procs, objects int, lat time.Duration, opts sim.Options) (*stencil.Result, error) {
+	p, err := cfg.params(objects, true)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := stencil.BuildProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := buildTopo(procs, lat)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxEvents == 0 {
+		opts.MaxEvents = 500_000_000
+	}
+	e, err := sim.New(topo, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	v, _, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	return v.(*stencil.Result), nil
+}
+
+// StencilSimParams runs the stencil on the virtual-time engine from
+// explicit stencil parameters (used by ablations that tweak placement or
+// load balancing).
+func StencilSimParams(p *stencil.Params, procs int, lat time.Duration) (*stencil.Result, error) {
+	prog, err := stencil.BuildProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := buildTopo(procs, lat)
+	if err != nil {
+		return nil, err
+	}
+	e, err := sim.New(topo, prog, sim.Options{MaxEvents: 500_000_000})
+	if err != nil {
+		return nil, err
+	}
+	v, _, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	return v.(*stencil.Result), nil
+}
+
+// StencilRealtime runs the stencil on the real-time runtime in one
+// process, with the delay device injecting the WAN latency (the paper's
+// simulated-Grid environment, wall-clock measured).
+func StencilRealtime(cfg StencilConfig, procs, objects int, lat time.Duration) (*stencil.Result, error) {
+	p, err := cfg.params(objects, false)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := stencil.BuildProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := buildTopo(procs, lat)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := core.NewRuntime(topo, prog, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	v, err := rt.Run()
+	if err != nil {
+		return nil, err
+	}
+	return v.(*stencil.Result), nil
+}
+
+// StencilTCP runs the stencil across two runtimes joined by real TCP
+// sockets (one per cluster) with the delay device supplying the WAN
+// flight time — the "real latency" validation pathway of Table 1.
+func StencilTCP(cfg StencilConfig, procs, objects int, lat time.Duration) (*stencil.Result, error) {
+	mk := func() (*core.Program, error) {
+		p, err := cfg.params(objects, false)
+		if err != nil {
+			return nil, err
+		}
+		return stencil.BuildProgram(p)
+	}
+	v, err := runTwoNodeTCP(procs, lat, mk)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*stencil.Result), nil
+}
+
+func (c MDConfig) params(model bool) *leanmd.Params {
+	p := leanmd.DefaultParams()
+	p.NX, p.NY, p.NZ = c.NX, c.NY, c.NZ
+	p.AtomsPerCell = c.AtomsPerCell
+	p.Steps, p.Warmup = c.Steps, c.Warmup
+	if model {
+		p.Model = c.Model
+	}
+	return p
+}
+
+// LeanMDSim runs LeanMD on the virtual-time engine.
+func LeanMDSim(cfg MDConfig, procs int, lat time.Duration, opts sim.Options) (*leanmd.Result, error) {
+	prog, _, err := leanmd.BuildProgram(cfg.params(true))
+	if err != nil {
+		return nil, err
+	}
+	topo, err := buildTopo(procs, lat)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxEvents == 0 {
+		opts.MaxEvents = 500_000_000
+	}
+	e, err := sim.New(topo, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	v, _, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	return v.(*leanmd.Result), nil
+}
+
+// LeanMDRealtime runs LeanMD on the real-time runtime in one process.
+func LeanMDRealtime(cfg MDConfig, procs int, lat time.Duration) (*leanmd.Result, error) {
+	prog, _, err := leanmd.BuildProgram(cfg.params(false))
+	if err != nil {
+		return nil, err
+	}
+	topo, err := buildTopo(procs, lat)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := core.NewRuntime(topo, prog, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	v, err := rt.Run()
+	if err != nil {
+		return nil, err
+	}
+	return v.(*leanmd.Result), nil
+}
+
+// LeanMDTCP runs LeanMD across two TCP-joined runtimes.
+func LeanMDTCP(cfg MDConfig, procs int, lat time.Duration) (*leanmd.Result, error) {
+	mk := func() (*core.Program, error) {
+		prog, _, err := leanmd.BuildProgram(cfg.params(false))
+		return prog, err
+	}
+	v, err := runTwoNodeTCP(procs, lat, mk)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*leanmd.Result), nil
+}
+
+// runTwoNodeTCP hosts a two-cluster machine as two Runtimes in this
+// process, one per cluster, connected by the VMI TCP transport on
+// loopback. The program's result is produced on node 0.
+func runTwoNodeTCP(procs int, lat time.Duration, mkProg func() (*core.Program, error)) (any, error) {
+	if procs < 2 || procs%2 != 0 {
+		return nil, fmt.Errorf("bench: two-node TCP run needs an even PE count >= 2, got %d", procs)
+	}
+	topo, err := topology.TwoClusters(procs, lat)
+	if err != nil {
+		return nil, err
+	}
+	half := procs / 2
+	nodeOf := func(pe int) int {
+		if pe < half {
+			return 0
+		}
+		return 1
+	}
+	routeFn := func(pe int32) int { return nodeOf(int(pe)) }
+
+	var rts [2]*core.Runtime
+	var tcps [2]*vmi.TCP
+	for node := 0; node < 2; node++ {
+		node := node
+		tcps[node] = vmi.NewTCP(node, map[int]string{node: "127.0.0.1:0"}, routeFn, func(f *vmi.Frame) error {
+			return rts[node].InjectFrame(f)
+		})
+	}
+	a0, err := tcps[0].Listen()
+	if err != nil {
+		return nil, err
+	}
+	a1, err := tcps[1].Listen()
+	if err != nil {
+		tcps[0].Close()
+		return nil, err
+	}
+	tcps[0].SetAddr(1, a1)
+	tcps[1].SetAddr(0, a0)
+	defer tcps[0].Close()
+	defer tcps[1].Close()
+
+	for node := 0; node < 2; node++ {
+		prog, err := mkProg()
+		if err != nil {
+			return nil, err
+		}
+		rt, err := core.NewRuntime(topo, prog, core.Options{
+			Transport: tcps[node],
+			NodeOf:    nodeOf,
+			Node:      node,
+			PELo:      node * half,
+			PEHi:      (node + 1) * half,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rts[node] = rt
+	}
+
+	workerDone := make(chan error, 1)
+	go func() {
+		_, err := rts[1].Run()
+		workerDone <- err
+	}()
+	v, err := rts[0].Run()
+	rts[1].Stop()
+	werr := <-workerDone
+	if err != nil {
+		return nil, err
+	}
+	if werr != nil {
+		return nil, fmt.Errorf("bench: worker node failed: %w", werr)
+	}
+	return v, nil
+}

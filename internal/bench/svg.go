@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// SVG rendering of regenerated figures: simple multi-series line charts,
+// one per sub-plot, stacked vertically — enough to eyeball the paper's
+// curve shapes without external tooling. The x axis is categorical over
+// the swept latencies (the paper's sweeps are roughly geometric, so a
+// categorical axis matches its visual spacing).
+
+const (
+	svgPlotW   = 560
+	svgPlotH   = 260
+	svgMarginL = 70
+	svgMarginR = 150
+	svgMarginT = 40
+	svgMarginB = 45
+)
+
+var svgColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// SVG writes the figure as a standalone SVG document.
+func (f *Figure) SVG(w io.Writer) error {
+	n := len(f.Plots)
+	if n == 0 {
+		_, err := fmt.Fprint(w, `<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>`)
+		return err
+	}
+	totalW := svgMarginL + svgPlotW + svgMarginR
+	totalH := n*(svgPlotH+svgMarginT+svgMarginB) + 30
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", totalW, totalH)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="15" font-weight="bold">%s</text>`+"\n", svgMarginL, svgEscape(f.Title))
+	for i, sub := range f.Plots {
+		top := 30 + i*(svgPlotH+svgMarginT+svgMarginB)
+		renderSubPlot(&b, &sub, top)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func renderSubPlot(b *strings.Builder, sub *SubPlot, top int) {
+	if len(sub.Series) == 0 || len(sub.Series[0].X) == 0 {
+		return
+	}
+	x0 := svgMarginL
+	y0 := top + svgMarginT
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="13">%s</text>`+"\n", x0, y0-10, svgEscape(sub.Title))
+
+	// Y scale: 0 .. max over all series, padded.
+	var maxY time.Duration
+	for _, s := range sub.Series {
+		for _, v := range s.Y {
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	maxMs := ms(maxY) * 1.08
+
+	nx := len(sub.Series[0].X)
+	px := func(i int) float64 {
+		if nx == 1 {
+			return float64(x0)
+		}
+		return float64(x0) + float64(i)*float64(svgPlotW)/float64(nx-1)
+	}
+	py := func(v time.Duration) float64 {
+		return float64(y0+svgPlotH) - ms(v)/maxMs*float64(svgPlotH)
+	}
+
+	// Frame and gridlines.
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#999"/>`+"\n", x0, y0, svgPlotW, svgPlotH)
+	for g := 1; g <= 4; g++ {
+		gy := float64(y0+svgPlotH) - float64(g)*float64(svgPlotH)/5
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#eee"/>`+"\n", x0, gy, x0+svgPlotW, gy)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%.1f</text>`+"\n", x0-6, gy+3, float64(g)*maxMs/5)
+	}
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="10" text-anchor="end">0</text>`+"\n", x0-6, y0+svgPlotH+3)
+	// X tick labels.
+	for i, lx := range sub.Series[0].X {
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px(i), y0+svgPlotH+15, lx)
+	}
+	fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">one-way latency</text>`+"\n",
+		float64(x0)+float64(svgPlotW)/2, y0+svgPlotH+32)
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" transform="rotate(-90 %d %d)" text-anchor="middle">ms/step</text>`+"\n",
+		x0-45, y0+svgPlotH/2, x0-45, y0+svgPlotH/2)
+
+	// Series.
+	for si, s := range sub.Series {
+		color := svgColors[si%len(svgColors)]
+		var pts []string
+		for i, v := range s.Y {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(i), py(v)))
+		}
+		fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i, v := range s.Y {
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px(i), py(v), color)
+		}
+		// Legend.
+		ly := y0 + 14 + si*16
+		fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			x0+svgPlotW+10, ly, x0+svgPlotW+30, ly, color)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n", x0+svgPlotW+35, ly+4, svgEscape(s.Label))
+	}
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Checkpointing captures every array element's state at a quiescent point
+// (after Run has returned) and rebuilds it into a fresh Program — on the
+// same machine, or on a different processor count ("shrink and expand the
+// set of processors used by a parallel job", §2.1 of the paper; element
+// placement is recomputed from the array's Map for the new machine).
+//
+// Elements of checkpointed arrays must implement Migratable, and their
+// ArraySpec must provide Restore.
+
+// ElemState is one element's serialized state.
+type ElemState struct {
+	Index int
+	Data  []byte
+}
+
+// ArrayState is one array's serialized elements, sorted by index.
+type ArrayState struct {
+	ID    ArrayID
+	N     int
+	Elems []ElemState
+}
+
+// Checkpoint is a whole-program snapshot.
+type Checkpoint struct {
+	Arrays []ArrayState
+}
+
+// Checkpoint snapshots all elements hosted by this runtime. It must be
+// called after Run has returned (the quiescent point); a multi-process
+// runtime would capture only the local PEs and is rejected.
+func (rt *Runtime) Checkpoint() (*Checkpoint, error) {
+	if rt.opts.Transport != nil {
+		return nil, fmt.Errorf("core: checkpoint of a multi-process runtime is not supported")
+	}
+	hosts := make([]*PEHost, len(rt.pes))
+	for i, ps := range rt.pes {
+		hosts[i] = ps.host
+	}
+	return BuildCheckpoint(rt.prog, hosts)
+}
+
+// BuildCheckpoint assembles a checkpoint from the hosts of an executor at
+// a quiescent point. It is exported for executor implementations.
+func BuildCheckpoint(prog *Program, hosts []*PEHost) (*Checkpoint, error) {
+	byArray := make(map[ArrayID]map[int][]byte)
+	for _, h := range hosts {
+		var err error
+		h.Each(func(ref ElemRef, ch Chare) {
+			if err != nil {
+				return
+			}
+			m, ok := ch.(Migratable)
+			if !ok {
+				err = fmt.Errorf("core: element %v does not implement Migratable", ref)
+				return
+			}
+			data, perr := m.Pack()
+			if perr != nil {
+				err = fmt.Errorf("core: pack %v: %w", ref, perr)
+				return
+			}
+			if byArray[ref.Array] == nil {
+				byArray[ref.Array] = make(map[int][]byte)
+			}
+			byArray[ref.Array][ref.Index] = data
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	ck := &Checkpoint{}
+	for ai := range prog.Arrays {
+		spec := &prog.Arrays[ai]
+		elems := byArray[spec.ID]
+		if len(elems) != spec.N {
+			return nil, fmt.Errorf("core: array %d checkpointed %d of %d elements", spec.ID, len(elems), spec.N)
+		}
+		st := ArrayState{ID: spec.ID, N: spec.N, Elems: make([]ElemState, 0, spec.N)}
+		idxs := make([]int, 0, spec.N)
+		for i := range elems {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			st.Elems = append(st.Elems, ElemState{Index: i, Data: elems[i]})
+		}
+		ck.Arrays = append(ck.Arrays, st)
+	}
+	return ck, nil
+}
+
+// Encode writes the checkpoint with gob framing.
+func (c *Checkpoint) Encode(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(c); err != nil {
+		return fmt.Errorf("core: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// DecodeCheckpoint reverses Encode.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	return &c, nil
+}
+
+// Install rewires prog so each array's elements are constructed from this
+// checkpoint (via ArraySpec.Restore) instead of ArraySpec.New. The
+// program may then be run on any topology. Arrays absent from the
+// checkpoint keep their constructors.
+func (c *Checkpoint) Install(prog *Program) error {
+	states := make(map[ArrayID]*ArrayState, len(c.Arrays))
+	for i := range c.Arrays {
+		states[c.Arrays[i].ID] = &c.Arrays[i]
+	}
+	for ai := range prog.Arrays {
+		spec := &prog.Arrays[ai]
+		st, ok := states[spec.ID]
+		if !ok {
+			continue
+		}
+		if st.N != spec.N {
+			return fmt.Errorf("core: checkpoint has %d elements for array %d, program declares %d", st.N, spec.ID, spec.N)
+		}
+		if spec.Restore == nil {
+			return fmt.Errorf("core: array %d has no Restore constructor", spec.ID)
+		}
+		data := make(map[int][]byte, len(st.Elems))
+		for _, e := range st.Elems {
+			data[e.Index] = e.Data
+		}
+		restore := spec.Restore
+		spec.New = func(i int) Chare {
+			ch, err := restore(i, data[i])
+			if err != nil {
+				panic(fmt.Sprintf("core: restore element %d of array %d: %v", i, spec.ID, err))
+			}
+			return ch
+		}
+	}
+	return nil
+}
+
+// Each visits every element on this host in deterministic (array, index)
+// order. It must only be called from the host's scheduler context or
+// while the executor is stopped.
+func (h *PEHost) Each(fn func(ref ElemRef, ch Chare)) {
+	refs := make([]ElemRef, 0, len(h.elems))
+	for ref := range h.elems {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Array != refs[j].Array {
+			return refs[i].Array < refs[j].Array
+		}
+		return refs[i].Index < refs[j].Index
+	})
+	for _, ref := range refs {
+		fn(ref, h.elems[ref])
+	}
+}

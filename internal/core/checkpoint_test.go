@@ -1,0 +1,209 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"gridmdo/internal/topology"
+)
+
+// counterChare is a minimal migratable chare for checkpoint tests.
+type counterChare struct{ n int64 }
+
+func (c *counterChare) Recv(ctx *Ctx, entry EntryID, data any) {
+	c.n++
+	ctx.Contribute(float64(c.n), OpSum)
+}
+
+func (c *counterChare) Pack() ([]byte, error) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(c.n))
+	return buf[:], nil
+}
+
+func restoreCounter(data []byte) (Chare, error) {
+	if len(data) != 8 {
+		return nil, fmt.Errorf("bad counter state")
+	}
+	return &counterChare{n: int64(binary.BigEndian.Uint64(data))}, nil
+}
+
+func counterProgram(n int) *Program {
+	return &Program{
+		Arrays: []ArraySpec{{
+			ID: 0, N: n,
+			New:     func(int) Chare { return &counterChare{} },
+			Restore: func(i int, data []byte) (Chare, error) { return restoreCounter(data) },
+		}},
+		Start: func(ctx *Ctx) {
+			for i := 0; i < n; i++ {
+				ctx.Send(ElemRef{0, i}, 0, nil)
+			}
+		},
+		OnReduction: func(ctx *Ctx, a ArrayID, seq int64, v any) { ctx.ExitWith(v) },
+	}
+}
+
+func TestRuntimeCheckpointRoundTrip(t *testing.T) {
+	topo := mustTopo(t, 4, 0)
+	rt, err := NewRuntime(topo, counterProgram(6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(float64) != 6 { // each of 6 counters at 1
+		t.Fatalf("first run sum %v", v)
+	}
+	ck, err := rt.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := DecodeCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on a different PE count; counters continue from 1 to 2.
+	prog2 := counterProgram(6)
+	if err := ck2.Install(prog2); err != nil {
+		t.Fatal(err)
+	}
+	topo2, err := topology.Single(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := NewRuntime(topo2, prog2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := rt2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.(float64) != 12 { // each counter now at 2
+		t.Errorf("restarted sum %v, want 12", v2)
+	}
+}
+
+func TestCheckpointRequiresMigratable(t *testing.T) {
+	topo := mustTopo(t, 2, 0)
+	prog := &Program{
+		Arrays: []ArraySpec{{ID: 0, N: 1, New: func(int) Chare { return funcChare(func(ctx *Ctx, e EntryID, d any) { ctx.Exit() }) }}},
+		Start:  func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, nil) },
+	}
+	rt, err := NewRuntime(topo, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Checkpoint(); err == nil {
+		t.Error("non-migratable elements checkpointed")
+	}
+}
+
+func TestCheckpointInstallValidation(t *testing.T) {
+	ck := &Checkpoint{Arrays: []ArrayState{{ID: 0, N: 3}}}
+	wrongSize := counterProgram(5)
+	if err := ck.Install(wrongSize); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	noRestore := counterProgram(3)
+	noRestore.Arrays[0].Restore = nil
+	if err := ck.Install(noRestore); err == nil {
+		t.Error("missing Restore accepted")
+	}
+	// Arrays absent from the checkpoint keep their constructors.
+	extra := &Program{
+		Arrays: []ArraySpec{
+			{ID: 0, N: 3, New: func(int) Chare { return &counterChare{} },
+				Restore: func(i int, data []byte) (Chare, error) { return restoreCounter(data) }},
+			{ID: 1, N: 2, New: func(int) Chare { return &counterChare{} }},
+		},
+		Start: func(*Ctx) {},
+	}
+	ck2 := &Checkpoint{Arrays: []ArrayState{{ID: 0, N: 3, Elems: []ElemState{
+		{Index: 0, Data: make([]byte, 8)},
+		{Index: 1, Data: make([]byte, 8)},
+		{Index: 2, Data: make([]byte, 8)},
+	}}}}
+	if err := ck2.Install(extra); err != nil {
+		t.Errorf("install with extra array failed: %v", err)
+	}
+	if _, err := DecodeCheckpoint(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage checkpoint decoded")
+	}
+}
+
+func TestCtxAccessorsAndBroadcast(t *testing.T) {
+	topo := mustTopo(t, 2, 0)
+	var hits atomic.Int64
+	prog := &Program{
+		Arrays: []ArraySpec{{
+			ID: 0, N: 4,
+			New: func(i int) Chare {
+				return funcChare(func(ctx *Ctx, e EntryID, d any) {
+					n := hits.Add(1)
+					if ctx.NumPE() != 2 {
+						t.Errorf("NumPE = %d", ctx.NumPE())
+					}
+					if ctx.Topo() == nil {
+						t.Error("nil Topo")
+					}
+					if ctx.ArrayN(0) != 4 {
+						t.Errorf("ArrayN = %d", ctx.ArrayN(0))
+					}
+					ctx.Charge(0) // no-op on the real-time runtime
+					if n == 4 {
+						ctx.Exit()
+					}
+				})
+			},
+		}},
+		Start: func(ctx *Ctx) { ctx.Broadcast(0, 0, "hello") },
+	}
+	rt, err := NewRuntime(topo, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := rt.Run(); err != nil || v != nil {
+		t.Fatalf("run: v=%v err=%v", v, err)
+	}
+	if hits.Load() != 4 {
+		t.Errorf("broadcast reached %d elements", hits.Load())
+	}
+}
+
+func TestReduceOpStrings(t *testing.T) {
+	for _, op := range []ReduceOp{OpSum, OpMax, OpMin, ReduceOp(77)} {
+		if op.String() == "" {
+			t.Errorf("empty string for op %d", op)
+		}
+	}
+}
+
+func TestCombineMaxMinFloat(t *testing.T) {
+	if Combine(OpMax, 1.0, 2.0).(float64) != 2.0 {
+		t.Error("max wrong")
+	}
+	if Combine(OpMin, 1.0, 2.0).(float64) != 1.0 {
+		t.Error("min wrong")
+	}
+	if Combine(OpMax, 5.0, 3.0).(float64) != 5.0 {
+		t.Error("max order wrong")
+	}
+	if Combine(OpMin, 5.0, 3.0).(float64) != 3.0 {
+		t.Error("min order wrong")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Wire serialization for messages that cross OS-process boundaries (the
+// TCP transport). In-process messages are never serialized — the paper's
+// intra-cluster fast path. Payload types that travel between processes
+// must be registered with RegisterPayload in every participating process,
+// in the same way gob requires.
+
+// RegisterPayload registers a concrete payload type for wire transport.
+func RegisterPayload(v any) { gob.Register(v) }
+
+func init() {
+	// Runtime protocol payloads that may cross process boundaries, and the
+	// concrete types carried inside reduction values.
+	RegisterPayload(ReducePartial{})
+	RegisterPayload(qdMsg{})
+	RegisterPayload([]*Message(nil)) // bundle contents
+	RegisterPayload(float64(0))
+	RegisterPayload(int64(0))
+	RegisterPayload(int(0))
+	RegisterPayload([]float64(nil))
+}
+
+// wireMessage is the gob envelope. Only fields needed on the far side are
+// carried.
+type wireMessage struct {
+	Kind  Kind
+	To    ElemRef
+	Entry EntryID
+	Prio  int32
+	Bytes int
+	SrcPE int32
+	DstPE int32
+	Data  any
+}
+
+// EncodeMessage serializes a message for the TCP transport.
+func EncodeMessage(m *Message) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	w := wireMessage{
+		Kind: m.Kind, To: m.To, Entry: m.Entry, Prio: m.Prio,
+		Bytes: m.Bytes, SrcPE: m.SrcPE, DstPE: m.DstPE, Data: m.Data,
+	}
+	if err := enc.Encode(&w); err != nil {
+		return nil, fmt.Errorf("core: encode message %v: %w", m, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeMessage reverses EncodeMessage.
+func DecodeMessage(b []byte) (*Message, error) {
+	var w wireMessage
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("core: decode message: %w", err)
+	}
+	return &Message{
+		Kind: w.Kind, To: w.To, Entry: w.Entry, Prio: w.Prio,
+		Bytes: w.Bytes, SrcPE: w.SrcPE, DstPE: w.DstPE, Data: w.Data,
+	}, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"time"
+
+	"gridmdo/internal/topology"
+)
+
+// Backend is the executor-side interface behind a Ctx. The real-time
+// runtime (this package) and the virtual-time simulator (internal/sim)
+// each implement it; application code sees only Ctx and so runs unchanged
+// on either executor.
+type Backend interface {
+	// Route transmits a message. For KindApp the backend resolves the
+	// destination PE from its location table.
+	Route(m *Message)
+	// Now is the executor clock: wall time since run start (real-time) or
+	// virtual time (simulator), observed at the current execution point.
+	Now() time.Duration
+	// Charge accounts d of modeled execution time to the running handler.
+	// The simulator advances its PE clock by it; the real-time runtime
+	// records it for load statistics only.
+	Charge(d time.Duration)
+	// NumPE reports the machine size.
+	NumPE() int
+	// Topo exposes the machine topology.
+	Topo() *topology.Topology
+	// ArrayN reports the declared element count of an array.
+	ArrayN(a ArrayID) int
+	// ExitWith ends the run, making v the executor's result. The first
+	// call wins; later calls are ignored.
+	ExitWith(v any)
+	// Contribute folds one element's reduction contribution (round seq)
+	// into the PE-local partial.
+	Contribute(from ElemRef, pe int, a ArrayID, seq int64, v any, op ReduceOp)
+	// AtSync marks one element as having reached the load-balancing
+	// barrier on pe.
+	AtSync(from ElemRef, pe int)
+}
+
+// Ctx is the handle a handler uses to interact with the runtime. A Ctx is
+// only valid for the duration of the handler invocation it was passed to;
+// chares must not retain it. (The sole exception is the AMPI layer, whose
+// rank threads hold the PE's execution slot while they run — see
+// internal/ampi.)
+type Ctx struct {
+	b    Backend
+	pe   int
+	elem ElemRef   // valid for KindApp handlers; {-1, -1} otherwise
+	meta *elemMeta // per-element runtime metadata; nil for non-element handlers
+}
+
+// elemMeta is executor-held per-element state.
+type elemMeta struct {
+	redSeq int64 // reduction rounds this element has contributed to
+	load   time.Duration
+	wanMsg int
+	msgs   int
+	atSync bool
+}
+
+// NoElem is the ElemRef used for handlers that do not run on an array
+// element (Start, OnReduction).
+var NoElem = ElemRef{Array: -1, Index: -1}
+
+func newCtx(b Backend, pe int, elem ElemRef, meta *elemMeta) *Ctx {
+	return &Ctx{b: b, pe: pe, elem: elem, meta: meta}
+}
+
+// Send delivers data to entry of the element to, asynchronously.
+func (c *Ctx) Send(to ElemRef, entry EntryID, data any, opts ...SendOpt) {
+	m := &Message{
+		Kind:  KindApp,
+		To:    to,
+		Entry: entry,
+		Data:  data,
+		Bytes: payloadBytes(data),
+		SrcPE: int32(c.pe),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	c.b.Route(m)
+	if c.meta != nil {
+		c.meta.msgs++
+		if c.b.Topo().CrossesWAN(c.pe, int(m.DstPE)) {
+			c.meta.wanMsg++
+		}
+	}
+}
+
+// Multicast sends data to every member of a section. Each member receives
+// an independent message (the paper's LeanMD cells multicast coordinates
+// to their 26 dependent cell-pairs this way).
+func (c *Ctx) Multicast(sec *Section, entry EntryID, data any, opts ...SendOpt) {
+	for _, ref := range sec.Members {
+		c.Send(ref, entry, data, opts...)
+	}
+}
+
+// Broadcast sends data to every element of an array.
+func (c *Ctx) Broadcast(a ArrayID, entry EntryID, data any, opts ...SendOpt) {
+	n := c.b.ArrayN(a)
+	for i := 0; i < n; i++ {
+		c.Send(ElemRef{Array: a, Index: i}, entry, data, opts...)
+	}
+}
+
+// Contribute folds v into the current reduction round of this element's
+// array. Every element of the array must contribute exactly once per
+// round, with the same op; when the round completes, Program.OnReduction
+// runs on PE 0 with the combined value.
+func (c *Ctx) Contribute(v any, op ReduceOp) {
+	if c.meta == nil {
+		panic("core: Contribute outside an array element handler")
+	}
+	c.meta.redSeq++
+	c.b.Contribute(c.elem, c.pe, c.elem.Array, c.meta.redSeq, v, op)
+}
+
+// AtSync enters the load-balancing barrier. The element must not send or
+// expect application messages until its EntryResumeFromSync entry runs
+// (possibly on a different PE).
+func (c *Ctx) AtSync() {
+	if c.meta == nil {
+		panic("core: AtSync outside an array element handler")
+	}
+	c.meta.atSync = true
+	c.b.AtSync(c.elem, c.pe)
+}
+
+// Charge accounts modeled execution time to this handler; see
+// Backend.Charge.
+func (c *Ctx) Charge(d time.Duration) { c.b.Charge(d) }
+
+// Time returns the executor clock at the current execution point.
+func (c *Ctx) Time() time.Duration { return c.b.Now() }
+
+// PE reports the PE this handler is executing on.
+func (c *Ctx) PE() int { return c.pe }
+
+// NumPE reports the machine size.
+func (c *Ctx) NumPE() int { return c.b.NumPE() }
+
+// Topo exposes the machine topology (cluster layout, latencies).
+func (c *Ctx) Topo() *topology.Topology { return c.b.Topo() }
+
+// Elem reports the element this handler runs on, or NoElem.
+func (c *Ctx) Elem() ElemRef { return c.elem }
+
+// ArrayN reports the element count of array a.
+func (c *Ctx) ArrayN(a ArrayID) int { return c.b.ArrayN(a) }
+
+// ExitWith ends the run with result v.
+func (c *Ctx) ExitWith(v any) { c.b.ExitWith(v) }
+
+// Exit ends the run with a nil result.
+func (c *Ctx) Exit() { c.b.ExitWith(nil) }

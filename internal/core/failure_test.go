@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gridmdo/internal/topology"
+	"gridmdo/internal/vmi"
+)
+
+// TestTransportFailureSurfaces kills one node's transport mid-run and
+// checks the surviving node reports an error instead of hanging or
+// silently dropping work.
+func TestTransportFailureSurfaces(t *testing.T) {
+	topo, err := topology.TwoClusters(2, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkProg := func() *Program {
+		return &Program{
+			Arrays: []ArraySpec{{
+				ID: 0, N: 2,
+				New: func(i int) Chare {
+					return funcChare(func(ctx *Ctx, entry EntryID, data any) {
+						n := data.(int)
+						if n >= 1000 { // far more rounds than the test allows
+							ctx.ExitWith(n)
+							return
+						}
+						ctx.Send(ElemRef{Array: 0, Index: 1 - ctx.Elem().Index}, 0, n+1)
+					})
+				},
+			}},
+			Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, 0) },
+		}
+	}
+	nodeOf := func(pe int) int { return pe }
+	routeFn := func(pe int32) int { return int(pe) }
+	var rts [2]*Runtime
+	var tcps [2]*vmi.TCP
+	addrs := []map[int]string{{0: "127.0.0.1:0"}, {1: "127.0.0.1:0"}}
+	for node := 0; node < 2; node++ {
+		node := node
+		tcps[node] = vmi.NewTCP(node, addrs[node], routeFn, func(f *vmi.Frame) error {
+			return rts[node].InjectFrame(f)
+		})
+		tcps[node].DialAttempts = 2 // fail fast after the peer dies
+	}
+	a0, err := tcps[0].Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := tcps[1].Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcps[0].SetAddr(1, a1)
+	tcps[1].SetAddr(0, a0)
+	defer tcps[0].Close()
+
+	for node := 0; node < 2; node++ {
+		rt, err := NewRuntime(topo, mkProg(), Options{
+			Transport: tcps[node], NodeOf: nodeOf, Node: node,
+			PELo: node, PEHi: node + 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rts[node] = rt
+	}
+
+	node1Done := make(chan struct{})
+	go func() {
+		_, _ = rts[1].Run()
+		close(node1Done)
+	}()
+
+	// Let a few rounds flow, then kill node 1's transport and stop its
+	// runtime (simulating a crashed remote cluster allocation).
+	time.Sleep(60 * time.Millisecond)
+	tcps[1].Close()
+	rts[1].Stop()
+
+	res := make(chan error, 1)
+	go func() {
+		_, err := rts[0].Run()
+		res <- err
+	}()
+	select {
+	case err := <-res:
+		if err == nil {
+			t.Error("surviving node returned success after peer death")
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("surviving node hung after peer death")
+	}
+	<-node1Done
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// PEHost is the per-PE element container shared by both executors: it owns
+// the chare instances living on one PE, their runtime metadata, and all
+// handler dispatch (and therefore all Ctx construction). Executors feed it
+// messages one at a time; PEHost itself is not goroutine-safe and must
+// only be touched by its PE's scheduler (or the single simulator thread).
+type PEHost struct {
+	b     Backend
+	pe    int
+	elems map[ElemRef]Chare
+	meta  map[ElemRef]*elemMeta
+
+	// MeasureWall, when set (real-time runtime), adds the wall-clock
+	// duration of each handler to the element's measured load, in addition
+	// to any explicitly charged time.
+	MeasureWall bool
+}
+
+// NewPEHost builds an empty host for pe.
+func NewPEHost(b Backend, pe int) *PEHost {
+	return &PEHost{
+		b:     b,
+		pe:    pe,
+		elems: make(map[ElemRef]Chare),
+		meta:  make(map[ElemRef]*elemMeta),
+	}
+}
+
+// AddElement installs a chare as element ref.
+func (h *PEHost) AddElement(ref ElemRef, ch Chare) {
+	h.elems[ref] = ch
+	h.meta[ref] = &elemMeta{}
+}
+
+// addElementWithMeta reinstalls a migrated element, preserving metadata.
+func (h *PEHost) addElementWithMeta(ref ElemRef, ch Chare, m *elemMeta) {
+	h.elems[ref] = ch
+	h.meta[ref] = m
+}
+
+// removeElement evicts an element, returning its state and metadata.
+func (h *PEHost) removeElement(ref ElemRef) (Chare, *elemMeta, bool) {
+	ch, ok := h.elems[ref]
+	if !ok {
+		return nil, nil, false
+	}
+	m := h.meta[ref]
+	delete(h.elems, ref)
+	delete(h.meta, ref)
+	return ch, m, true
+}
+
+// NumElements reports how many elements live on this PE.
+func (h *PEHost) NumElements() int { return len(h.elems) }
+
+// Has reports whether element ref lives on this PE.
+func (h *PEHost) Has(ref ElemRef) bool {
+	_, ok := h.elems[ref]
+	return ok
+}
+
+// DeliverApp dispatches an application message to its target element.
+func (h *PEHost) DeliverApp(m *Message) error {
+	ch, ok := h.elems[m.To]
+	if !ok {
+		return fmt.Errorf("core: PE %d has no element %v (message %v)", h.pe, m.To, m)
+	}
+	meta := h.meta[m.To]
+	ctx := newCtx(h.b, h.pe, m.To, meta)
+	h.invoke(ctx, meta, func() { ch.Recv(ctx, m.Entry, m.Data) })
+	return nil
+}
+
+// RunStart executes the program's Start handler (PE 0).
+func (h *PEHost) RunStart(prog *Program) {
+	ctx := newCtx(h.b, h.pe, NoElem, nil)
+	prog.Start(ctx)
+}
+
+// RunReduction executes the program's reduction callback (PE 0).
+func (h *PEHost) RunReduction(prog *Program, a ArrayID, seq int64, v any) {
+	if prog.OnReduction == nil {
+		return
+	}
+	ctx := newCtx(h.b, h.pe, NoElem, nil)
+	prog.OnReduction(ctx, a, seq, v)
+}
+
+// ResumeFromSync clears an element's at-sync mark and delivers the
+// EntryResumeFromSync entry to it.
+func (h *PEHost) ResumeFromSync(ref ElemRef) error {
+	ch, ok := h.elems[ref]
+	if !ok {
+		return fmt.Errorf("core: PE %d cannot resume missing element %v", h.pe, ref)
+	}
+	meta := h.meta[ref]
+	meta.atSync = false
+	ctx := newCtx(h.b, h.pe, ref, meta)
+	h.invoke(ctx, meta, func() { ch.Recv(ctx, EntryResumeFromSync, nil) })
+	return nil
+}
+
+func (h *PEHost) invoke(ctx *Ctx, meta *elemMeta, fn func()) {
+	if !h.MeasureWall {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	meta.load += time.Since(start)
+}
+
+// AddLoad accounts measured or modeled execution time to an element. The
+// virtual-time executor uses it to credit charged time after a handler.
+func (h *PEHost) AddLoad(ref ElemRef, d time.Duration) {
+	if m, ok := h.meta[ref]; ok {
+		m.load += d
+	}
+}
+
+// StatsAndReset snapshots per-element load statistics for a load-balancing
+// round and resets the accumulators.
+func (h *PEHost) StatsAndReset(arrays []ArrayID) []ElemLoad {
+	want := make(map[ArrayID]bool, len(arrays))
+	for _, a := range arrays {
+		want[a] = true
+	}
+	var out []ElemLoad
+	for ref, meta := range h.meta {
+		if !want[ref.Array] {
+			continue
+		}
+		out = append(out, ElemLoad{
+			Ref:     ref,
+			PE:      h.pe,
+			Load:    meta.load,
+			Msgs:    meta.msgs,
+			WanMsgs: meta.wanMsg,
+		})
+		meta.load, meta.msgs, meta.wanMsg = 0, 0, 0
+	}
+	return out
+}
+
+// AllAtSync reports whether every element of the given arrays on this PE
+// has called AtSync.
+func (h *PEHost) AllAtSync(arrays []ArrayID) bool {
+	want := make(map[ArrayID]bool, len(arrays))
+	for _, a := range arrays {
+		want[a] = true
+	}
+	for ref, meta := range h.meta {
+		if want[ref.Array] && !meta.atSync {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gridmdo/internal/topology"
+)
+
+// This file implements the AtSync load-balancing protocol from the
+// Charm++ model the paper relies on ("a suite of measurement-based load
+// balancers ... the migration capability"). Elements opt in by calling
+// Ctx.AtSync; when every participating element on a PE has synced, the PE
+// reports measured per-element loads to PE 0; PE 0 runs a pluggable
+// Strategy over the gathered statistics, orchestrates the migrations, and
+// resumes every element via EntryResumeFromSync.
+//
+// Strategies themselves (greedy, refine, and the paper's grid-aware
+// balancer) live in internal/balance.
+
+// LBConfig enables load balancing for a program.
+type LBConfig struct {
+	// Arrays lists the chare arrays that participate in AtSync.
+	Arrays []ArrayID
+	// Strategy plans migrations from gathered statistics.
+	Strategy Strategy
+}
+
+// ElemLoad is one element's measured statistics for a balancing round.
+type ElemLoad struct {
+	Ref     ElemRef
+	PE      int
+	Load    time.Duration // busy time since the previous round
+	Msgs    int           // messages sent
+	WanMsgs int           // messages sent across the WAN
+}
+
+// LBStats is the global view handed to a Strategy.
+type LBStats struct {
+	NumPE int
+	Topo  *topology.Topology
+	Elems []ElemLoad // sorted by (Array, Index) for determinism
+}
+
+// Move is one planned migration.
+type Move struct {
+	Ref  ElemRef
+	ToPE int
+}
+
+// Strategy plans migrations. Implementations must be deterministic
+// functions of their input.
+type Strategy interface {
+	Name() string
+	Plan(stats *LBStats) []Move
+}
+
+// lbPhase tags KindLB protocol messages.
+type lbPhase uint8
+
+const (
+	lbStats  lbPhase = iota // PE -> root: local element statistics
+	lbEvict                 // root -> source PE: migrate listed elements
+	lbArrive                // source PE -> dest PE: element in flight
+	lbAck                   // dest PE -> root: element installed
+	lbResume                // root -> all PEs: deliver ResumeFromSync
+)
+
+// lbMsg is the KindLB payload.
+type lbMsg struct {
+	Phase lbPhase
+	Stats []ElemLoad // lbStats
+	Moves []Move     // lbEvict
+	Elem  ElemRef    // lbArrive
+	State Chare      // lbArrive (in-process transfer)
+	Meta  *elemMeta  // lbArrive
+}
+
+// PayloadBytes implements Sizer.
+func (m lbMsg) PayloadBytes() int { return 32 + 48*len(m.Stats) + 16*len(m.Moves) }
+
+// LBMgr drives the protocol on one PE. All methods run on the PE's
+// scheduler. The root-side state lives only on PE 0.
+type LBMgr struct {
+	pe   int
+	cfg  *LBConfig
+	topo *topology.Topology
+	loc  *Locations
+	host *PEHost
+	emit func(m *Message)
+
+	// root state
+	reports   []ElemLoad
+	reported  map[int]bool
+	expected  int
+	pendAcks  int
+	rounds    int
+	lastMoves int
+}
+
+// NewLBMgr builds a load-balancing manager for pe.
+func NewLBMgr(pe int, cfg *LBConfig, topo *topology.Topology, loc *Locations, host *PEHost, emit func(*Message)) *LBMgr {
+	return &LBMgr{pe: pe, cfg: cfg, topo: topo, loc: loc, host: host, emit: emit, reported: make(map[int]bool)}
+}
+
+// Rounds reports how many balancing rounds have completed (root only).
+func (l *LBMgr) Rounds() int { return l.rounds }
+
+// LastMoves reports how many migrations the most recent round performed
+// (root only).
+func (l *LBMgr) LastMoves() int { return l.lastMoves }
+
+// ElementAtSync is called by the backend each time a local element enters
+// the barrier. When the whole PE is at sync, it reports statistics.
+func (l *LBMgr) ElementAtSync() {
+	if l.cfg == nil {
+		return
+	}
+	if !l.host.AllAtSync(l.cfg.Arrays) {
+		return
+	}
+	stats := l.host.StatsAndReset(l.cfg.Arrays)
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Ref.Array != stats[j].Ref.Array {
+			return stats[i].Ref.Array < stats[j].Ref.Array
+		}
+		return stats[i].Ref.Index < stats[j].Ref.Index
+	})
+	l.emit(&Message{
+		Kind: KindLB, SrcPE: int32(l.pe), DstPE: 0,
+		Data:  lbMsg{Phase: lbStats, Stats: stats},
+		Bytes: lbMsg{Stats: stats}.PayloadBytes(),
+	})
+}
+
+// Handle processes a KindLB protocol message.
+func (l *LBMgr) Handle(m *Message) error {
+	p, ok := m.Data.(lbMsg)
+	if !ok {
+		return fmt.Errorf("core: KindLB message with payload %T", m.Data)
+	}
+	switch p.Phase {
+	case lbStats:
+		return l.rootCollect(int(m.SrcPE), p.Stats)
+	case lbEvict:
+		return l.evict(p.Moves)
+	case lbArrive:
+		return l.arrive(p)
+	case lbAck:
+		return l.rootAck()
+	case lbResume:
+		return l.resumeAll()
+	}
+	return fmt.Errorf("core: unknown LB phase %d", p.Phase)
+}
+
+func (l *LBMgr) participatingPEs() int {
+	n := 0
+	for pe := 0; pe < l.topo.NumPE(); pe++ {
+		for _, a := range l.cfg.Arrays {
+			if l.loc.LocalCount(a, pe) > 0 {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+func (l *LBMgr) rootCollect(fromPE int, stats []ElemLoad) error {
+	if l.pe != 0 {
+		return fmt.Errorf("core: LB stats arrived at PE %d", l.pe)
+	}
+	if l.reported[fromPE] {
+		return fmt.Errorf("core: duplicate LB report from PE %d", fromPE)
+	}
+	if len(l.reported) == 0 {
+		l.expected = l.participatingPEs()
+	}
+	l.reported[fromPE] = true
+	l.reports = append(l.reports, stats...)
+	if len(l.reported) < l.expected {
+		return nil
+	}
+
+	// Everyone is at sync: plan.
+	sort.Slice(l.reports, func(i, j int) bool {
+		if l.reports[i].Ref.Array != l.reports[j].Ref.Array {
+			return l.reports[i].Ref.Array < l.reports[j].Ref.Array
+		}
+		return l.reports[i].Ref.Index < l.reports[j].Ref.Index
+	})
+	moves := l.cfg.Strategy.Plan(&LBStats{NumPE: l.topo.NumPE(), Topo: l.topo, Elems: l.reports})
+	l.reports, l.reported = nil, make(map[int]bool)
+	l.rounds++
+
+	// Drop no-op and invalid moves.
+	valid := moves[:0]
+	for _, mv := range moves {
+		if mv.ToPE < 0 || mv.ToPE >= l.topo.NumPE() {
+			continue
+		}
+		if int(l.loc.PEOf(mv.Ref)) == mv.ToPE {
+			continue
+		}
+		valid = append(valid, mv)
+	}
+	moves = valid
+	l.lastMoves = len(moves)
+
+	if len(moves) == 0 {
+		return l.broadcastResume()
+	}
+	l.pendAcks = len(moves)
+	// Group by source PE and dispatch evictions.
+	bySrc := make(map[int32][]Move)
+	var srcs []int32
+	for _, mv := range moves {
+		src := l.loc.PEOf(mv.Ref)
+		if _, ok := bySrc[src]; !ok {
+			srcs = append(srcs, src)
+		}
+		bySrc[src] = append(bySrc[src], mv)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, src := range srcs {
+		l.emit(&Message{
+			Kind: KindLB, SrcPE: 0, DstPE: src,
+			Data:  lbMsg{Phase: lbEvict, Moves: bySrc[src]},
+			Bytes: lbMsg{Moves: bySrc[src]}.PayloadBytes(),
+		})
+	}
+	return nil
+}
+
+func (l *LBMgr) evict(moves []Move) error {
+	for _, mv := range moves {
+		ch, meta, ok := l.host.removeElement(mv.Ref)
+		if !ok {
+			return fmt.Errorf("core: PE %d told to evict missing element %v", l.pe, mv.Ref)
+		}
+		if _, err := l.loc.Move(mv.Ref, mv.ToPE); err != nil {
+			return err
+		}
+		l.emit(&Message{
+			Kind: KindLB, SrcPE: int32(l.pe), DstPE: int32(mv.ToPE),
+			Data:  lbMsg{Phase: lbArrive, Elem: mv.Ref, State: ch, Meta: meta},
+			Bytes: 256,
+		})
+	}
+	return nil
+}
+
+func (l *LBMgr) arrive(p lbMsg) error {
+	l.host.addElementWithMeta(p.Elem, p.State, p.Meta)
+	l.emit(&Message{
+		Kind: KindLB, SrcPE: int32(l.pe), DstPE: 0,
+		Data:  lbMsg{Phase: lbAck},
+		Bytes: 32,
+	})
+	return nil
+}
+
+func (l *LBMgr) rootAck() error {
+	l.pendAcks--
+	if l.pendAcks > 0 {
+		return nil
+	}
+	return l.broadcastResume()
+}
+
+func (l *LBMgr) broadcastResume() error {
+	for pe := 0; pe < l.topo.NumPE(); pe++ {
+		l.emit(&Message{
+			Kind: KindLB, SrcPE: 0, DstPE: int32(pe),
+			Data:  lbMsg{Phase: lbResume},
+			Bytes: 16,
+		})
+	}
+	return nil
+}
+
+func (l *LBMgr) resumeAll() error {
+	for _, a := range l.cfg.Arrays {
+		for _, ref := range l.loc.ElementsOn(a, l.pe) {
+			if err := l.host.ResumeFromSync(ref); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gridmdo/internal/topology"
+)
+
+// mkLBMgr assembles an LBMgr over a stub host for protocol error tests.
+func mkLBMgr(t *testing.T, pe int) (*LBMgr, *PEHost, *[]*Message) {
+	t.Helper()
+	topo, err := topology.TwoClusters(2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &stubBackend{topo: topo}
+	h := NewPEHost(b, pe)
+	prog := &Program{
+		Arrays: []ArraySpec{{ID: 0, N: 2, New: func(int) Chare { return funcChare(func(*Ctx, EntryID, any) {}) }}},
+		Start:  func(*Ctx) {},
+	}
+	loc := NewLocations(prog, 2)
+	var sent []*Message
+	cfg := &LBConfig{Arrays: []ArrayID{0}, Strategy: moveAllTo(0)}
+	mgr := NewLBMgr(pe, cfg, topo, loc, h, func(m *Message) { sent = append(sent, m) })
+	return mgr, h, &sent
+}
+
+func TestLBMgrBadPayload(t *testing.T) {
+	mgr, _, _ := mkLBMgr(t, 0)
+	if err := mgr.Handle(&Message{Kind: KindLB, Data: "junk"}); err == nil {
+		t.Error("junk payload accepted")
+	}
+	if err := mgr.Handle(&Message{Kind: KindLB, Data: lbMsg{Phase: lbPhase(99)}}); err == nil {
+		t.Error("unknown phase accepted")
+	}
+}
+
+func TestLBMgrStatsAtNonRoot(t *testing.T) {
+	mgr, _, _ := mkLBMgr(t, 1)
+	err := mgr.Handle(&Message{Kind: KindLB, SrcPE: 0, Data: lbMsg{Phase: lbStats}})
+	if err == nil {
+		t.Error("stats accepted at non-root PE")
+	}
+}
+
+func TestLBMgrDuplicateReport(t *testing.T) {
+	mgr, _, _ := mkLBMgr(t, 0)
+	m := &Message{Kind: KindLB, SrcPE: 1, Data: lbMsg{Phase: lbStats, Stats: []ElemLoad{{Ref: ElemRef{0, 1}, PE: 1}}}}
+	if err := mgr.Handle(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Handle(m); err == nil {
+		t.Error("duplicate report accepted")
+	}
+}
+
+func TestLBMgrEvictMissingElement(t *testing.T) {
+	mgr, _, _ := mkLBMgr(t, 0)
+	err := mgr.Handle(&Message{Kind: KindLB, SrcPE: 0, Data: lbMsg{
+		Phase: lbEvict, Moves: []Move{{Ref: ElemRef{0, 1}, ToPE: 1}},
+	}})
+	if err == nil {
+		t.Error("eviction of missing element accepted")
+	}
+}
+
+func TestLBMgrElementAtSyncWithoutConfigIsNoop(t *testing.T) {
+	topo, err := topology.TwoClusters(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &stubBackend{topo: topo}
+	h := NewPEHost(b, 0)
+	mgr := NewLBMgr(0, nil, topo, nil, h, func(*Message) { t.Error("emitted without config") })
+	mgr.ElementAtSync() // must not panic or emit
+}
+
+func TestLBMgrInvalidMovesDropped(t *testing.T) {
+	// Strategy returning out-of-range and no-op moves: the round must
+	// complete with zero migrations (resume broadcast only).
+	topo, err := topology.TwoClusters(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &Program{
+		Arrays: []ArraySpec{{
+			ID: 0, N: 2,
+			New: func(i int) Chare {
+				return funcChare(func(ctx *Ctx, entry EntryID, data any) {
+					switch entry {
+					case 0:
+						ctx.AtSync()
+					case EntryResumeFromSync:
+						ctx.Contribute(1.0, OpSum)
+					}
+				})
+			},
+		}},
+		Start: func(ctx *Ctx) {
+			ctx.Send(ElemRef{0, 0}, 0, nil)
+			ctx.Send(ElemRef{0, 1}, 0, nil)
+		},
+		OnReduction: func(ctx *Ctx, a ArrayID, seq int64, v any) { ctx.ExitWith(v) },
+		LB:          &LBConfig{Arrays: []ArrayID{0}, Strategy: bogusStrategy{}},
+	}
+	rt, err := NewRuntime(topo, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(float64) != 2 {
+		t.Errorf("round did not complete: %v", v)
+	}
+	lb := rt.pes[0].lb
+	if lb.Rounds() != 1 || lb.LastMoves() != 0 {
+		t.Errorf("rounds=%d moves=%d, want 1 round, 0 moves", lb.Rounds(), lb.LastMoves())
+	}
+}
+
+// bogusStrategy plans only invalid or no-op moves.
+type bogusStrategy struct{}
+
+func (bogusStrategy) Name() string { return "bogus" }
+func (bogusStrategy) Plan(s *LBStats) []Move {
+	var out []Move
+	for _, e := range s.Elems {
+		out = append(out, Move{Ref: e.Ref, ToPE: -5})     // out of range
+		out = append(out, Move{Ref: e.Ref, ToPE: e.PE})   // no-op
+		out = append(out, Move{Ref: e.Ref, ToPE: 10_000}) // out of range
+	}
+	return out
+}
+
+func TestLBMsgPayloadBytes(t *testing.T) {
+	m := lbMsg{Stats: make([]ElemLoad, 3), Moves: make([]Move, 2)}
+	if m.PayloadBytes() <= 32 {
+		t.Errorf("payload bytes = %d", m.PayloadBytes())
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Locations is the runtime's location manager: it tracks which PE owns
+// each array element and derived counts needed by the reduction and
+// load-balancing protocols. Reads are frequent (every send); writes happen
+// only during element creation and load-balancing migrations.
+type Locations struct {
+	mu     sync.RWMutex
+	pe     [][]int32 // per array, per element: owning PE
+	counts [][]int   // per array, per PE: elements owned
+	owners []int     // per array: number of PEs owning >= 1 element
+}
+
+// NewLocations builds the location table for a program on numPE PEs using
+// each array's initial placement.
+func NewLocations(p *Program, numPE int) *Locations {
+	l := &Locations{
+		pe:     make([][]int32, len(p.Arrays)),
+		counts: make([][]int, len(p.Arrays)),
+		owners: make([]int, len(p.Arrays)),
+	}
+	for ai := range p.Arrays {
+		spec := &p.Arrays[ai]
+		l.pe[ai] = make([]int32, spec.N)
+		l.counts[ai] = make([]int, numPE)
+		for i := 0; i < spec.N; i++ {
+			pe := spec.placement(i, numPE)
+			l.pe[ai][i] = int32(pe)
+			l.counts[ai][pe]++
+		}
+		for _, c := range l.counts[ai] {
+			if c > 0 {
+				l.owners[ai]++
+			}
+		}
+	}
+	return l
+}
+
+// PEOf reports the PE currently owning an element.
+func (l *Locations) PEOf(ref ElemRef) int32 {
+	l.mu.RLock()
+	pe := l.pe[ref.Array][ref.Index]
+	l.mu.RUnlock()
+	return pe
+}
+
+// LocalCount reports how many elements of array a live on PE pe.
+func (l *Locations) LocalCount(a ArrayID, pe int) int {
+	l.mu.RLock()
+	n := l.counts[a][pe]
+	l.mu.RUnlock()
+	return n
+}
+
+// Owners reports how many PEs own at least one element of array a.
+func (l *Locations) Owners(a ArrayID) int {
+	l.mu.RLock()
+	n := l.owners[a]
+	l.mu.RUnlock()
+	return n
+}
+
+// Move records an element's migration to a new PE and returns its previous
+// PE. It must only be called while the application is at a load-balancing
+// sync point (no application messages in flight to the element).
+func (l *Locations) Move(ref ElemRef, toPE int) (fromPE int32, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if int(ref.Array) >= len(l.pe) || ref.Index < 0 || ref.Index >= len(l.pe[ref.Array]) {
+		return 0, fmt.Errorf("core: move of unknown element %v", ref)
+	}
+	from := l.pe[ref.Array][ref.Index]
+	if int(from) == toPE {
+		return from, nil
+	}
+	counts := l.counts[ref.Array]
+	counts[from]--
+	if counts[from] == 0 {
+		l.owners[ref.Array]--
+	}
+	if counts[toPE] == 0 {
+		l.owners[ref.Array]++
+	}
+	counts[toPE]++
+	l.pe[ref.Array][ref.Index] = int32(toPE)
+	return from, nil
+}
+
+// ElementsOn returns the elements of array a currently on PE pe, in index
+// order.
+func (l *Locations) ElementsOn(a ArrayID, pe int) []ElemRef {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []ElemRef
+	for i, p := range l.pe[a] {
+		if int(p) == pe {
+			out = append(out, ElemRef{Array: a, Index: i})
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind classifies messages flowing through an executor.
+type Kind uint8
+
+// Message kinds. Application messages target array elements; the others
+// target PEs and carry runtime protocol payloads.
+const (
+	KindApp    Kind = iota // entry-method invocation on an array element
+	KindStart              // run Program.Start on PE 0
+	KindReduce             // reduction partial bound for the root PE
+	KindLB                 // load-balancing protocol (stats, apply, resume)
+	KindQD                 // quiescence-detection probe/reply
+	KindBundle             // several same-destination app messages in one frame
+	KindStop               // scheduler shutdown (real-time runtime only)
+)
+
+// Message is the unit of work executors schedule. Exactly one of (To,
+// Entry) — for KindApp — or DstPE is meaningful for routing; the router
+// fills DstPE for app messages from the location table.
+type Message struct {
+	Kind  Kind
+	To    ElemRef
+	Entry EntryID
+	Data  any
+
+	// Prio orders delivery: smaller values are delivered first; equal
+	// values are FIFO. Application default is 0.
+	Prio int32
+
+	// Bytes is the modeled payload size used by the link model.
+	Bytes int
+
+	SrcPE int32
+	DstPE int32
+
+	// EnqueuedAt is the executor time at which the message became
+	// deliverable at the destination (set by executors; used for tracing).
+	EnqueuedAt time.Duration
+
+	seq uint64 // assigned by the executor for FIFO tie-breaking
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("msg{kind=%d %v e%d prio=%d %d->%d}", m.Kind, m.To, m.Entry, m.Prio, m.SrcPE, m.DstPE)
+}
+
+// SendOpt customizes a single send.
+type SendOpt func(*Message)
+
+// WithPrio sets the delivery priority (smaller = sooner).
+func WithPrio(p int32) SendOpt { return func(m *Message) { m.Prio = p } }
+
+// WithBytes overrides the modeled payload size.
+func WithBytes(n int) SendOpt { return func(m *Message) { m.Bytes = n } }
+
+// payloadBytes models the wire size of a payload.
+func payloadBytes(data any) int {
+	if s, ok := data.(Sizer); ok {
+		return s.PayloadBytes()
+	}
+	return DefaultPayloadBytes
+}

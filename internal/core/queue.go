@@ -1,0 +1,109 @@
+package core
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// Queue is a PE's message queue: messages come out in priority order
+// (smaller Prio first) with FIFO order among equal priorities — the
+// "message queue in either FIFO or priority order" of the paper's §4.
+//
+// The implementation is a single binary heap ordered by (Prio, seq). The
+// executor assigns monotonically increasing sequence numbers at enqueue
+// time, which both provides the FIFO tie-break and makes ordering
+// deterministic for the virtual-time executor.
+//
+// Queue is safe for concurrent use; Pop blocks until a message is
+// available or the queue is closed. The virtual-time executor uses the
+// non-blocking TryPop.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	h      msgHeap
+	seq    uint64
+	closed bool
+}
+
+// NewQueue builds an empty open queue.
+func NewQueue() *Queue {
+	q := &Queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+type msgHeap []*Message
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].Prio != h[j].Prio {
+		return h[i].Prio < h[j].Prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)   { *h = append(*h, x.(*Message)) }
+func (h *msgHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// Push enqueues a message, assigning its FIFO sequence number. Pushing to
+// a closed queue is a no-op (shutdown races drop cleanly).
+func (q *Queue) Push(m *Message) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.seq++
+	m.seq = q.seq
+	heap.Push(&q.h, m)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// Pop removes the highest-priority message, blocking while the queue is
+// empty. It returns nil once the queue is closed and drained.
+func (q *Queue) Pop() *Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.h) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Message)
+}
+
+// TryPop removes the highest-priority message without blocking, returning
+// nil when the queue is empty.
+func (q *Queue) TryPop() *Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Message)
+}
+
+// Len reports the number of queued messages.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.h)
+}
+
+// Close marks the queue closed and wakes all blocked poppers. Messages
+// already queued remain poppable via Pop/TryPop.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQueueFIFOWithinPriority(t *testing.T) {
+	q := NewQueue()
+	for i := 0; i < 10; i++ {
+		q.Push(&Message{Entry: EntryID(i)})
+	}
+	for i := 0; i < 10; i++ {
+		m := q.TryPop()
+		if m == nil || m.Entry != EntryID(i) {
+			t.Fatalf("pop %d: got %v", i, m)
+		}
+	}
+	if q.TryPop() != nil {
+		t.Fatal("pop from empty queue returned a message")
+	}
+}
+
+func TestQueuePriorityOrder(t *testing.T) {
+	q := NewQueue()
+	q.Push(&Message{Prio: 0, Entry: 1})
+	q.Push(&Message{Prio: -5, Entry: 2})
+	q.Push(&Message{Prio: 3, Entry: 3})
+	q.Push(&Message{Prio: -5, Entry: 4})
+	want := []EntryID{2, 4, 1, 3}
+	for i, w := range want {
+		m := q.TryPop()
+		if m.Entry != w {
+			t.Fatalf("pop %d: entry %d, want %d", i, m.Entry, w)
+		}
+	}
+}
+
+// Property: for any sequence of priorities, popping yields priorities in
+// non-decreasing order, and equal priorities preserve push order.
+func TestQueueOrderProperty(t *testing.T) {
+	prop := func(prios []int8) bool {
+		q := NewQueue()
+		for i, p := range prios {
+			q.Push(&Message{Prio: int32(p), Entry: EntryID(i)})
+		}
+		var got []*Message
+		for m := q.TryPop(); m != nil; m = q.TryPop() {
+			got = append(got, m)
+		}
+		if len(got) != len(prios) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Prio < got[i-1].Prio {
+				return false
+			}
+			if got[i].Prio == got[i-1].Prio && got[i].Entry < got[i-1].Entry {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueBlockingPop(t *testing.T) {
+	q := NewQueue()
+	done := make(chan *Message, 1)
+	go func() { done <- q.Pop() }()
+	select {
+	case <-done:
+		t.Fatal("Pop returned without a message")
+	case <-time.After(10 * time.Millisecond):
+	}
+	q.Push(&Message{Entry: 7})
+	select {
+	case m := <-done:
+		if m.Entry != 7 {
+			t.Fatalf("got entry %d", m.Entry)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Pop never unblocked")
+	}
+}
+
+func TestQueueCloseUnblocksAndDrains(t *testing.T) {
+	q := NewQueue()
+	q.Push(&Message{Entry: 1})
+	q.Close()
+	if m := q.Pop(); m == nil || m.Entry != 1 {
+		t.Fatalf("closed queue did not drain: %v", m)
+	}
+	if m := q.Pop(); m != nil {
+		t.Fatalf("pop after drain returned %v", m)
+	}
+	// Pushing to a closed queue is a silent no-op.
+	q.Push(&Message{Entry: 2})
+	if q.Len() != 0 {
+		t.Error("push after close enqueued")
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueue()
+	const producers, perProducer = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(p)))
+			for i := 0; i < perProducer; i++ {
+				q.Push(&Message{Prio: int32(rng.Intn(5)), Entry: EntryID(p*perProducer + i)})
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	seen := make(map[EntryID]bool)
+	var cwg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				m := q.Pop()
+				if m == nil {
+					return
+				}
+				mu.Lock()
+				if seen[m.Entry] {
+					t.Errorf("duplicate delivery of %d", m.Entry)
+				}
+				seen[m.Entry] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for q.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	q.Close()
+	cwg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Errorf("delivered %d messages, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestBlockMapCoversAllPEs(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{16, 4}, {7, 3}, {64, 64}, {3, 8}} {
+		counts := make([]int, tc.p)
+		for i := 0; i < tc.n; i++ {
+			pe := BlockMap(i, tc.n, tc.p)
+			if pe < 0 || pe >= tc.p {
+				t.Fatalf("BlockMap(%d,%d,%d) = %d out of range", i, tc.n, tc.p, pe)
+			}
+			counts[pe]++
+		}
+		// Block mapping is contiguous and monotone.
+		last := 0
+		for i := 0; i < tc.n; i++ {
+			pe := BlockMap(i, tc.n, tc.p)
+			if pe < last {
+				t.Fatalf("BlockMap not monotone at %d", i)
+			}
+			last = pe
+		}
+		sort.Ints(counts)
+		if tc.n >= tc.p && counts[0] == 0 {
+			t.Errorf("n=%d p=%d: some PE got no elements", tc.n, tc.p)
+		}
+	}
+}

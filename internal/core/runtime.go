@@ -1,0 +1,471 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridmdo/internal/topology"
+	"gridmdo/internal/trace"
+	"gridmdo/internal/vmi"
+)
+
+// Transport carries frames to PEs hosted by other OS processes. The VMI
+// TCP device satisfies it.
+type Transport interface {
+	Send(f *vmi.Frame) error
+}
+
+// Options configures a real-time Runtime.
+type Options struct {
+	// Trace, if non-nil, receives scheduler events.
+	Trace *trace.Tracer
+
+	// PrioritizeWAN implements the paper's §6 proposal: messages that
+	// cross cluster boundaries are tagged with a higher delivery priority
+	// than local messages (unless the application already set one).
+	PrioritizeWAN bool
+
+	// Bundle combines the default-priority application messages each
+	// handler sends to one destination PE into a single transport frame
+	// (the Charm++ communication-optimization analog; see bundle.go).
+	Bundle bool
+
+	// RunToQuiescence ends the run when no messages remain anywhere in
+	// the system (queues, handlers, delay devices, transport links),
+	// detected by a wave-based counting protocol driven from PE 0 — see
+	// quiesce.go. It works across processes; worker nodes still need the
+	// coordinator's shutdown announcement to return from Run. Without
+	// this option, the program must call Ctx.ExitWith.
+	RunToQuiescence bool
+
+	// Multi-process configuration. A nil Transport means all PEs live in
+	// this process. Otherwise this process hosts PEs [PELo, PEHi) and
+	// NodeOf maps every PE to its owning process.
+	Transport Transport
+	NodeOf    func(pe int) int
+	Node      int
+	PELo      int
+	PEHi      int
+
+	// LatencyFor, if non-nil, overrides the topology's one-way latency
+	// for the delay device — e.g. vmi.JitteredLatency for runs with
+	// realistic wide-area variance.
+	LatencyFor func(src, dst int32) time.Duration
+
+	// WireSend and WireRecv are VMI device chains applied to serialized
+	// frames on their way to / from the Transport — e.g. compression and
+	// checksumming of wide-area traffic ("capabilities such as encrypting
+	// or compressing the data"). Every process must configure matching
+	// chains. Ignored without a Transport.
+	WireSend []vmi.SendDevice
+	WireRecv []vmi.RecvDevice
+}
+
+// Runtime is the real-time executor: one scheduler goroutine per hosted
+// PE, VMI delay devices injecting the configured inter-cluster latencies,
+// and an optional TCP transport for PEs in other processes. It implements
+// Backend.
+type Runtime struct {
+	topo *topology.Topology
+	prog *Program
+	opts Options
+	loc  *Locations
+	pes  []*peState
+	dly  *vmi.DelayDevice
+
+	// Per-PE cumulative counters (QD traffic excluded), read by the
+	// quiescence protocol from each PE's own scheduler.
+	sentByPE      []atomic.Int64
+	processedByPE []atomic.Int64
+	qd            qdRoot
+
+	exitOnce sync.Once
+	exitCh   chan struct{}
+	exitVal  any
+
+	errMu  sync.Mutex
+	runErr error
+
+	wireSend vmi.SendFunc
+	wireRecv vmi.RecvFunc
+
+	start time.Time
+	wg    sync.WaitGroup
+}
+
+type peState struct {
+	id      int
+	q       *Queue
+	host    *PEHost
+	reduce  *ReduceMgr
+	lb      *LBMgr
+	idle    atomic.Bool
+	pending *PendingBundles // owned by this PE's execution context
+}
+
+// NewRuntime builds a real-time runtime for prog on topo.
+func NewRuntime(topo *topology.Topology, prog *Program, opts Options) (*Runtime, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Transport == nil {
+		opts.PELo, opts.PEHi, opts.Node = 0, topo.NumPE(), 0
+		opts.NodeOf = func(int) int { return 0 }
+	} else {
+		if opts.NodeOf == nil {
+			return nil, fmt.Errorf("core: multi-process runtime needs NodeOf")
+		}
+		if opts.PELo < 0 || opts.PEHi > topo.NumPE() || opts.PELo >= opts.PEHi {
+			return nil, fmt.Errorf("core: bad local PE range [%d,%d)", opts.PELo, opts.PEHi)
+		}
+		if prog.LB != nil {
+			// Migrations hand the live element across PEs by reference;
+			// that transfer is meaningful only within one address space.
+			return nil, fmt.Errorf("core: load balancing is not supported on multi-process runtimes")
+		}
+	}
+	rt := &Runtime{
+		topo:   topo,
+		prog:   prog,
+		opts:   opts,
+		loc:    NewLocations(prog, topo.NumPE()),
+		exitCh: make(chan struct{}),
+		// The clock starts at construction so that transport goroutines
+		// may observe it before Run is entered.
+		start:         time.Now(),
+		sentByPE:      make([]atomic.Int64, topo.NumPE()),
+		processedByPE: make([]atomic.Int64, topo.NumPE()),
+	}
+	latencyFor := opts.LatencyFor
+	if latencyFor == nil {
+		latencyFor = func(src, dst int32) time.Duration {
+			return topo.Latency(int(src), int(dst))
+		}
+	}
+	rt.dly = vmi.NewDelayDevice(latencyFor)
+	if opts.Transport != nil {
+		rt.wireSend = vmi.BuildSendChain(opts.Transport.Send, opts.WireSend...)
+		rt.wireRecv = vmi.BuildRecvChain(rt.injectDecoded, opts.WireRecv...)
+	}
+	rt.pes = make([]*peState, opts.PEHi-opts.PELo)
+	for i := range rt.pes {
+		pe := opts.PELo + i
+		ps := &peState{id: pe, q: NewQueue()}
+		if opts.Bundle {
+			ps.pending = NewPendingBundles()
+		}
+		ps.host = NewPEHost(rt, pe)
+		ps.host.MeasureWall = true
+		ps.reduce = NewReduceMgr(pe,
+			func(a ArrayID) int { return rt.loc.LocalCount(a, pe) },
+			func(a ArrayID) int { return rt.prog.Arrays[a].N },
+			rt.Route,
+			func(a ArrayID, seq int64, v any) { ps.host.RunReduction(rt.prog, a, seq, v) },
+		)
+		if prog.LB != nil {
+			ps.lb = NewLBMgr(pe, prog.LB, topo, rt.loc, ps.host, rt.Route)
+		}
+		rt.pes[i] = ps
+	}
+	// Element construction, deterministic order.
+	if err := ConstructElements(prog, rt.loc, opts.PELo, opts.PEHi, func(pe int) *PEHost {
+		return rt.pes[pe-opts.PELo].host
+	}); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// ConstructElements builds every element placed in [peLo, peHi) on its
+// host, converting constructor panics (e.g. checkpoint-restore failures)
+// into errors. It is exported for executor implementations.
+func ConstructElements(prog *Program, loc *Locations, peLo, peHi int, hostOf func(pe int) *PEHost) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: element construction panicked: %v", r)
+		}
+	}()
+	for ai := range prog.Arrays {
+		spec := &prog.Arrays[ai]
+		for idx := 0; idx < spec.N; idx++ {
+			ref := ElemRef{Array: spec.ID, Index: idx}
+			pe := int(loc.PEOf(ref))
+			if pe >= peLo && pe < peHi {
+				hostOf(pe).AddElement(ref, spec.New(idx))
+			}
+		}
+	}
+	return nil
+}
+
+// Backend implementation ---------------------------------------------------
+
+// Route implements Backend: resolve the destination, apply WAN priority
+// policy, and hand the message to the delay device (and, past it, either a
+// local queue or the transport).
+func (rt *Runtime) Route(m *Message) {
+	if m.Kind == KindApp {
+		m.DstPE = rt.loc.PEOf(m.To)
+	}
+	if rt.opts.PrioritizeWAN && m.Prio == 0 && rt.topo.CrossesWAN(int(m.SrcPE), int(m.DstPE)) {
+		m.Prio = -1
+	}
+	if m.Kind != KindQD {
+		rt.sentByPE[m.SrcPE].Add(1)
+	}
+	rt.opts.Trace.Record(trace.Event{PE: int(m.SrcPE), Kind: trace.EvSend, At: rt.Now(), Arg1: int64(m.DstPE), Arg2: int64(m.Bytes)})
+
+	if rt.opts.Bundle && BundleEligible(m) {
+		if src := int(m.SrcPE); src >= rt.opts.PELo && src < rt.opts.PEHi {
+			// Held until the current handler completes; the scheduler
+			// flushes after each dispatch.
+			rt.pes[src-rt.opts.PELo].pending.Add(m)
+			return
+		}
+	}
+	rt.transmit(m)
+}
+
+// transmit hands a resolved message to the delay device.
+func (rt *Runtime) transmit(m *Message) {
+	f := &vmi.Frame{
+		Src:  m.SrcPE,
+		Dst:  m.DstPE,
+		Prio: m.Prio,
+		Obj:  m,
+	}
+	if m.Kind != KindApp {
+		f.Class = vmi.ClassSystem
+	}
+	if err := rt.dly.Send(f, rt.pastDelay); err != nil {
+		rt.fail(err)
+	}
+}
+
+// flushBundles ships the messages the just-completed handler produced,
+// one (possibly bundled) frame per destination PE.
+func (rt *Runtime) flushBundles(ps *peState) {
+	if ps.pending == nil || ps.pending.Empty() {
+		return
+	}
+	for _, group := range ps.pending.Drain() {
+		rt.transmit(MakeBundle(group))
+	}
+}
+
+// pastDelay is the delivery stage after the delay device: local enqueue or
+// wire transport.
+func (rt *Runtime) pastDelay(f *vmi.Frame) error {
+	dst := int(f.Dst)
+	if dst >= rt.opts.PELo && dst < rt.opts.PEHi {
+		rt.enqueueLocal(f.Obj.(*Message))
+		return nil
+	}
+	m := f.Obj.(*Message)
+	body, err := EncodeMessage(m)
+	if err != nil {
+		rt.fail(err)
+		return err
+	}
+	f.Body = body
+	f.Obj = nil
+	if err := rt.wireSend(f); err != nil {
+		rt.fail(err)
+		return err
+	}
+	return nil
+}
+
+func (rt *Runtime) enqueueLocal(m *Message) {
+	if m.Kind == KindBundle {
+		// A bundle's messages share an arrival; enqueue them in order.
+		for _, sub := range BundleMessages(m) {
+			rt.enqueueLocal(sub)
+		}
+		return
+	}
+	m.EnqueuedAt = rt.Now()
+	rt.opts.Trace.Record(trace.Event{PE: int(m.DstPE), Kind: trace.EvEnqueue, At: m.EnqueuedAt, Arg1: int64(m.SrcPE)})
+	rt.pes[int(m.DstPE)-rt.opts.PELo].q.Push(m)
+}
+
+// InjectFrame delivers a frame received from the transport into the local
+// runtime, passing it through the configured wire receive chain first.
+func (rt *Runtime) InjectFrame(f *vmi.Frame) error {
+	if rt.wireRecv == nil {
+		return rt.injectDecoded(f)
+	}
+	return rt.wireRecv(f)
+}
+
+// injectDecoded is the terminal of the wire receive chain.
+func (rt *Runtime) injectDecoded(f *vmi.Frame) error {
+	m, err := DecodeMessage(f.Body)
+	if err != nil {
+		rt.fail(err)
+		return err
+	}
+	if int(m.DstPE) < rt.opts.PELo || int(m.DstPE) >= rt.opts.PEHi {
+		err := fmt.Errorf("core: frame for PE %d arrived at node %d", m.DstPE, rt.opts.Node)
+		rt.fail(err)
+		return err
+	}
+	rt.enqueueLocal(m)
+	return nil
+}
+
+// Now implements Backend: wall time since Run began.
+func (rt *Runtime) Now() time.Duration { return time.Since(rt.start) }
+
+// Charge implements Backend. The real-time runtime measures handler wall
+// time directly, so modeled charges are a no-op here.
+func (rt *Runtime) Charge(time.Duration) {}
+
+// NumPE implements Backend.
+func (rt *Runtime) NumPE() int { return rt.topo.NumPE() }
+
+// Topo implements Backend.
+func (rt *Runtime) Topo() *topology.Topology { return rt.topo }
+
+// ArrayN implements Backend.
+func (rt *Runtime) ArrayN(a ArrayID) int { return rt.prog.Arrays[a].N }
+
+// ExitWith implements Backend.
+func (rt *Runtime) ExitWith(v any) {
+	rt.exitOnce.Do(func() {
+		rt.exitVal = v
+		close(rt.exitCh)
+	})
+}
+
+// Contribute implements Backend.
+func (rt *Runtime) Contribute(_ ElemRef, pe int, a ArrayID, seq int64, v any, op ReduceOp) {
+	rt.pes[pe-rt.opts.PELo].reduce.Contribute(a, seq, v, op)
+}
+
+// AtSync implements Backend.
+func (rt *Runtime) AtSync(_ ElemRef, pe int) {
+	ps := rt.pes[pe-rt.opts.PELo]
+	if ps.lb == nil {
+		panic("core: AtSync without an LB configuration")
+	}
+	ps.lb.ElementAtSync()
+}
+
+// Run -----------------------------------------------------------------------
+
+func (rt *Runtime) fail(err error) {
+	if err == nil {
+		return
+	}
+	rt.errMu.Lock()
+	if rt.runErr == nil {
+		rt.runErr = err
+	}
+	rt.errMu.Unlock()
+	rt.ExitWith(nil)
+}
+
+// Stop ends the run from outside (used by multi-process workers when the
+// coordinator announces shutdown).
+func (rt *Runtime) Stop() { rt.ExitWith(nil) }
+
+// Err returns the first runtime error, if any.
+func (rt *Runtime) Err() error {
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	return rt.runErr
+}
+
+// Counters reports (sent, processed) message counts summed over this
+// process's PEs, excluding quiescence-detection traffic.
+func (rt *Runtime) Counters() (sent, processed int64) {
+	for pe := range rt.sentByPE {
+		sent += rt.sentByPE[pe].Load()
+		processed += rt.processedByPE[pe].Load()
+	}
+	return sent, processed
+}
+
+// Run executes the program and returns the value passed to ExitWith. With
+// RunToQuiescence it returns once no work remains. Run may only be called
+// once.
+func (rt *Runtime) Run() (any, error) {
+	for _, ps := range rt.pes {
+		rt.wg.Add(1)
+		go rt.schedule(ps)
+	}
+	if rt.opts.Node == 0 && rt.opts.PELo == 0 {
+		rt.sentByPE[0].Add(1)
+		rt.enqueueLocal(&Message{Kind: KindStart, SrcPE: 0, DstPE: 0})
+		if rt.opts.RunToQuiescence {
+			// Begin probing once the program has had a moment to start.
+			time.AfterFunc(qdWaveInterval, func() {
+				select {
+				case <-rt.exitCh:
+				default:
+					rt.startQDWave()
+				}
+			})
+		}
+	}
+	<-rt.exitCh
+
+	// Shutdown: release delayed frames, then stop the schedulers.
+	rt.dly.Close()
+	for _, ps := range rt.pes {
+		ps.q.Push(&Message{Kind: KindStop, Prio: math.MinInt32, DstPE: int32(ps.id)})
+		ps.q.Close()
+	}
+	rt.wg.Wait()
+	return rt.exitVal, rt.Err()
+}
+
+func (rt *Runtime) schedule(ps *peState) {
+	defer rt.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			rt.fail(fmt.Errorf("core: PE %d handler panicked: %v", ps.id, r))
+		}
+	}()
+	for {
+		ps.idle.Store(true)
+		m := ps.q.Pop()
+		ps.idle.Store(false)
+		if m == nil || m.Kind == KindStop {
+			return
+		}
+		rt.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvBegin, At: rt.Now(), Arg1: int64(m.To.Array), Arg2: int64(m.To.Index)})
+		var err error
+		switch m.Kind {
+		case KindApp:
+			err = ps.host.DeliverApp(m)
+		case KindStart:
+			ps.host.RunStart(rt.prog)
+		case KindReduce:
+			err = ps.reduce.HandlePartial(m)
+		case KindLB:
+			if ps.lb == nil {
+				err = fmt.Errorf("core: PE %d received LB message without LB config", ps.id)
+			} else {
+				err = ps.lb.Handle(m)
+			}
+		case KindQD:
+			err = rt.handleQD(ps, m)
+		default:
+			err = fmt.Errorf("core: PE %d received unknown message kind %d", ps.id, m.Kind)
+		}
+		rt.flushBundles(ps)
+		rt.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvEnd, At: rt.Now()})
+		if m.Kind != KindQD {
+			rt.processedByPE[ps.id].Add(1)
+		}
+		if err != nil {
+			rt.fail(err)
+			return
+		}
+	}
+}

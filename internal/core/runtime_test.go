@@ -1,0 +1,433 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridmdo/internal/topology"
+	"gridmdo/internal/trace"
+	"gridmdo/internal/vmi"
+)
+
+// funcChare adapts a function to the Chare interface for tests.
+type funcChare func(ctx *Ctx, entry EntryID, data any)
+
+func (f funcChare) Recv(ctx *Ctx, entry EntryID, data any) { f(ctx, entry, data) }
+
+func mustTopo(t *testing.T, p int, lat time.Duration) *topology.Topology {
+	t.Helper()
+	topo, err := topology.TwoClusters(p, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestPingPongAcrossClusters(t *testing.T) {
+	const rounds = 5
+	const lat = 10 * time.Millisecond
+	topo := mustTopo(t, 2, lat)
+
+	// Element 0 on PE 0 (cluster 0), element 1 on PE 1 (cluster 1).
+	prog := &Program{
+		Arrays: []ArraySpec{{
+			ID: 0, N: 2,
+			New: func(i int) Chare {
+				return funcChare(func(ctx *Ctx, entry EntryID, data any) {
+					n := data.(int)
+					if n >= 2*rounds {
+						ctx.ExitWith(n)
+						return
+					}
+					other := ElemRef{Array: 0, Index: 1 - ctx.Elem().Index}
+					ctx.Send(other, 0, n+1)
+				})
+			},
+		}},
+		Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, 0) },
+	}
+	rt, err := NewRuntime(topo, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	v, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 2*rounds {
+		t.Errorf("final count = %v", v)
+	}
+	// 2*rounds WAN crossings, each at least lat.
+	if el := time.Since(start); el < time.Duration(2*rounds)*lat {
+		t.Errorf("elapsed %v, want >= %v: latency not injected", el, time.Duration(2*rounds)*lat)
+	}
+	sent, processed := rt.Counters()
+	if sent != processed {
+		t.Errorf("counters diverge: sent=%d processed=%d", sent, processed)
+	}
+}
+
+func TestReductionEndToEnd(t *testing.T) {
+	topo := mustTopo(t, 4, time.Millisecond)
+	const n = 8
+	prog := &Program{
+		Arrays: []ArraySpec{{
+			ID: 0, N: n,
+			New: func(i int) Chare {
+				return funcChare(func(ctx *Ctx, entry EntryID, data any) {
+					ctx.Contribute(float64(ctx.Elem().Index), OpSum)
+				})
+			},
+		}},
+		Start: func(ctx *Ctx) {
+			for i := 0; i < n; i++ {
+				ctx.Send(ElemRef{0, i}, 0, nil)
+			}
+		},
+		OnReduction: func(ctx *Ctx, a ArrayID, seq int64, v any) {
+			ctx.ExitWith(v)
+		},
+	}
+	rt, err := NewRuntime(topo, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.(float64); got != 28 { // 0+1+...+7
+		t.Errorf("reduction = %v, want 28", got)
+	}
+}
+
+func TestRunToQuiescence(t *testing.T) {
+	topo := mustTopo(t, 2, time.Millisecond)
+	var hits sync.Map
+	prog := &Program{
+		Arrays: []ArraySpec{{
+			ID: 0, N: 4,
+			New: func(i int) Chare {
+				return funcChare(func(ctx *Ctx, entry EntryID, data any) {
+					hits.Store(ctx.Elem().Index, true)
+					n := data.(int)
+					if n > 0 {
+						next := ElemRef{0, (ctx.Elem().Index + 1) % 4}
+						ctx.Send(next, 0, n-1)
+					}
+				})
+			},
+		}},
+		Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, 10) },
+	}
+	rt, err := NewRuntime(topo, prog, Options{RunToQuiescence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		if _, err := rt.Run(); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("quiescence never detected")
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := hits.Load(i); !ok {
+			t.Errorf("element %d never ran", i)
+		}
+	}
+}
+
+func TestPriorityDeliveryOrder(t *testing.T) {
+	topo, err := topology.Single(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int32
+	prog := &Program{
+		Arrays: []ArraySpec{{
+			ID: 0, N: 2,
+			New: func(i int) Chare {
+				return funcChare(func(ctx *Ctx, entry EntryID, data any) {
+					switch entry {
+					case 0: // burst sender: enqueue with shuffled priorities
+						for _, p := range []int32{3, -1, 2, 0, -5, 1} {
+							ctx.Send(ElemRef{0, 1}, 1, int(p), WithPrio(p))
+						}
+					case 1:
+						got = append(got, int32(data.(int)))
+						if len(got) == 6 {
+							ctx.ExitWith(nil)
+						}
+					}
+				})
+			},
+		}},
+		Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, nil) },
+	}
+	rt, err := NewRuntime(topo, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{-5, -1, 0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPrioritizeWANOption(t *testing.T) {
+	topo := mustTopo(t, 2, 0) // two clusters, zero latency: routing is sync
+	prog := &Program{
+		Arrays: []ArraySpec{{ID: 0, N: 2, New: func(i int) Chare {
+			return funcChare(func(*Ctx, EntryID, any) {})
+		}}},
+		Start: func(*Ctx) {},
+	}
+	rt, err := NewRuntime(topo, prog, Options{PrioritizeWAN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wan := &Message{Kind: KindApp, To: ElemRef{0, 1}, SrcPE: 0}
+	rt.Route(wan)
+	if wan.Prio != -1 {
+		t.Errorf("WAN message priority = %d, want -1", wan.Prio)
+	}
+	local := &Message{Kind: KindApp, To: ElemRef{0, 0}, SrcPE: 0}
+	rt.Route(local)
+	if local.Prio != 0 {
+		t.Errorf("local message priority = %d, want 0", local.Prio)
+	}
+	// Application-set priorities are preserved.
+	custom := &Message{Kind: KindApp, To: ElemRef{0, 1}, SrcPE: 0, Prio: 5}
+	rt.Route(custom)
+	if custom.Prio != 5 {
+		t.Errorf("custom priority overridden: %d", custom.Prio)
+	}
+	rt.ExitWith(nil)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandlerPanicSurfacesAsError(t *testing.T) {
+	topo := mustTopo(t, 2, 0)
+	prog := &Program{
+		Arrays: []ArraySpec{{ID: 0, N: 1, New: func(i int) Chare {
+			return funcChare(func(*Ctx, EntryID, any) { panic("boom") })
+		}}},
+		Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, nil) },
+	}
+	rt, err := NewRuntime(topo, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("panic not surfaced: %v", err)
+	}
+}
+
+func TestSendToMissingElementFails(t *testing.T) {
+	topo := mustTopo(t, 2, 0)
+	prog := &Program{
+		Arrays: []ArraySpec{{ID: 0, N: 2, New: func(i int) Chare {
+			return funcChare(func(ctx *Ctx, entry EntryID, data any) {})
+		}}},
+		Start: func(ctx *Ctx) {
+			// Out-of-range index routes to the clamp PE but no element exists.
+			ctx.Send(ElemRef{Array: 0, Index: 1}, 0, nil)
+		},
+	}
+	rt, err := NewRuntime(topo, prog, Options{RunToQuiescence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatalf("valid send failed: %v", err)
+	}
+}
+
+func TestMulticastReachesAllMembers(t *testing.T) {
+	topo := mustTopo(t, 4, time.Millisecond)
+	const n = 12
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	prog := &Program{
+		Arrays: []ArraySpec{{
+			ID: 0, N: n,
+			New: func(i int) Chare {
+				return funcChare(func(ctx *Ctx, entry EntryID, data any) {
+					mu.Lock()
+					seen[ctx.Elem().Index]++
+					mu.Unlock()
+					ctx.Contribute(1.0, OpSum)
+				})
+			},
+		}},
+		Start: func(ctx *Ctx) {
+			var refs []ElemRef
+			for i := 0; i < n; i++ {
+				refs = append(refs, ElemRef{0, i})
+			}
+			ctx.Multicast(NewSection(refs...), 0, "coords")
+		},
+		OnReduction: func(ctx *Ctx, a ArrayID, seq int64, v any) { ctx.ExitWith(v) },
+	}
+	rt, err := NewRuntime(topo, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(float64) != n {
+		t.Errorf("reduction = %v, want %d", v, n)
+	}
+	for i := 0; i < n; i++ {
+		if seen[i] != 1 {
+			t.Errorf("element %d received %d multicasts", i, seen[i])
+		}
+	}
+}
+
+// moveAllTo is a trivial LB strategy for protocol tests.
+type moveAllTo int
+
+func (moveAllTo) Name() string { return "move-all" }
+func (m moveAllTo) Plan(s *LBStats) []Move {
+	var out []Move
+	for _, e := range s.Elems {
+		out = append(out, Move{Ref: e.Ref, ToPE: int(m)})
+	}
+	return out
+}
+
+func TestLoadBalancingProtocol(t *testing.T) {
+	topo := mustTopo(t, 2, time.Millisecond)
+	const n = 4
+	prog := &Program{
+		Arrays: []ArraySpec{{
+			ID: 0, N: n,
+			New: func(i int) Chare {
+				return funcChare(func(ctx *Ctx, entry EntryID, data any) {
+					switch entry {
+					case 0:
+						ctx.AtSync()
+					case EntryResumeFromSync:
+						// Report the PE we resumed on.
+						ctx.Contribute(float64(ctx.PE()), OpSum)
+					}
+				})
+			},
+		}},
+		Start: func(ctx *Ctx) {
+			for i := 0; i < n; i++ {
+				ctx.Send(ElemRef{0, i}, 0, nil)
+			}
+		},
+		OnReduction: func(ctx *Ctx, a ArrayID, seq int64, v any) { ctx.ExitWith(v) },
+		LB:          &LBConfig{Arrays: []ArrayID{0}, Strategy: moveAllTo(1)},
+	}
+	rt, err := NewRuntime(topo, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All n elements resumed on PE 1: sum of PEs = n*1.
+	if v.(float64) != n {
+		t.Errorf("post-LB PE sum = %v, want %d (all elements on PE 1)", v, n)
+	}
+	if got := rt.loc.LocalCount(0, 1); got != n {
+		t.Errorf("PE 1 owns %d elements after LB, want %d", got, n)
+	}
+}
+
+func TestTraceRecordsActivity(t *testing.T) {
+	topo := mustTopo(t, 2, time.Millisecond)
+	tr := trace.New(2)
+	prog := &Program{
+		Arrays: []ArraySpec{{ID: 0, N: 2, New: func(i int) Chare {
+			return funcChare(func(ctx *Ctx, entry EntryID, data any) {
+				if ctx.Elem().Index == 0 {
+					ctx.Send(ElemRef{0, 1}, 0, nil)
+				} else {
+					ctx.ExitWith(nil)
+				}
+			})
+		}}},
+		Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, nil) },
+	}
+	rt, err := NewRuntime(topo, prog, Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Error("no trace events recorded")
+	}
+	var begins, sends int
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case trace.EvBegin:
+			begins++
+		case trace.EvSend:
+			sends++
+		}
+	}
+	if begins < 3 || sends < 2 {
+		t.Errorf("begins=%d sends=%d, want >=3 begins and >=2 sends", begins, sends)
+	}
+}
+
+func TestNewRuntimeValidation(t *testing.T) {
+	topo := mustTopo(t, 2, 0)
+	prog := &Program{
+		Arrays: []ArraySpec{{ID: 0, N: 1, New: func(int) Chare { return funcChare(func(*Ctx, EntryID, any) {}) }}},
+		Start:  func(*Ctx) {},
+	}
+	if _, err := NewRuntime(topo, &Program{}, Options{}); err == nil {
+		t.Error("invalid program accepted")
+	}
+	if _, err := NewRuntime(topo, prog, Options{Transport: fakeTransport{}, PELo: 0, PEHi: 1}); err == nil {
+		t.Error("multi-process without NodeOf accepted")
+	}
+	if _, err := NewRuntime(topo, prog, Options{Transport: fakeTransport{}, NodeOf: func(int) int { return 0 }, PELo: 1, PEHi: 1}); err == nil {
+		t.Error("empty PE range accepted")
+	}
+	// Multi-process quiescence detection is supported (wave protocol).
+	if _, err := NewRuntime(topo, prog, Options{Transport: fakeTransport{}, NodeOf: func(int) int { return 0 }, PELo: 0, PEHi: 1, RunToQuiescence: true}); err != nil {
+		t.Errorf("multi-process quiescence rejected: %v", err)
+	}
+	// Load balancing migrates elements by reference: single-process only.
+	lbProg := &Program{
+		Arrays: []ArraySpec{{ID: 0, N: 1, New: func(int) Chare { return funcChare(func(*Ctx, EntryID, any) {}) }}},
+		Start:  func(*Ctx) {},
+		LB:     &LBConfig{Arrays: []ArrayID{0}, Strategy: moveAllTo(0)},
+	}
+	if _, err := NewRuntime(topo, lbProg, Options{Transport: fakeTransport{}, NodeOf: func(int) int { return 0 }, PELo: 0, PEHi: 1}); err == nil {
+		t.Error("multi-process load balancing accepted")
+	}
+}
+
+type fakeTransport struct{}
+
+func (fakeTransport) Send(*vmi.Frame) error { return nil }

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gridmdo/internal/topology"
+	"gridmdo/internal/vmi"
+)
+
+// TestSoakJitteredQuiescence pushes a few thousand randomly-routed,
+// randomly-prioritized messages through the real-time runtime with
+// jittered wide-area latencies, message bundling, and wave-based
+// quiescence detection all enabled at once — the kitchen-sink
+// configuration — and checks the system drains completely with every
+// message accounted for.
+func TestSoakJitteredQuiescence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const (
+		pes      = 8
+		elems    = 64
+		seeds    = 40
+		hopsEach = 120
+	)
+	topo, err := topology.TwoClusters(pes, 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var delivered atomic.Int64
+	prog := &Program{
+		Arrays: []ArraySpec{{
+			ID: 0, N: elems,
+			New: func(i int) Chare {
+				rng := rand.New(rand.NewSource(int64(i) + 99))
+				return funcChare(func(ctx *Ctx, entry EntryID, data any) {
+					delivered.Add(1)
+					hops := data.(int)
+					if hops <= 0 {
+						return
+					}
+					ctx.Send(ElemRef{0, rng.Intn(elems)}, 0, hops-1,
+						WithPrio(int32(rng.Intn(5)-2)),
+						WithBytes(rng.Intn(2048)))
+				})
+			},
+		}},
+		Start: func(ctx *Ctx) {
+			for s := 0; s < seeds; s++ {
+				ctx.Send(ElemRef{0, s % elems}, 0, hopsEach)
+			}
+		},
+	}
+	rt, err := NewRuntime(topo, prog, Options{
+		RunToQuiescence: true,
+		Bundle:          true,
+		LatencyFor: vmi.JitteredLatency(func(src, dst int32) time.Duration {
+			return topo.Latency(int(src), int(dst))
+		}, 0.4, 7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		if _, err := rt.Run(); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("soak run never quiesced")
+	}
+	want := int64(seeds * (hopsEach + 1))
+	if got := delivered.Load(); got != want {
+		t.Errorf("delivered %d handler invocations, want %d", got, want)
+	}
+	sent, processed := rt.Counters()
+	if sent != processed {
+		t.Errorf("counters diverge after quiescence: %d vs %d", sent, processed)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gridmdo/internal/topology"
+	"gridmdo/internal/vmi"
+)
+
+// TestTwoNodeTCPRuntime wires two Runtimes (each hosting one PE of a
+// two-cluster machine) through the real VMI TCP transport with the delay
+// device injecting a 5ms WAN latency — the same pathway the Table 1/2
+// "real latency" experiments use, compressed into one test process.
+func TestTwoNodeTCPRuntime(t *testing.T) {
+	const lat = 5 * time.Millisecond
+	const rounds = 3
+	topo, err := topology.TwoClusters(2, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterPayload(int(0))
+
+	mkProg := func() *Program {
+		return &Program{
+			Arrays: []ArraySpec{{
+				ID: 0, N: 2,
+				New: func(i int) Chare {
+					return funcChare(func(ctx *Ctx, entry EntryID, data any) {
+						n := data.(int)
+						if n >= 2*rounds {
+							// Ends on element 0 (node 0) because 2*rounds is even.
+							ctx.ExitWith(n)
+							return
+						}
+						ctx.Send(ElemRef{Array: 0, Index: 1 - ctx.Elem().Index}, 0, n+1)
+					})
+				},
+			}},
+			Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, 0) },
+		}
+	}
+
+	nodeOf := func(pe int) int { return pe } // one PE per node
+	routeFn := func(pe int32) int { return int(pe) }
+
+	var rts [2]*Runtime
+	var tcps [2]*vmi.TCP
+	addrs := []map[int]string{
+		{0: "127.0.0.1:0", 1: ""},
+		{0: "", 1: "127.0.0.1:0"},
+	}
+	for node := 0; node < 2; node++ {
+		node := node
+		tcps[node] = vmi.NewTCP(node, addrs[node], routeFn, func(f *vmi.Frame) error {
+			return rts[node].InjectFrame(f)
+		})
+	}
+	a0, err := tcps[0].Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := tcps[1].Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcps[0].SetAddr(1, a1)
+	tcps[1].SetAddr(0, a0)
+	defer tcps[0].Close()
+	defer tcps[1].Close()
+
+	for node := 0; node < 2; node++ {
+		rt, err := NewRuntime(topo, mkProg(), Options{
+			Transport: tcps[node],
+			NodeOf:    nodeOf,
+			Node:      node,
+			PELo:      node,
+			PEHi:      node + 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rts[node] = rt
+	}
+
+	type result struct {
+		v   any
+		err error
+	}
+	res := make(chan result, 2)
+	start := time.Now()
+	go func() {
+		v, err := rts[1].Run()
+		res <- result{v, err}
+	}()
+	v0, err := rts[0].Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0.(int) != 2*rounds {
+		t.Errorf("coordinator result = %v, want %d", v0, 2*rounds)
+	}
+	// The exchange crossed the (delayed) TCP link 2*rounds times.
+	if el := time.Since(start); el < time.Duration(2*rounds)*lat {
+		t.Errorf("elapsed %v, want >= %v: WAN delay not applied on TCP path", el, time.Duration(2*rounds)*lat)
+	}
+	// Coordinator announces shutdown (as cmd/gridnode does).
+	rts[1].Stop()
+	select {
+	case r := <-res:
+		if r.err != nil {
+			t.Errorf("worker node error: %v", r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker node never stopped")
+	}
+}

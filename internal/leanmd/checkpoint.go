@@ -1,0 +1,83 @@
+package leanmd
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"gridmdo/internal/core"
+)
+
+// Serialization of cells and cell-pairs, enabling load balancing
+// (elements migrate between PEs) and checkpoint/restart for the MD
+// application.
+
+type cellState struct {
+	Step    int
+	Started bool
+	Pos     []Vec3
+	VHalf   []Vec3
+	Vel     []Vec3
+}
+
+// Pack implements core.Migratable.
+func (c *cell) Pack() ([]byte, error) {
+	var buf bytes.Buffer
+	st := cellState{Step: c.gate.Step(), Started: c.started, Pos: c.pos, VHalf: c.vHalf, Vel: c.vel}
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("leanmd: pack cell %d: %w", c.id, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func restoreCell(p *Params, g *Geometry, id int, data []byte) (core.Chare, error) {
+	var st cellState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("leanmd: restore cell %d: %w", id, err)
+	}
+	c := newCell(p, g, id)
+	if len(st.Pos) != p.AtomsPerCell {
+		return nil, fmt.Errorf("leanmd: restore cell %d: %d atoms, program wants %d", id, len(st.Pos), p.AtomsPerCell)
+	}
+	if p.Warmup > 0 && p.Warmup <= st.Step {
+		return nil, fmt.Errorf("leanmd: restore cell %d: warmup %d not after restored step %d", id, p.Warmup, st.Step)
+	}
+	c.gate.JumpTo(st.Step)
+	c.started = st.Started
+	c.pos, c.vHalf, c.vel = st.Pos, st.VHalf, st.Vel
+	c.done = st.Step >= p.Steps
+	return c, nil
+}
+
+type pairState struct {
+	Step int
+}
+
+// Pack implements core.Migratable. A pair's only durable state is its
+// step counter; in-flight coordinates are never present at a sync or
+// checkpoint quiescent point.
+func (o *pairObj) Pack() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&pairState{Step: o.gate.Step()}); err != nil {
+		return nil, fmt.Errorf("leanmd: pack pair %d: %w", o.idx, err)
+	}
+	if o.posA != nil || o.posB != nil || o.gate.PendingFuture() > 0 {
+		return nil, fmt.Errorf("leanmd: pack pair %d with coordinates in flight", o.idx)
+	}
+	return buf.Bytes(), nil
+}
+
+func restorePair(p *Params, g *Geometry, ff *ForceField, idx int, data []byte) (core.Chare, error) {
+	var st pairState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("leanmd: restore pair %d: %w", idx, err)
+	}
+	o := newPair(p, g, ff, idx)
+	o.gate.JumpTo(st.Step)
+	return o, nil
+}
+
+var (
+	_ core.Migratable = (*cell)(nil)
+	_ core.Migratable = (*pairObj)(nil)
+)

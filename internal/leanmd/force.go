@@ -1,0 +1,98 @@
+package leanmd
+
+import "math"
+
+// Vec3 is a 3-component vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns a * s.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{a.X * s, a.Y * s, a.Z * s} }
+
+// Norm2 returns |a|².
+func (a Vec3) Norm2() float64 { return a.X*a.X + a.Y*a.Y + a.Z*a.Z }
+
+// ForceField holds the interaction parameters: a Lennard-Jones term (the
+// van der Waals interactions of the paper) plus a cutoff-shifted Coulomb
+// term (the electrostatic interactions), both truncated at Cutoff.
+type ForceField struct {
+	Epsilon float64 // LJ well depth
+	Sigma   float64 // LJ zero-crossing distance
+	Coulomb float64 // Coulomb constant (charge² prefactor absorbed in Charge)
+	Cutoff  float64 // interaction cutoff radius
+	Box     Vec3    // periodic box lengths (minimum-image convention)
+}
+
+// minImage maps a displacement into the minimum-image convention.
+func (ff *ForceField) minImage(d Vec3) Vec3 {
+	d.X -= ff.Box.X * math.Round(d.X/ff.Box.X)
+	d.Y -= ff.Box.Y * math.Round(d.Y/ff.Box.Y)
+	d.Z -= ff.Box.Z * math.Round(d.Z/ff.Box.Z)
+	return d
+}
+
+// PairInteraction computes the force on atom i at ri (due to atom j at
+// rj) and the pair's potential energy. Newton's third law gives atom j
+// the negated force. Charges qi, qj.
+func (ff *ForceField) PairInteraction(ri, rj Vec3, qi, qj float64) (f Vec3, u float64) {
+	d := ff.minImage(ri.Sub(rj))
+	r2 := d.Norm2()
+	rc2 := ff.Cutoff * ff.Cutoff
+	if r2 >= rc2 || r2 == 0 {
+		return Vec3{}, 0
+	}
+	inv2 := 1 / r2
+	// Lennard-Jones: U = 4ε[(σ/r)^12 − (σ/r)^6], shifted to zero at the
+	// cutoff for energy continuity.
+	s2 := ff.Sigma * ff.Sigma * inv2
+	s6 := s2 * s2 * s2
+	s12 := s6 * s6
+	sc6 := math.Pow(ff.Sigma*ff.Sigma/rc2, 3)
+	uLJ := 4*ff.Epsilon*(s12-s6) - 4*ff.Epsilon*(sc6*sc6-sc6)
+	fLJ := 24 * ff.Epsilon * (2*s12 - s6) * inv2 // magnitude/r factor
+
+	// Shifted-force Coulomb: U = kqq(1/r − 1/rc), F = kqq/r².
+	r := math.Sqrt(r2)
+	k := ff.Coulomb * qi * qj
+	uC := k * (1/r - 1/ff.Cutoff)
+	fC := k / (r2 * r) // magnitude/r factor
+
+	scale := fLJ + fC
+	return d.Scale(scale), uLJ + uC
+}
+
+// CellInteraction accumulates forces between two disjoint atom sets. fa
+// and fb receive the per-atom forces (added in place); the return value
+// is the pair potential energy.
+func (ff *ForceField) CellInteraction(pa, pb []Vec3, qa, qb []float64, fa, fb []Vec3) float64 {
+	var u float64
+	for i := range pa {
+		for j := range pb {
+			f, du := ff.PairInteraction(pa[i], pb[j], qa[i], qb[j])
+			fa[i] = fa[i].Add(f)
+			fb[j] = fb[j].Sub(f)
+			u += du
+		}
+	}
+	return u
+}
+
+// SelfInteraction accumulates forces among atoms of one cell (each
+// unordered pair once).
+func (ff *ForceField) SelfInteraction(p []Vec3, q []float64, f []Vec3) float64 {
+	var u float64
+	for i := 0; i < len(p); i++ {
+		for j := i + 1; j < len(p); j++ {
+			fv, du := ff.PairInteraction(p[i], p[j], q[i], q[j])
+			f[i] = f[i].Add(fv)
+			f[j] = f[j].Sub(fv)
+			u += du
+		}
+	}
+	return u
+}

@@ -1,0 +1,60 @@
+package leanmd
+
+// Reference implementations used by tests: direct O(N²) force evaluation
+// over all atoms in the box, against which the cell/cell-pair
+// decomposition must agree.
+
+// System is a flattened view of all atoms for reference computations.
+type System struct {
+	Pos []Vec3
+	Q   []float64
+}
+
+// BuildSystem instantiates every cell's initial atoms into one flat
+// system, in cell order.
+func BuildSystem(p *Params, g *Geometry) *System {
+	s := &System{}
+	q := p.Charges()
+	for c := 0; c < g.NumCells; c++ {
+		pos, _ := p.InitAtoms(c, g)
+		s.Pos = append(s.Pos, pos...)
+		s.Q = append(s.Q, q...)
+	}
+	return s
+}
+
+// DirectForces computes forces and total potential energy over all atom
+// pairs with the minimum-image cutoff — no cell decomposition.
+func DirectForces(ff *ForceField, s *System) (f []Vec3, u float64) {
+	f = make([]Vec3, len(s.Pos))
+	for i := 0; i < len(s.Pos); i++ {
+		for j := i + 1; j < len(s.Pos); j++ {
+			fv, du := ff.PairInteraction(s.Pos[i], s.Pos[j], s.Q[i], s.Q[j])
+			f[i] = f[i].Add(fv)
+			f[j] = f[j].Sub(fv)
+			u += du
+		}
+	}
+	return f, u
+}
+
+// DecomposedForces computes forces via the cell-pair decomposition
+// (sequentially, no runtime): the same arithmetic the pair objects
+// perform.
+func DecomposedForces(p *Params, g *Geometry, ff *ForceField, s *System) (f []Vec3, u float64) {
+	n := p.AtomsPerCell
+	f = make([]Vec3, len(s.Pos))
+	q := p.Charges()
+	for _, cp := range g.Pairs {
+		if cp.Self() {
+			u += ff.SelfInteraction(s.Pos[cp.A*n:(cp.A+1)*n], q, f[cp.A*n:(cp.A+1)*n])
+			continue
+		}
+		u += ff.CellInteraction(
+			s.Pos[cp.A*n:(cp.A+1)*n], s.Pos[cp.B*n:(cp.B+1)*n],
+			q, q,
+			f[cp.A*n:(cp.A+1)*n], f[cp.B*n:(cp.B+1)*n],
+		)
+	}
+	return f, u
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gridmdo/internal/core"
+	"gridmdo/internal/leanmd"
+	"gridmdo/internal/stencil"
+	"gridmdo/internal/topology"
+)
+
+// TestBundlingPreservesStencilNumerics: with bundling on, the parallel
+// stencil still matches the sequential reference bit-for-bit.
+func TestBundlingPreservesStencilNumerics(t *testing.T) {
+	const W, H, steps = 32, 24, 7
+	grid := make([]float64, W*H)
+	var mu sync.Mutex
+	p := &stencil.Params{
+		Width: W, Height: H, VX: 4, VY: 3, Steps: steps,
+		Collect: func(bx, by, x0, y0, w, h int, vals []float64) {
+			mu.Lock()
+			defer mu.Unlock()
+			for y := 0; y < h; y++ {
+				copy(grid[(y0+y)*W+x0:(y0+y)*W+x0+w], vals[y*w:(y+1)*w])
+			}
+		},
+	}
+	prog, err := stencil.BuildProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.TwoClusters(4, 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(topo, prog, Options{Bundle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := stencil.RunSequential(W, H, steps)
+	for i := range want {
+		if grid[i] != want[i] {
+			t.Fatalf("grid[%d] = %v, want %v under bundling", i, grid[i], want[i])
+		}
+	}
+}
+
+// TestBundlingReducesLeanMDOverhead: a LeanMD cell multicasts 27
+// coordinate messages per step, landing on few PEs — bundling pays the
+// per-message link overhead once per destination and must lower the
+// virtual per-step time (and never change the physics).
+func TestBundlingReducesLeanMDOverhead(t *testing.T) {
+	run := func(bundle bool) (*leanmd.Result, map[int][]leanmd.Vec3, Stats) {
+		p := leanmd.DefaultParams()
+		p.NX, p.NY, p.NZ = 3, 3, 3
+		p.AtomsPerCell = 6
+		p.Steps, p.Warmup = 6, 2
+		p.Model = leanmd.DefaultModel()
+		final := make(map[int][]leanmd.Vec3)
+		p.Collect = func(cell int, pos, vel []leanmd.Vec3) { final[cell] = pos }
+		prog, _, err := leanmd.BuildProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-message sender CPU is what bundling amortizes; give the
+		// links explicit software costs.
+		topo, err := topology.TwoClusters(4, 1725*time.Microsecond,
+			topology.WithIntraLink(topology.Link{
+				Overhead: topology.DefaultIntraOverhead, Bandwidth: topology.DefaultIntraBandwidth,
+				SendCPU: 5 * time.Microsecond,
+			}),
+			topology.WithInterLink(topology.Link{
+				Latency:  1725 * time.Microsecond,
+				Overhead: topology.DefaultInterOverhead, Bandwidth: topology.DefaultInterBandwidth,
+				SendCPU: 25 * time.Microsecond,
+			}),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(topo, prog, Options{Bundle: bundle, MaxEvents: 20_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.(*leanmd.Result), final, e.Stats()
+	}
+	off, posOff, statsOff := run(false)
+	on, posOn, statsOn := run(true)
+
+	// The win bundling always delivers: far fewer transport frames (each
+	// cell's 27 coordinate messages collapse to one frame per destination
+	// PE). Whether that moves the per-step time depends on how
+	// messaging-bound the workload is; here pair compute dominates, so we
+	// assert the frame reduction and that timing is not worsened.
+	if statsOn.Frames >= statsOff.Frames {
+		t.Errorf("bundling did not reduce frame count: %d vs %d", statsOn.Frames, statsOff.Frames)
+	}
+	if statsOn.Messages != statsOff.Messages {
+		t.Errorf("bundling changed the message count: %d vs %d", statsOn.Messages, statsOff.Messages)
+	}
+	if float64(on.PerStep) > 1.05*float64(off.PerStep) {
+		t.Errorf("bundling worsened per-step: %v (on) vs %v (off)", on.PerStep, off.PerStep)
+	}
+	// Physics identical: same messages in the same per-step rounds, only
+	// packed differently on the wire.
+	for c, ps := range posOff {
+		for i := range ps {
+			if posOn[c][i] != ps[i] {
+				t.Fatalf("cell %d atom %d position differs under bundling", c, i)
+			}
+		}
+	}
+	if on.EFinal != off.EFinal {
+		t.Errorf("final energy differs: %v vs %v", on.EFinal, off.EFinal)
+	}
+}
+
+// TestBundlingConformance reuses the cross-executor harness with bundling
+// enabled on the real-time side too.
+func TestBundlingRealtimeChecksum(t *testing.T) {
+	const W, H, steps = 24, 24, 5
+	p := &stencil.Params{Width: W, Height: H, VX: 4, VY: 4, Steps: steps}
+	prog, err := stencil.BuildProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.TwoClusters(4, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.NewRuntime(topo, prog, core.Options{Bundle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*stencil.Result).Checksum
+	want := stencil.Checksum(stencil.RunSequential(W, H, steps))
+	if d := got - want; d > 1e-9 || d < -1e-9 {
+		t.Errorf("realtime bundled checksum %v, want %v", got, want)
+	}
+}

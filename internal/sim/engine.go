@@ -1,0 +1,431 @@
+// Package sim is GridMDO's virtual-time executor: a deterministic,
+// sequential discrete-event simulator that runs unmodified core.Programs
+// against a modeled machine. It plays the role Charm++'s BigSim emulator
+// plays for the real Charm++ runtime — handlers execute real Go code (so
+// application numerics are exact), but time advances according to a cost
+// model: handlers charge modeled execution time via Ctx.Charge, and
+// message delivery times come from the topology's link model
+// (per-message overhead + latency + size/bandwidth).
+//
+// Because the simulated machine's speed is configured rather than
+// inherited from the host, the engine reproduces the paper's 2–64
+// Itanium-processor experiments faithfully on any development machine,
+// and two runs of the same program are event-for-event identical.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"gridmdo/internal/core"
+	"gridmdo/internal/topology"
+	"gridmdo/internal/trace"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Trace, if non-nil, receives events stamped with virtual time.
+	Trace *trace.Tracer
+
+	// PrioritizeWAN applies the paper's §6 cross-cluster priority policy.
+	PrioritizeWAN bool
+
+	// Bundle combines each handler's default-priority application
+	// messages per destination PE into one modeled frame, paying the
+	// per-message link overhead once (see core/bundle.go).
+	Bundle bool
+
+	// MaxVirtual aborts runs whose virtual clock passes this bound
+	// (guards against runaway programs). Zero means no bound.
+	MaxVirtual time.Duration
+
+	// MaxEvents aborts runs that process more than this many events.
+	// Zero means no bound.
+	MaxEvents int64
+}
+
+type evKind uint8
+
+const (
+	evDeliver evKind = iota // message arrives at a PE's queue
+	evExec                  // PE begins executing its next queued message
+)
+
+type event struct {
+	at   time.Duration
+	seq  uint64
+	kind evKind
+	pe   int32
+	m    *core.Message
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type simPE struct {
+	id          int
+	q           *core.Queue
+	host        *core.PEHost
+	reduce      *core.ReduceMgr
+	lb          *core.LBMgr
+	busyUntil   time.Duration
+	execPending bool
+	busyTotal   time.Duration
+	processed   int64
+	pending     *core.PendingBundles
+}
+
+// Engine is the virtual-time executor. It implements core.Backend. An
+// Engine runs in a single goroutine; none of its methods are safe for
+// concurrent use.
+type Engine struct {
+	topo *topology.Topology
+	prog *core.Program
+	opts Options
+	loc  *core.Locations
+	pes  []*simPE
+
+	events eventHeap
+	seq    uint64
+	now    time.Duration
+
+	// current handler execution state
+	inHandler bool
+	curPE     int
+	execStart time.Duration
+	charged   time.Duration
+
+	exited  bool
+	exitVal any
+	err     error
+
+	eventCount int64
+	msgCount   int64
+	frameCount int64
+}
+
+// New builds a virtual-time engine for prog on topo.
+func New(topo *topology.Topology, prog *core.Program, opts Options) (*Engine, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		topo: topo,
+		prog: prog,
+		opts: opts,
+		loc:  core.NewLocations(prog, topo.NumPE()),
+	}
+	e.pes = make([]*simPE, topo.NumPE())
+	for pe := 0; pe < topo.NumPE(); pe++ {
+		ps := &simPE{id: pe, q: core.NewQueue()}
+		if opts.Bundle {
+			ps.pending = core.NewPendingBundles()
+		}
+		ps.host = core.NewPEHost(e, pe)
+		pe := pe
+		ps.reduce = core.NewReduceMgr(pe,
+			func(a core.ArrayID) int { return e.loc.LocalCount(a, pe) },
+			func(a core.ArrayID) int { return e.prog.Arrays[a].N },
+			e.Route,
+			func(a core.ArrayID, seq int64, v any) { ps.host.RunReduction(e.prog, a, seq, v) },
+		)
+		if prog.LB != nil {
+			ps.lb = core.NewLBMgr(pe, prog.LB, topo, e.loc, ps.host, e.Route)
+		}
+		e.pes[pe] = ps
+	}
+	if err := core.ConstructElements(prog, e.loc, 0, topo.NumPE(), func(pe int) *core.PEHost {
+		return e.pes[pe].host
+	}); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Backend implementation ---------------------------------------------------
+
+// Route implements core.Backend: deliveries are scheduled at
+// send-time + link delay, where send time is the virtual instant within
+// the running handler at which the send occurs (execution start plus time
+// charged so far).
+func (e *Engine) Route(m *core.Message) {
+	if m.Kind == core.KindApp {
+		m.DstPE = e.loc.PEOf(m.To)
+	}
+	if e.opts.PrioritizeWAN && m.Prio == 0 && e.topo.CrossesWAN(int(m.SrcPE), int(m.DstPE)) {
+		m.Prio = -1
+	}
+	e.msgCount++
+	e.opts.Trace.Record(trace.Event{PE: int(m.SrcPE), Kind: trace.EvSend, At: e.Now(), Arg1: int64(m.DstPE), Arg2: int64(m.Bytes)})
+	if e.opts.Bundle && core.BundleEligible(m) && e.inHandler {
+		// Held until the running handler completes; exec flushes the
+		// per-destination groups as single modeled frames. The sender pays
+		// full per-frame CPU only for the first message to a destination;
+		// later messages into the same bundle cost a quarter (marshal
+		// without the frame setup).
+		pend := e.pes[e.curPE].pending
+		cpu := e.topo.LinkBetween(int(m.SrcPE), int(m.DstPE)).SendCPU
+		if pend.Has(m.DstPE) {
+			cpu /= 4
+		}
+		e.Charge(cpu)
+		pend.Add(m)
+		return
+	}
+	if e.inHandler {
+		e.Charge(e.topo.LinkBetween(int(m.SrcPE), int(m.DstPE)).SendCPU)
+	}
+	e.transmit(m, e.Now())
+}
+
+// transmit schedules a resolved message's delivery at sendAt plus the
+// link's modeled delay.
+func (e *Engine) transmit(m *core.Message, sendAt time.Duration) {
+	link := e.topo.LinkBetween(int(m.SrcPE), int(m.DstPE))
+	e.push(event{at: sendAt + link.Delay(m.Bytes), kind: evDeliver, pe: m.DstPE, m: m})
+}
+
+// Now implements core.Backend: virtual time at the current execution
+// point.
+func (e *Engine) Now() time.Duration {
+	if e.inHandler {
+		return e.execStart + e.charged
+	}
+	return e.now
+}
+
+// Charge implements core.Backend: modeled execution time accumulates into
+// the running handler and advances the PE's clock when it completes.
+// Charged durations are expressed for the reference machine and scaled by
+// the executing PE's speed factor, so heterogeneous clusters run the same
+// application code at different rates.
+func (e *Engine) Charge(d time.Duration) {
+	if e.inHandler && d > 0 {
+		if s := e.topo.PESpeed(e.curPE); s != 1 {
+			d = time.Duration(float64(d) / s)
+		}
+		e.charged += d
+	}
+}
+
+// NumPE implements core.Backend.
+func (e *Engine) NumPE() int { return e.topo.NumPE() }
+
+// Topo implements core.Backend.
+func (e *Engine) Topo() *topology.Topology { return e.topo }
+
+// ArrayN implements core.Backend.
+func (e *Engine) ArrayN(a core.ArrayID) int { return e.prog.Arrays[a].N }
+
+// ExitWith implements core.Backend.
+func (e *Engine) ExitWith(v any) {
+	if !e.exited {
+		e.exited = true
+		e.exitVal = v
+	}
+}
+
+// Contribute implements core.Backend.
+func (e *Engine) Contribute(_ core.ElemRef, pe int, a core.ArrayID, seq int64, v any, op core.ReduceOp) {
+	e.pes[pe].reduce.Contribute(a, seq, v, op)
+}
+
+// AtSync implements core.Backend.
+func (e *Engine) AtSync(_ core.ElemRef, pe int) {
+	if e.pes[pe].lb == nil {
+		panic("sim: AtSync without an LB configuration")
+	}
+	e.pes[pe].lb.ElementAtSync()
+}
+
+// Event loop ----------------------------------------------------------------
+
+func (e *Engine) push(ev event) {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.events, ev)
+}
+
+// Run executes the program to completion: until ExitWith is called or no
+// events remain (natural quiescence). It returns the exit value and the
+// virtual time at which the run ended.
+func (e *Engine) Run() (any, time.Duration, error) {
+	e.push(event{at: 0, kind: evDeliver, pe: 0, m: &core.Message{Kind: core.KindStart}})
+	for len(e.events) > 0 && !e.exited && e.err == nil {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.eventCount++
+		if e.opts.MaxEvents > 0 && e.eventCount > e.opts.MaxEvents {
+			e.err = fmt.Errorf("sim: event budget %d exhausted at t=%v", e.opts.MaxEvents, e.now)
+			break
+		}
+		if e.opts.MaxVirtual > 0 && e.now > e.opts.MaxVirtual {
+			e.err = fmt.Errorf("sim: virtual time bound %v exceeded", e.opts.MaxVirtual)
+			break
+		}
+		switch ev.kind {
+		case evDeliver:
+			e.deliver(ev)
+		case evExec:
+			e.exec(ev)
+		}
+	}
+	// The run ends when the last handler's charged time elapses, which may
+	// be after the final event was dequeued.
+	for _, ps := range e.pes {
+		if ps.busyUntil > e.now {
+			e.now = ps.busyUntil
+		}
+	}
+	return e.exitVal, e.now, e.err
+}
+
+func (e *Engine) deliver(ev event) {
+	e.frameCount++
+	ps := e.pes[ev.pe]
+	if ev.m.Kind == core.KindBundle {
+		// A bundle's messages share the arrival instant; enqueue in order.
+		for _, sub := range core.BundleMessages(ev.m) {
+			sub.EnqueuedAt = e.now
+			ps.q.Push(sub)
+			e.opts.Trace.Record(trace.Event{PE: int(ev.pe), Kind: trace.EvEnqueue, At: e.now, Arg1: int64(sub.SrcPE)})
+		}
+	} else {
+		ev.m.EnqueuedAt = e.now
+		ps.q.Push(ev.m)
+		e.opts.Trace.Record(trace.Event{PE: int(ev.pe), Kind: trace.EvEnqueue, At: e.now, Arg1: int64(ev.m.SrcPE)})
+	}
+	if !ps.execPending {
+		at := e.now
+		if ps.busyUntil > at {
+			at = ps.busyUntil
+		}
+		ps.execPending = true
+		e.push(event{at: at, kind: evExec, pe: ev.pe})
+	}
+}
+
+func (e *Engine) exec(ev event) {
+	ps := e.pes[ev.pe]
+	ps.execPending = false
+	m := ps.q.TryPop()
+	if m == nil {
+		return
+	}
+	e.inHandler = true
+	e.curPE = ps.id
+	e.execStart = e.now
+	e.charged = 0
+	e.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvBegin, At: e.now, Arg1: int64(m.To.Array), Arg2: int64(m.To.Index)})
+
+	var err error
+	switch m.Kind {
+	case core.KindApp:
+		err = ps.host.DeliverApp(m)
+	case core.KindStart:
+		ps.host.RunStart(e.prog)
+	case core.KindReduce:
+		err = ps.reduce.HandlePartial(m)
+	case core.KindLB:
+		if ps.lb == nil {
+			err = fmt.Errorf("sim: PE %d received LB message without LB config", ps.id)
+		} else {
+			err = ps.lb.Handle(m)
+		}
+	default:
+		err = fmt.Errorf("sim: PE %d received unknown message kind %d", ps.id, m.Kind)
+	}
+
+	cost := e.charged
+	e.inHandler = false
+	if m.Kind == core.KindApp {
+		ps.host.AddLoad(m.To, cost)
+	}
+	ps.busyUntil = e.now + cost
+	ps.busyTotal += cost
+	ps.processed++
+	if ps.pending != nil && !ps.pending.Empty() {
+		// Bundled messages leave when the handler completes.
+		for _, group := range ps.pending.Drain() {
+			e.transmit(core.MakeBundle(group), ps.busyUntil)
+		}
+	}
+	e.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvEnd, At: ps.busyUntil})
+	if err != nil {
+		e.err = err
+		return
+	}
+	if ps.q.Len() > 0 {
+		ps.execPending = true
+		e.push(event{at: ps.busyUntil, kind: evExec, pe: int32(ps.id)})
+	}
+}
+
+// Checkpoint snapshots all array elements. It must be called after Run
+// has returned (a quiescent point).
+func (e *Engine) Checkpoint() (*core.Checkpoint, error) {
+	hosts := make([]*core.PEHost, len(e.pes))
+	for i, ps := range e.pes {
+		hosts[i] = ps.host
+	}
+	return core.BuildCheckpoint(e.prog, hosts)
+}
+
+// Stats ----------------------------------------------------------------------
+
+// Stats summarizes a completed run.
+type Stats struct {
+	VirtualTime time.Duration   // final virtual clock
+	Events      int64           // events processed
+	Messages    int64           // messages routed
+	Frames      int64           // transport frames delivered (bundles count once)
+	PEBusy      []time.Duration // charged execution time per PE
+	Processed   []int64         // handlers executed per PE
+}
+
+// Stats reports run statistics; call after Run.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		VirtualTime: e.now,
+		Events:      e.eventCount,
+		Messages:    e.msgCount,
+		Frames:      e.frameCount,
+		PEBusy:      make([]time.Duration, len(e.pes)),
+		Processed:   make([]int64, len(e.pes)),
+	}
+	for i, ps := range e.pes {
+		s.PEBusy[i] = ps.busyTotal
+		s.Processed[i] = ps.processed
+	}
+	return s
+}
+
+// Utilization reports the mean busy fraction across PEs at the final
+// virtual time.
+func (s Stats) Utilization() float64 {
+	if s.VirtualTime <= 0 || len(s.PEBusy) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, b := range s.PEBusy {
+		sum += b
+	}
+	return float64(sum) / float64(s.VirtualTime) / float64(len(s.PEBusy))
+}

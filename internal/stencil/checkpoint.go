@@ -1,0 +1,61 @@
+package stencil
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"gridmdo/internal/core"
+)
+
+// blockState is the serialized form of a block for migration and
+// checkpoint/restart.
+type blockState struct {
+	Step int
+	W, H int
+	Cur  []float64
+}
+
+// Pack implements core.Migratable.
+func (b *block) Pack() ([]byte, error) {
+	var buf bytes.Buffer
+	st := blockState{Step: b.gate.Step(), W: b.w, H: b.h, Cur: b.cur}
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("stencil: pack block (%d,%d): %w", b.bx, b.by, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// restoreBlock rebuilds element i of a (possibly re-parameterized)
+// program from packed state. The mesh and object-grid shape must match
+// the checkpointing program; Steps may differ, which is how a run is
+// continued after restart — including on a different PE count.
+func restoreBlock(p *Params, i int, data []byte) (core.Chare, error) {
+	var st blockState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("stencil: restore block %d: %w", i, err)
+	}
+	b := newBlock(p, i)
+	if st.W != b.w || st.H != b.h {
+		return nil, fmt.Errorf("stencil: restore block %d: checkpoint is %dx%d, program wants %dx%d",
+			i, st.W, st.H, b.w, b.h)
+	}
+	if len(st.Cur) != len(b.cur) {
+		return nil, fmt.Errorf("stencil: restore block %d: grid length %d, want %d", i, len(st.Cur), len(b.cur))
+	}
+	if p.Warmup > 0 && p.Warmup <= st.Step {
+		// The warmup reduction round would never fire, desynchronizing
+		// the reduction sequence; continued runs must time from scratch.
+		return nil, fmt.Errorf("stencil: restore block %d: warmup %d not after restored step %d (use Warmup=0 or > %d)",
+			i, p.Warmup, st.Step, st.Step)
+	}
+	b.cur = st.Cur
+	copy(b.next, b.cur)
+	b.gate.JumpTo(st.Step)
+	b.done = st.Step >= p.Steps
+	return b, nil
+}
+
+// interface check: blocks are migratable (needed by the load balancers
+// and checkpointing).
+var _ core.Migratable = (*block)(nil)

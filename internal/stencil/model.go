@@ -1,0 +1,58 @@
+package stencil
+
+import "time"
+
+// CostModel charges virtual execution time for one block update on the
+// modeled machine (the paper's 1.5 GHz Itanium 2 nodes). The cost is
+// per-cell work scaled by a cache-pressure factor: once a block's working
+// set (two float64 grids) no longer fits in the 6 MB L3, the per-cell
+// cost rises. This reproduces the paper's §5.2 observation that the
+// lowest virtualization degrees are "markedly worse ... due to improved
+// cache performance because of smaller grainsize" at higher degrees.
+type CostModel struct {
+	// PerCellNS is the base per-cell update cost in nanoseconds.
+	PerCellNS float64
+	// L3Bytes is the modeled last-level cache size.
+	L3Bytes int
+	// MaxPenalty is the asymptotic cost multiplier for blocks whose
+	// working set far exceeds the cache.
+	MaxPenalty float64
+	// PerStepOverheadNS is fixed per-block-update scheduling overhead.
+	PerStepOverheadNS float64
+}
+
+// DefaultModel is calibrated so the paper's Table 1 absolute step times
+// land in the right ballpark (e.g. 4 PEs × 16 objects ≈ 35 ms/step on a
+// 2048×2048 mesh) — see EXPERIMENTS.md for the calibration notes.
+func DefaultModel() *CostModel {
+	return &CostModel{
+		PerCellNS:         33,
+		L3Bytes:           6 << 20, // Itanium 2 Madison 6MB L3
+		MaxPenalty:        2.4,
+		PerStepOverheadNS: 30000,
+	}
+}
+
+// cacheFactor interpolates the penalty: 1.0 while the working set fits
+// comfortably (≤ L3/3), rising linearly to MaxPenalty at 2×L3 and flat
+// beyond.
+func (m *CostModel) cacheFactor(workingSet int) float64 {
+	lo := float64(m.L3Bytes) / 3
+	hi := float64(m.L3Bytes) * 2
+	ws := float64(workingSet)
+	switch {
+	case ws <= lo:
+		return 1
+	case ws >= hi:
+		return m.MaxPenalty
+	default:
+		return 1 + (m.MaxPenalty-1)*(ws-lo)/(hi-lo)
+	}
+}
+
+// BlockCost models one Jacobi update of a w×h block.
+func (m *CostModel) BlockCost(w, h int) time.Duration {
+	ws := w * h * 16 // two float64 grids
+	ns := float64(w*h)*m.PerCellNS*m.cacheFactor(ws) + m.PerStepOverheadNS
+	return time.Duration(ns) * time.Nanosecond
+}

@@ -1,0 +1,260 @@
+// Package taskfarm implements a master/worker ("master-slave") farm, the
+// application class the paper's introduction names as naturally
+// Grid-tolerant: "master-slave style applications are also good
+// candidates for Grid environments because they typically have small
+// communication requirements and because communication delays are often
+// not on the critical path."
+//
+// The farm self-schedules: the master seeds each worker with Prefetch
+// outstanding tasks and sends a new one as each result returns, so a
+// worker with Prefetch >= 2 always has a task in hand while the next one
+// is in flight — the class's own latency-masking mechanism, complementing
+// the object-level overlap the tightly-coupled applications rely on.
+package taskfarm
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gridmdo/internal/core"
+)
+
+// Arrays.
+const (
+	ArrayMaster core.ArrayID = 0
+	ArrayWorker core.ArrayID = 1
+)
+
+// Entry methods.
+const (
+	entryStart  core.EntryID = 0 // master: begin farming
+	entryTask   core.EntryID = 1 // worker: one task
+	entryResult core.EntryID = 2 // master: a worker's result
+)
+
+// Params configures a farm run.
+type Params struct {
+	// Tasks is the number of independent work units.
+	Tasks int
+	// Workers is the worker count; 0 means one per PE.
+	Workers int
+	// Prefetch is the number of tasks kept in flight per worker (>= 1).
+	Prefetch int
+	// TaskCost is the modeled compute per task on the reference machine.
+	TaskCost time.Duration
+	// TaskBytes is the modeled payload size of task and result messages.
+	TaskBytes int
+	// Spin, if positive, makes workers do that many iterations of real
+	// arithmetic per task (for wall-clock runs).
+	Spin int
+
+	// DedicatedMaster keeps workers off the master's PE (PE 0), so a
+	// worker's compute never delays task resupply. Requires at least two
+	// PEs when used with BuildProgramFor.
+	DedicatedMaster bool
+}
+
+// Validate checks parameter consistency.
+func (p *Params) Validate() error {
+	if p.Tasks <= 0 {
+		return fmt.Errorf("taskfarm: %d tasks", p.Tasks)
+	}
+	if p.Prefetch <= 0 {
+		return fmt.Errorf("taskfarm: prefetch %d", p.Prefetch)
+	}
+	if p.TaskCost < 0 {
+		return fmt.Errorf("taskfarm: negative task cost")
+	}
+	return nil
+}
+
+// Result is the run outcome.
+type Result struct {
+	Makespan  time.Duration
+	PerTask   time.Duration // makespan / tasks
+	Tasks     int
+	Workers   int
+	Sum       float64 // aggregated task outputs (verification)
+	PerWorker []int   // tasks completed per worker
+}
+
+// taskMsg is one unit of work.
+type taskMsg struct {
+	Seq   int
+	bytes int
+}
+
+// PayloadBytes implements core.Sizer.
+func (t taskMsg) PayloadBytes() int {
+	if t.bytes > 0 {
+		return t.bytes
+	}
+	return core.DefaultPayloadBytes
+}
+
+// resultMsg carries a task's output back.
+type resultMsg struct {
+	Seq    int
+	Worker int
+	Value  float64
+	bytes  int
+}
+
+// PayloadBytes implements core.Sizer.
+func (r resultMsg) PayloadBytes() int {
+	if r.bytes > 0 {
+		return r.bytes
+	}
+	return core.DefaultPayloadBytes
+}
+
+// TaskValue is the deterministic "science" of task seq; the master sums
+// these for verification.
+func TaskValue(seq int) float64 {
+	return math.Sin(float64(seq)*0.1) + 1.0
+}
+
+// master coordinates the farm.
+type master struct {
+	p       *Params
+	workers int
+
+	next    int
+	done    int
+	sum     float64
+	perW    []int
+	started time.Duration
+}
+
+func (m *master) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
+	switch entry {
+	case entryStart:
+		m.started = ctx.Time()
+		m.perW = make([]int, m.workers)
+		// Seed every worker with Prefetch tasks (or fewer if the farm is
+		// small).
+	seed:
+		for round := 0; round < m.p.Prefetch; round++ {
+			for w := 0; w < m.workers; w++ {
+				if m.next >= m.p.Tasks {
+					break seed
+				}
+				m.sendTask(ctx, w)
+			}
+		}
+	case entryResult:
+		r := data.(resultMsg)
+		m.done++
+		m.sum += r.Value
+		m.perW[r.Worker]++
+		if m.next < m.p.Tasks {
+			m.sendTask(ctx, r.Worker)
+		}
+		if m.done == m.p.Tasks {
+			mk := ctx.Time() - m.started
+			ctx.ExitWith(&Result{
+				Makespan:  mk,
+				PerTask:   mk / time.Duration(m.p.Tasks),
+				Tasks:     m.p.Tasks,
+				Workers:   m.workers,
+				Sum:       m.sum,
+				PerWorker: m.perW,
+			})
+		}
+	default:
+		panic(fmt.Sprintf("taskfarm: master got entry %d", entry))
+	}
+}
+
+func (m *master) sendTask(ctx *core.Ctx, w int) {
+	ctx.Send(core.ElemRef{Array: ArrayWorker, Index: w}, entryTask,
+		taskMsg{Seq: m.next, bytes: m.p.TaskBytes})
+	m.next++
+}
+
+// worker executes tasks.
+type worker struct {
+	p  *Params
+	id int
+}
+
+func (w *worker) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
+	if entry != entryTask {
+		panic(fmt.Sprintf("taskfarm: worker got entry %d", entry))
+	}
+	t := data.(taskMsg)
+	v := TaskValue(t.Seq)
+	if w.p.Spin > 0 {
+		acc := 0.0
+		for i := 0; i < w.p.Spin; i++ {
+			acc += float64(i%13) * 1e-12
+		}
+		v += acc * 0 // keep the work, not the value
+	}
+	if w.p.TaskCost > 0 {
+		ctx.Charge(w.p.TaskCost)
+	}
+	ctx.Send(core.ElemRef{Array: ArrayMaster, Index: 0}, entryResult,
+		resultMsg{Seq: t.Seq, Worker: w.id, Value: v, bytes: w.p.TaskBytes})
+}
+
+// BuildProgram assembles the farm. The master lives on PE 0; workers are
+// block-mapped over all PEs (so in a two-cluster machine half of them sit
+// across the WAN from the master).
+func BuildProgram(p *Params) (*core.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	prog := &core.Program{
+		Arrays: []core.ArraySpec{
+			{
+				ID: ArrayMaster, N: 1,
+				Map: func(int, int) int { return 0 },
+				New: func(int) core.Chare { return nil }, // set below
+			},
+			{
+				ID: ArrayWorker, N: 1, // set below
+				New: func(int) core.Chare { return nil },
+			},
+		},
+	}
+	prog.Start = func(ctx *core.Ctx) {
+		ctx.Send(core.ElemRef{Array: ArrayMaster, Index: 0}, entryStart, nil)
+	}
+	// Worker count defaults to one per PE; resolved at build time via a
+	// closure over the params, but the array size must be fixed now, so a
+	// zero Workers is resolved when the program is instantiated on a
+	// machine — callers that leave Workers zero must use BuildProgramFor.
+	if p.Workers <= 0 {
+		return nil, fmt.Errorf("taskfarm: Workers must be set (use BuildProgramFor for one-per-PE)")
+	}
+	nw := p.Workers
+	prog.Arrays[ArrayMaster].New = func(int) core.Chare { return &master{p: p, workers: nw} }
+	prog.Arrays[ArrayWorker].N = nw
+	prog.Arrays[ArrayWorker].New = func(i int) core.Chare { return &worker{p: p, id: i} }
+	if p.DedicatedMaster {
+		prog.Arrays[ArrayWorker].Map = func(i, numPE int) int {
+			if numPE == 1 {
+				return 0
+			}
+			return 1 + core.BlockMap(i, nw, numPE-1)
+		}
+	}
+	return prog, nil
+}
+
+// BuildProgramFor builds the farm with one worker per PE of a machine
+// with numPE processors.
+func BuildProgramFor(p *Params, numPE int) (*core.Program, error) {
+	q := *p
+	if q.Workers <= 0 {
+		q.Workers = numPE
+	}
+	return BuildProgram(&q)
+}
+
+func init() {
+	core.RegisterPayload(taskMsg{})
+	core.RegisterPayload(resultMsg{})
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// RenderTimeline writes an ASCII utilization timeline, one row per PE:
+// each column is one bucket of the horizon, shaded by the fraction of the
+// bucket spent inside handlers (' ' idle, '░' <25%, '▒' <50%, '▓' <75%,
+// '█' busy). It is the textual analog of a Projections utilization view.
+func (t *Tracer) RenderTimeline(w io.Writer, horizon time.Duration, buckets int) {
+	if t == nil || horizon <= 0 || buckets <= 0 {
+		fmt.Fprintln(w, "trace: no data")
+		return
+	}
+	bucket := horizon / time.Duration(buckets)
+	if bucket <= 0 {
+		bucket = time.Nanosecond
+	}
+	fmt.Fprintf(w, "utilization timeline: %v per column, horizon %v\n", bucket, horizon)
+	for pe := range t.shards {
+		busy := t.busyPerBucket(pe, horizon, buckets)
+		var b strings.Builder
+		for _, f := range busy {
+			b.WriteRune(shade(f))
+		}
+		fmt.Fprintf(w, "PE %3d |%s|\n", pe, b.String())
+	}
+}
+
+func shade(f float64) rune {
+	switch {
+	case f <= 0.01:
+		return ' '
+	case f < 0.25:
+		return '░'
+	case f < 0.50:
+		return '▒'
+	case f < 0.75:
+		return '▓'
+	default:
+		return '█'
+	}
+}
+
+// busyPerBucket computes the busy fraction of each bucket for one PE.
+func (t *Tracer) busyPerBucket(pe int, horizon time.Duration, buckets int) []float64 {
+	s := &t.shards[pe]
+	s.mu.Lock()
+	evs := append([]Event(nil), s.events...)
+	s.mu.Unlock()
+
+	type span struct{ a, b time.Duration }
+	var spans []span
+	var openAt time.Duration = -1
+	for _, ev := range evs {
+		switch ev.Kind {
+		case EvBegin:
+			if openAt < 0 {
+				openAt = ev.At
+			}
+		case EvEnd:
+			if openAt >= 0 {
+				spans = append(spans, span{openAt, ev.At})
+				openAt = -1
+			}
+		}
+	}
+	if openAt >= 0 {
+		spans = append(spans, span{openAt, horizon})
+	}
+
+	out := make([]float64, buckets)
+	bw := horizon / time.Duration(buckets)
+	if bw <= 0 {
+		return out
+	}
+	for _, sp := range spans {
+		if sp.b > horizon {
+			sp.b = horizon
+		}
+		if sp.b <= sp.a {
+			continue
+		}
+		first := int(sp.a / bw)
+		last := int((sp.b - 1) / bw)
+		for i := first; i <= last && i < buckets; i++ {
+			lo := time.Duration(i) * bw
+			hi := lo + bw
+			a, b := sp.a, sp.b
+			if a < lo {
+				a = lo
+			}
+			if b > hi {
+				b = hi
+			}
+			if b > a {
+				out[i] += float64(b-a) / float64(bw)
+			}
+		}
+	}
+	for i, f := range out {
+		if f > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}

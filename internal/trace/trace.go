@@ -1,0 +1,173 @@
+// Package trace provides lightweight event tracing for GridMDO executors,
+// in the spirit of Charm++'s Projections logs: per-PE streams of handler
+// begin/end and message send/enqueue events from which utilization
+// timelines are derived. Tracing is optional; a nil *Tracer is a valid
+// no-op everywhere.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds.
+const (
+	EvBegin   Kind = iota // handler execution began
+	EvEnd                 // handler execution ended
+	EvSend                // message sent
+	EvEnqueue             // message enqueued at destination PE
+	EvIdle                // scheduler went idle
+	EvNote                // free-form annotation
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EvBegin:
+		return "begin"
+	case EvEnd:
+		return "end"
+	case EvSend:
+		return "send"
+	case EvEnqueue:
+		return "enqueue"
+	case EvIdle:
+		return "idle"
+	case EvNote:
+		return "note"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one trace record. Arg1/Arg2 carry kind-specific payloads
+// (array/element IDs, message sizes) without coupling this package to the
+// runtime's types.
+type Event struct {
+	PE   int
+	Kind Kind
+	At   time.Duration // virtual or wall time since run start
+	Arg1 int64
+	Arg2 int64
+	Note string
+}
+
+// Tracer collects events, sharded per PE to keep contention low in the
+// real-time runtime. The zero value is unusable; call New.
+type Tracer struct {
+	shards []shard
+}
+
+type shard struct {
+	mu     sync.Mutex
+	events []Event
+	_      [40]byte // pad to reduce false sharing between PE shards
+}
+
+// New builds a tracer for numPE processing elements.
+func New(numPE int) *Tracer {
+	return &Tracer{shards: make([]shard, numPE)}
+}
+
+// Record appends an event. Safe for concurrent use; nil-safe.
+func (t *Tracer) Record(ev Event) {
+	if t == nil || ev.PE < 0 || ev.PE >= len(t.shards) {
+		return
+	}
+	s := &t.shards[ev.PE]
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Events returns a time-sorted copy of all recorded events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	var all []Event
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		all = append(all, s.events...)
+		s.mu.Unlock()
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
+	return all
+}
+
+// Len reports the total number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.events)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Utilization reports, per PE, the fraction of [0, horizon) spent inside
+// handlers, derived from Begin/End pairs. Unpaired events are tolerated
+// (a Begin without End counts as busy until the horizon).
+func (t *Tracer) Utilization(horizon time.Duration) []float64 {
+	if t == nil || horizon <= 0 {
+		return nil
+	}
+	util := make([]float64, len(t.shards))
+	for pe := range t.shards {
+		s := &t.shards[pe]
+		s.mu.Lock()
+		evs := append([]Event(nil), s.events...)
+		s.mu.Unlock()
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+		var busy time.Duration
+		var openAt time.Duration = -1
+		for _, ev := range evs {
+			switch ev.Kind {
+			case EvBegin:
+				if openAt < 0 {
+					openAt = ev.At
+				}
+			case EvEnd:
+				if openAt >= 0 {
+					end := ev.At
+					if end > horizon {
+						end = horizon
+					}
+					if end > openAt {
+						busy += end - openAt
+					}
+					openAt = -1
+				}
+			}
+		}
+		if openAt >= 0 && openAt < horizon {
+			busy += horizon - openAt
+		}
+		util[pe] = float64(busy) / float64(horizon)
+	}
+	return util
+}
+
+// Summary renders a short human-readable utilization report.
+func (t *Tracer) Summary(horizon time.Duration) string {
+	u := t.Utilization(horizon)
+	if u == nil {
+		return "trace: no data"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events over %v\n", t.Len(), horizon)
+	for pe, f := range u {
+		fmt.Fprintf(&b, "  PE %2d: %5.1f%% busy\n", pe, 100*f)
+	}
+	return b.String()
+}

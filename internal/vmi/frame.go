@@ -1,0 +1,138 @@
+// Package vmi is a Go rendition of the Virtual Machine Interface message
+// layer the paper builds on: a low-level frame transport whose behavior is
+// composed from chains of devices. A device may deliver a frame, transform
+// it (compress, checksum, encrypt), split it across lanes (stripe), hold it
+// for a configured time (the "delay device" used to inject artificial
+// wide-area latencies), or simply pass it to the next device in the chain.
+//
+// Frames carry either an in-process payload (Obj) — used when source and
+// destination PEs share an address space, avoiding serialization — or a
+// serialized Body, required by devices that touch bytes (TCP, compression,
+// striping, ciphers).
+package vmi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Class partitions frames by role so schedulers can treat runtime-internal
+// traffic differently from application traffic.
+type Class uint8
+
+// Frame classes.
+const (
+	ClassApp     Class = iota // application entry-method message
+	ClassSystem               // runtime protocol (reductions, QD, LB)
+	ClassControl              // transport control (hello, shutdown)
+)
+
+// Flag bits recorded in a frame header by transform devices.
+const (
+	FlagCompressed uint16 = 1 << iota
+	FlagChecksummed
+	FlagEncrypted
+	FlagStriped
+)
+
+// Frame is the unit VMI devices operate on.
+type Frame struct {
+	Src, Dst int32  // source and destination PE
+	Prio     int32  // delivery priority; smaller is more urgent
+	Class    Class  // app / system / control
+	Flags    uint16 // transform bookkeeping
+	Seq      uint64 // per-source sequence number (FIFO tie-break)
+
+	// Body is the serialized payload; required for byte-level devices.
+	Body []byte
+	// Obj is the in-process payload; valid only within one address space.
+	Obj any
+}
+
+const (
+	frameMagic   = 0x564d4931 // "VMI1"
+	headerLen    = 32
+	maxFrameBody = 64 << 20 // defensive cap for decoding
+)
+
+// ErrFrameTooLarge is returned when decoding a frame whose declared body
+// length exceeds the defensive cap.
+var ErrFrameTooLarge = errors.New("vmi: frame body exceeds limit")
+
+// ErrBadMagic is returned when a decoded header does not start with the
+// VMI frame magic.
+var ErrBadMagic = errors.New("vmi: bad frame magic")
+
+// EncodedLen reports the number of bytes EncodeTo will write.
+func (f *Frame) EncodedLen() int { return headerLen + len(f.Body) }
+
+// EncodeTo writes the frame header and body to w. Obj is not serialized;
+// callers that need wire transport must populate Body first.
+func (f *Frame) EncodeTo(w io.Writer) error {
+	var h [headerLen]byte
+	binary.BigEndian.PutUint32(h[0:], frameMagic)
+	h[4] = byte(f.Class)
+	// h[5] reserved
+	binary.BigEndian.PutUint16(h[6:], f.Flags)
+	binary.BigEndian.PutUint32(h[8:], uint32(f.Src))
+	binary.BigEndian.PutUint32(h[12:], uint32(f.Dst))
+	binary.BigEndian.PutUint32(h[16:], uint32(f.Prio))
+	binary.BigEndian.PutUint64(h[20:], f.Seq)
+	binary.BigEndian.PutUint32(h[28:], uint32(len(f.Body)))
+	if _, err := w.Write(h[:]); err != nil {
+		return fmt.Errorf("vmi: write header: %w", err)
+	}
+	if len(f.Body) > 0 {
+		if _, err := w.Write(f.Body); err != nil {
+			return fmt.Errorf("vmi: write body: %w", err)
+		}
+	}
+	return nil
+}
+
+// DecodeFrom reads one frame from r, replacing f's fields. Obj is left nil.
+func (f *Frame) DecodeFrom(r io.Reader) error {
+	var h [headerLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return err // io.EOF propagates cleanly for connection shutdown
+	}
+	if binary.BigEndian.Uint32(h[0:]) != frameMagic {
+		return ErrBadMagic
+	}
+	f.Class = Class(h[4])
+	f.Flags = binary.BigEndian.Uint16(h[6:])
+	f.Src = int32(binary.BigEndian.Uint32(h[8:]))
+	f.Dst = int32(binary.BigEndian.Uint32(h[12:]))
+	f.Prio = int32(binary.BigEndian.Uint32(h[16:]))
+	f.Seq = binary.BigEndian.Uint64(h[20:])
+	n := binary.BigEndian.Uint32(h[28:])
+	if n > maxFrameBody {
+		return ErrFrameTooLarge
+	}
+	f.Obj = nil
+	if n == 0 {
+		f.Body = nil
+		return nil
+	}
+	f.Body = make([]byte, n)
+	if _, err := io.ReadFull(r, f.Body); err != nil {
+		return fmt.Errorf("vmi: read body: %w", err)
+	}
+	return nil
+}
+
+// Clone returns a shallow copy of the frame with its own Body slice.
+func (f *Frame) Clone() *Frame {
+	g := *f
+	if f.Body != nil {
+		g.Body = append([]byte(nil), f.Body...)
+	}
+	return &g
+}
+
+func (f *Frame) String() string {
+	return fmt.Sprintf("frame{%d->%d class=%d prio=%d seq=%d body=%dB obj=%v}",
+		f.Src, f.Dst, f.Class, f.Prio, f.Seq, len(f.Body), f.Obj != nil)
+}

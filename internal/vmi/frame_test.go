@@ -1,0 +1,115 @@
+package vmi
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := &Frame{
+		Src: 3, Dst: 17, Prio: -5, Class: ClassSystem, Flags: FlagChecksummed,
+		Seq: 123456789, Body: []byte("hello, grid"),
+	}
+	var buf bytes.Buffer
+	if err := in.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != in.EncodedLen() {
+		t.Errorf("EncodedLen = %d, wrote %d", in.EncodedLen(), buf.Len())
+	}
+	var out Frame
+	if err := out.DecodeFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	in.Obj = nil
+	if !reflect.DeepEqual(*in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", *in, out)
+	}
+}
+
+func TestFrameRoundTripEmptyBody(t *testing.T) {
+	in := &Frame{Src: 1, Dst: 2, Seq: 9}
+	var buf bytes.Buffer
+	if err := in.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out Frame
+	if err := out.DecodeFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Body != nil {
+		t.Errorf("empty body decoded as %v", out.Body)
+	}
+	if out.Src != 1 || out.Dst != 2 || out.Seq != 9 {
+		t.Errorf("header mismatch: %+v", out)
+	}
+}
+
+// Property: encode/decode is the identity on header fields and body for
+// arbitrary frames.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(src, dst, prio int32, class uint8, flags uint16, seq uint64, body []byte) bool {
+		in := &Frame{Src: src, Dst: dst, Prio: prio, Class: Class(class), Flags: flags, Seq: seq, Body: body}
+		var buf bytes.Buffer
+		if err := in.EncodeTo(&buf); err != nil {
+			return false
+		}
+		var out Frame
+		if err := out.DecodeFrom(&buf); err != nil {
+			return false
+		}
+		if len(body) == 0 {
+			// nil and empty both decode to nil
+			return out.Src == src && out.Dst == dst && out.Prio == prio &&
+				out.Class == Class(class) && out.Flags == flags && out.Seq == seq && out.Body == nil
+		}
+		in.Obj = nil
+		return reflect.DeepEqual(*in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	var out Frame
+	buf := bytes.Repeat([]byte{0xAB}, headerLen)
+	if err := out.DecodeFrom(bytes.NewReader(buf)); err != ErrBadMagic {
+		t.Errorf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeOversizedBody(t *testing.T) {
+	in := &Frame{Src: 1, Dst: 2, Body: []byte("x")}
+	var buf bytes.Buffer
+	if err := in.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt the length field to something enormous.
+	b[28], b[29], b[30], b[31] = 0xFF, 0xFF, 0xFF, 0xFF
+	var out Frame
+	if err := out.DecodeFrom(bytes.NewReader(b)); err != ErrFrameTooLarge {
+		t.Errorf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameClone(t *testing.T) {
+	in := &Frame{Src: 1, Dst: 2, Body: []byte{1, 2, 3}}
+	c := in.Clone()
+	c.Body[0] = 99
+	if in.Body[0] != 1 {
+		t.Error("Clone shares body storage")
+	}
+}
+
+func TestFrameStringNonEmpty(t *testing.T) {
+	f := &Frame{Src: 1, Dst: 2, Body: []byte{0}}
+	if f.String() == "" {
+		t.Error("empty String()")
+	}
+	_ = encodeUint64(rand.Uint64()) // keep helper exercised
+}

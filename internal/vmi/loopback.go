@@ -1,0 +1,23 @@
+package vmi
+
+// Loopback is the terminal device for PEs that share an address space: it
+// hands the frame to a delivery callback synchronously. It corresponds to
+// the fast first driver in the paper's chain, which delivers messages for
+// "affiliated" nodes without passing through the delay device.
+type Loopback struct {
+	deliver func(*Frame) error
+}
+
+// NewLoopback builds a loopback terminal around a delivery callback.
+func NewLoopback(deliver func(*Frame) error) *Loopback {
+	return &Loopback{deliver: deliver}
+}
+
+// Name implements SendDevice.
+func (l *Loopback) Name() string { return "loopback" }
+
+// Send implements SendDevice; it always delivers and never calls next.
+func (l *Loopback) Send(f *Frame, _ SendFunc) error { return l.deliver(f) }
+
+// Terminal returns the loopback as a SendFunc for use as a chain terminal.
+func (l *Loopback) Terminal() SendFunc { return l.deliver }

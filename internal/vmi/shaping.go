@@ -1,0 +1,87 @@
+package vmi
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Traffic-shaping devices for the real-time runtime: deterministic jitter
+// around a base latency, and bandwidth pacing. The virtual-time executor
+// models links analytically (see internal/topology.Link); these devices
+// give the wall-clock pathway the same knobs.
+
+// JitteredLatency wraps a latency function with seeded pseudo-random
+// jitter: each frame's delay is drawn uniformly from
+// [base·(1−frac), base·(1+frac)]. Zero base latencies stay zero, so
+// intra-cluster traffic is unaffected. The returned function is safe for
+// concurrent use and deterministic for a given seed and call sequence.
+func JitteredLatency(base func(src, dst int32) time.Duration, frac float64, seed int64) func(src, dst int32) time.Duration {
+	if frac < 0 {
+		frac = 0
+	}
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func(src, dst int32) time.Duration {
+		b := base(src, dst)
+		if b <= 0 || frac == 0 {
+			return b
+		}
+		mu.Lock()
+		u := rng.Float64()
+		mu.Unlock()
+		scale := 1 - frac + 2*frac*u
+		return time.Duration(float64(b) * scale)
+	}
+}
+
+// PacerDevice rate-limits a send chain: frames are released so that the
+// long-run throughput does not exceed Rate bytes per second, modeling a
+// bandwidth-constrained wide-area link. Frames shorter than the
+// accounting minimum (the frame header) still pay for the header.
+type PacerDevice struct {
+	rate float64 // bytes per second
+
+	mu       sync.Mutex
+	nextFree time.Time
+
+	d *DelayDevice
+}
+
+// NewPacerDevice builds a pacer releasing at most rate bytes per second.
+func NewPacerDevice(rate float64) *PacerDevice {
+	return &PacerDevice{
+		rate: rate,
+		d:    NewDelayDevice(func(int32, int32) time.Duration { return 0 }),
+	}
+}
+
+// Name implements SendDevice.
+func (p *PacerDevice) Name() string { return "pacer" }
+
+// Send implements SendDevice.
+func (p *PacerDevice) Send(f *Frame, next SendFunc) error {
+	if p.rate <= 0 {
+		return next(f)
+	}
+	bytes := f.EncodedLen()
+	tx := time.Duration(float64(bytes) / p.rate * float64(time.Second))
+
+	p.mu.Lock()
+	now := time.Now()
+	start := p.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	p.nextFree = start.Add(tx)
+	release := p.nextFree.Sub(now)
+	p.mu.Unlock()
+
+	return p.d.Hold(f, next, release)
+}
+
+// Pending reports frames held by the pacer.
+func (p *PacerDevice) Pending() int { return p.d.Pending() }
+
+// Close releases held frames and stops the pacer.
+func (p *PacerDevice) Close() { p.d.Close() }

@@ -1,0 +1,168 @@
+package vmi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// StripeDevice reproduces VMI's multi-rail capability: "by loading multiple
+// modules simultaneously, data may be striped across multiple
+// interconnects." On send, a frame's body is split into roughly equal
+// chunks, one per lane, each sent down its own sub-chain as an independent
+// frame. The matching StripeReassembler on the receive side collects the
+// chunks (which may arrive in any order and interleaved across frames) and
+// reconstitutes the original frame.
+//
+// Each chunk body is prefixed with a 12-byte header:
+//
+//	uint32 chunk index | uint32 chunk count | uint32 original body length
+type StripeDevice struct {
+	lanes []SendFunc
+	// MinSize is the smallest body worth striping; zero means 256 bytes.
+	MinSize int
+}
+
+// NewStripeDevice builds a striping device over the given lanes. At least
+// one lane is required; with exactly one lane frames pass through intact.
+func NewStripeDevice(lanes ...SendFunc) (*StripeDevice, error) {
+	if len(lanes) == 0 {
+		return nil, fmt.Errorf("vmi: stripe device needs at least one lane")
+	}
+	return &StripeDevice{lanes: lanes}, nil
+}
+
+// Name implements SendDevice.
+func (d *StripeDevice) Name() string { return "stripe" }
+
+const stripeHeaderLen = 12
+
+// Send implements SendDevice. Frames too small to stripe, frames without a
+// serialized body, and already-striped frames go down lane 0 unchanged.
+func (d *StripeDevice) Send(f *Frame, next SendFunc) error {
+	min := d.MinSize
+	if min <= 0 {
+		min = 256
+	}
+	if len(d.lanes) == 1 || f.Body == nil || len(f.Body) < min || f.Flags&FlagStriped != 0 {
+		if next != nil {
+			return next(f)
+		}
+		return d.lanes[0](f)
+	}
+	k := len(d.lanes)
+	if k > len(f.Body) {
+		k = len(f.Body)
+	}
+	orig := len(f.Body)
+	per := (orig + k - 1) / k
+	for i := 0; i < k; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > orig {
+			hi = orig
+		}
+		chunk := make([]byte, stripeHeaderLen+hi-lo)
+		binary.BigEndian.PutUint32(chunk[0:], uint32(i))
+		binary.BigEndian.PutUint32(chunk[4:], uint32(k))
+		binary.BigEndian.PutUint32(chunk[8:], uint32(orig))
+		copy(chunk[stripeHeaderLen:], f.Body[lo:hi])
+		cf := *f // copy header fields (Src, Dst, Prio, Class, Seq)
+		cf.Body = chunk
+		cf.Obj = nil
+		cf.Flags |= FlagStriped
+		if err := d.lanes[i](&cf); err != nil {
+			return fmt.Errorf("vmi: stripe lane %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// StripeReassembler is the receive-side peer of StripeDevice. It buffers
+// chunks keyed by (src, seq) until a frame is complete, then forwards the
+// reassembled frame. Non-striped frames pass through untouched.
+type StripeReassembler struct {
+	mu      sync.Mutex
+	partial map[stripeKey]*stripeState
+}
+
+type stripeKey struct {
+	src int32
+	seq uint64
+}
+
+type stripeState struct {
+	chunks  [][]byte
+	have    int
+	total   int
+	origLen int
+	proto   Frame // header fields from the first chunk seen
+}
+
+// NewStripeReassembler builds an empty reassembler.
+func NewStripeReassembler() *StripeReassembler {
+	return &StripeReassembler{partial: make(map[stripeKey]*stripeState)}
+}
+
+// Name implements RecvDevice.
+func (r *StripeReassembler) Name() string { return "stripe-reassemble" }
+
+// Pending reports how many frames are partially reassembled.
+func (r *StripeReassembler) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.partial)
+}
+
+// Recv implements RecvDevice.
+func (r *StripeReassembler) Recv(f *Frame, next RecvFunc) error {
+	if f.Flags&FlagStriped == 0 {
+		return next(f)
+	}
+	if len(f.Body) < stripeHeaderLen {
+		return fmt.Errorf("vmi: striped chunk too short (%d bytes)", len(f.Body))
+	}
+	idx := int(binary.BigEndian.Uint32(f.Body[0:]))
+	total := int(binary.BigEndian.Uint32(f.Body[4:]))
+	orig := int(binary.BigEndian.Uint32(f.Body[8:]))
+	if total <= 0 || idx < 0 || idx >= total || orig < 0 || orig > maxFrameBody {
+		return fmt.Errorf("vmi: bad stripe header idx=%d total=%d orig=%d", idx, total, orig)
+	}
+	key := stripeKey{src: f.Src, seq: f.Seq}
+
+	r.mu.Lock()
+	st, ok := r.partial[key]
+	if !ok {
+		st = &stripeState{chunks: make([][]byte, total), total: total, origLen: orig, proto: *f}
+		st.proto.Body = nil
+		r.partial[key] = st
+	}
+	if st.total != total || st.origLen != orig {
+		r.mu.Unlock()
+		return fmt.Errorf("vmi: inconsistent stripe headers for %v", key)
+	}
+	if st.chunks[idx] == nil {
+		st.chunks[idx] = f.Body[stripeHeaderLen:]
+		st.have++
+	}
+	complete := st.have == st.total
+	if complete {
+		delete(r.partial, key)
+	}
+	r.mu.Unlock()
+
+	if !complete {
+		return nil
+	}
+	body := make([]byte, 0, st.origLen)
+	for _, c := range st.chunks {
+		body = append(body, c...)
+	}
+	if len(body) != st.origLen {
+		return fmt.Errorf("vmi: reassembled %d bytes, want %d", len(body), st.origLen)
+	}
+	out := st.proto
+	out.Body = body
+	out.Flags &^= FlagStriped
+	return next(&out)
+}

@@ -1,0 +1,348 @@
+package vmi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP is the wide-area (and general inter-process) terminal device: frames
+// are serialized with the VMI framing and carried over TCP connections
+// between nodes. A "node" is one OS process hosting a contiguous set of
+// PEs; the route function maps a destination PE to its node ID.
+//
+// Connections are established lazily on first send and are reused in both
+// directions: an accepted connection is also registered as the outgoing
+// path to the peer that dialed in, so a pair of nodes shares one
+// connection per direction of first use.
+type TCP struct {
+	self   int
+	addrs  map[int]string
+	route  func(pe int32) int
+	onRecv RecvFunc
+
+	ln net.Listener
+
+	mu     sync.Mutex
+	out    map[int]*tcpConn
+	closed bool
+
+	wg sync.WaitGroup
+
+	// ErrHandler receives asynchronous reader errors; nil means ignore
+	// (connection teardown during shutdown is normal).
+	ErrHandler func(error)
+
+	// OnControl, if non-nil, receives control frames other than the
+	// connection hello (e.g. coordinator shutdown announcements).
+	OnControl func(*Frame)
+
+	// DialAttempts bounds connection retries (exponential backoff, ~15s
+	// total at the default of 10). Set lower to fail fast in tests.
+	DialAttempts int
+}
+
+// ControlShutdown is the Dst marker of a coordinator's shutdown
+// announcement control frame.
+const ControlShutdown int32 = -2
+
+type tcpConn struct {
+	c  net.Conn
+	w  *bufio.Writer
+	mu sync.Mutex // serializes writes
+}
+
+// NewTCP builds a TCP transport for node self. addrs maps node ID to
+// listen address; route maps a PE to its owning node; onRecv is the local
+// receive chain entry for frames arriving from remote nodes.
+func NewTCP(self int, addrs map[int]string, route func(pe int32) int, onRecv RecvFunc) *TCP {
+	return &TCP{
+		self:   self,
+		addrs:  addrs,
+		route:  route,
+		onRecv: onRecv,
+		out:    make(map[int]*tcpConn),
+	}
+}
+
+// Listen starts accepting connections on this node's configured address.
+// It returns the bound address (useful when the configured address has
+// port 0).
+func (t *TCP) Listen() (string, error) {
+	addr, ok := t.addrs[t.self]
+	if !ok {
+		return "", fmt.Errorf("vmi: node %d has no configured address", t.self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("vmi: listen %s: %w", addr, err)
+	}
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound listen address, or "" before Listen.
+func (t *TCP) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// SetAddr updates the known address for a node (used when nodes exchange
+// dynamically bound ports during startup).
+func (t *TCP) SetAddr(node int, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[node] = addr
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.serveConn(c)
+	}
+}
+
+// hello is the first thing written on a dialed connection: a control frame
+// whose Src carries the dialer's node ID.
+func helloFrame(node int) *Frame {
+	return &Frame{Class: ClassControl, Src: int32(node), Dst: -1}
+}
+
+func (t *TCP) serveConn(c net.Conn) {
+	defer t.wg.Done()
+	br := bufio.NewReaderSize(c, 64<<10)
+
+	var hello Frame
+	if err := hello.DecodeFrom(br); err != nil || hello.Class != ClassControl {
+		c.Close()
+		return
+	}
+	peer := int(hello.Src)
+
+	// Register the accepted connection as the outgoing path to the peer
+	// unless one already exists.
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.Close()
+		return
+	}
+	if _, ok := t.out[peer]; !ok {
+		t.out[peer] = &tcpConn{c: c, w: bufio.NewWriterSize(c, 64<<10)}
+	}
+	t.mu.Unlock()
+
+	t.readLoop(br, c)
+	t.evict(c)
+}
+
+// evict drops a dead connection from the outgoing table so the next send
+// re-dials instead of writing into a closed socket.
+func (t *TCP) evict(c net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for node, tc := range t.out {
+		if tc.c == c {
+			delete(t.out, node)
+		}
+	}
+}
+
+func (t *TCP) readLoop(br *bufio.Reader, c net.Conn) {
+	for {
+		var f Frame
+		if err := f.DecodeFrom(br); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !t.isClosed() {
+				if h := t.ErrHandler; h != nil {
+					h(fmt.Errorf("vmi: tcp read: %w", err))
+				}
+			}
+			c.Close()
+			return
+		}
+		if f.Class == ClassControl {
+			if h := t.OnControl; h != nil {
+				h(&f)
+			}
+			continue
+		}
+		if err := t.onRecv(&f); err != nil {
+			if h := t.ErrHandler; h != nil {
+				h(fmt.Errorf("vmi: tcp deliver: %w", err))
+			}
+		}
+	}
+}
+
+func (t *TCP) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+func (t *TCP) connTo(node int) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, net.ErrClosed
+	}
+	if tc, ok := t.out[node]; ok {
+		t.mu.Unlock()
+		return tc, nil
+	}
+	addr, ok := t.addrs[node]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("vmi: no address for node %d", node)
+	}
+
+	attempts := t.DialAttempts
+	if attempts <= 0 {
+		attempts = 10
+	}
+	c, err := dialRetry(addr, attempts, t.isClosed)
+	if err != nil {
+		return nil, fmt.Errorf("vmi: dial node %d (%s): %w", node, addr, err)
+	}
+	tc := &tcpConn{c: c, w: bufio.NewWriterSize(c, 64<<10)}
+	if err := t.writeFrame(tc, helloFrame(t.self)); err != nil {
+		c.Close()
+		return nil, err
+	}
+
+	t.mu.Lock()
+	if prior, ok := t.out[node]; ok {
+		// Lost a dial race; keep the registered one.
+		t.mu.Unlock()
+		c.Close()
+		return prior, nil
+	}
+	t.out[node] = tc
+	t.mu.Unlock()
+
+	// Frames may flow back on this dialed connection too.
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.readLoop(bufio.NewReaderSize(c, 64<<10), c)
+		t.evict(c)
+	}()
+	return tc, nil
+}
+
+// dialRetry dials with exponential backoff so peers that start in any
+// order still connect (a co-allocated job's processes rarely come up
+// simultaneously). It gives up after ~15 seconds or when the transport
+// closes.
+func dialRetry(addr string, attempts int, closed func() bool) (net.Conn, error) {
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if closed() {
+			return nil, net.ErrClosed
+		}
+		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		time.Sleep(backoff)
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+	return nil, lastErr
+}
+
+func (t *TCP) writeFrame(tc *tcpConn, f *Frame) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if err := f.EncodeTo(tc.w); err != nil {
+		return err
+	}
+	return tc.w.Flush()
+}
+
+// Send implements the terminal SendFunc of a wide-area send chain. The
+// frame must carry a serialized Body (Obj is not transmitted).
+func (t *TCP) Send(f *Frame) error {
+	if f.Body == nil && f.Obj != nil {
+		return fmt.Errorf("vmi: tcp send of frame with unserialized payload: %v", f)
+	}
+	node := t.route(f.Dst)
+	if node == t.self {
+		// Self-node frames short-circuit into the local receive chain.
+		return t.onRecv(f)
+	}
+	tc, err := t.connTo(node)
+	if err != nil {
+		return err
+	}
+	if err := t.writeFrame(tc, f); err != nil {
+		return fmt.Errorf("vmi: tcp send to node %d: %w", node, err)
+	}
+	return nil
+}
+
+// SendControl sends a control frame directly to a node (bypassing PE
+// routing). Used by coordinators to announce shutdown.
+func (t *TCP) SendControl(node int, f *Frame) error {
+	f.Class = ClassControl
+	if node == t.self {
+		if h := t.OnControl; h != nil {
+			h(f)
+		}
+		return nil
+	}
+	tc, err := t.connTo(node)
+	if err != nil {
+		return err
+	}
+	return t.writeFrame(tc, f)
+}
+
+// Close shuts the listener and all connections down.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*tcpConn, 0, len(t.out))
+	for _, tc := range t.out {
+		conns = append(conns, tc)
+	}
+	t.out = make(map[int]*tcpConn)
+	t.mu.Unlock()
+
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, tc := range conns {
+		tc.c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// encodeUint64 is a tiny helper shared by tests.
+func encodeUint64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
