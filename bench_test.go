@@ -231,22 +231,95 @@ func BenchmarkQueuePushPop(b *testing.B) {
 	}
 }
 
-func BenchmarkFrameEncodeDecode(b *testing.B) {
-	body := bytes.Repeat([]byte("ghost row data  "), 128) // 2 KiB
-	f := &vmi.Frame{Src: 1, Dst: 2, Seq: 3, Body: body}
-	var buf bytes.Buffer
+func BenchmarkQueuePushPopBatch(b *testing.B) {
+	// The real-time scheduler's drain pattern: bursts of pushes emptied
+	// through PopBatch under one lock acquisition.
+	q := core.NewQueue()
+	batch := make([]*core.Message, 0, 32)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		buf.Reset()
-		if err := f.EncodeTo(&buf); err != nil {
-			b.Fatal(err)
+		q.Push(&core.Message{Prio: int32(i % 7)})
+		if i%8 == 7 {
+			for q.Len() > 0 {
+				batch = q.PopBatch(batch[:0])
+			}
 		}
+	}
+}
+
+func BenchmarkFrameEncodeDecode(b *testing.B) {
+	// The transport hot path: append-encode into a reused coalescing
+	// buffer, zero-copy decode out of a reused reader buffer.
+	body := bytes.Repeat([]byte("ghost row data  "), 128) // 2 KiB
+	f := &vmi.Frame{Src: 1, Dst: 2, Seq: 3, Body: body}
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = f.AppendEncode(buf[:0])
 		var g vmi.Frame
-		if err := g.DecodeFrom(&buf); err != nil {
+		if _, err := g.DecodeBytes(buf); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// BenchmarkWirePayloadKinds measures the message codec per payload kind:
+// every binary fast path plus the gob fallback, over the same
+// append-encode/decode cycle the TCP send path runs.
+func BenchmarkWirePayloadKinds(b *testing.B) {
+	f64s := make([]float64, 256) // a 2 KiB ghost row
+	for i := range f64s {
+		f64s[i] = float64(i) * 0.5
+	}
+	bundle := core.MakeBundle([]*core.Message{
+		{Kind: core.KindApp, To: core.ElemRef{Array: 0, Index: 1}, Data: f64s[:32], Bytes: 256},
+		{Kind: core.KindApp, To: core.ElemRef{Array: 0, Index: 2}, Data: f64s[:32], Bytes: 256},
+		{Kind: core.KindApp, To: core.ElemRef{Array: 0, Index: 3}, Data: f64s[:32], Bytes: 256},
+		{Kind: core.KindApp, To: core.ElemRef{Array: 0, Index: 4}, Data: f64s[:32], Bytes: 256},
+	})
+	cases := []struct {
+		name string
+		data any
+	}{
+		{"nil", nil},
+		{"int", 42},
+		{"int64", int64(1) << 40},
+		{"float64", 3.14},
+		{"f64slice-2KiB", f64s},
+		{"string", "resume-from-sync"},
+		{"bytes-2KiB", bytes.Repeat([]byte{0xAB}, 2048)},
+		{"reducepartial", core.ReducePartial{Array: 1, Seq: 9, Op: core.OpSum, Value: 1.5, Contribs: 32}},
+		{"bundle-4msgs", bundle.Data},
+		{"gob-fallback", benchGobPayload{A: 7, B: "fallback"}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			m := &core.Message{Kind: core.KindApp, To: core.ElemRef{Array: 1, Index: 2}, Data: tc.data}
+			buf := make([]byte, 0, 8192)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = core.AppendMessage(buf[:0], m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.DecodeMessage(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(buf)), "wire-bytes")
+		})
+	}
+}
+
+// benchGobPayload has no registered binary codec, so it travels via the
+// codec's gob fallback.
+type benchGobPayload struct {
+	A int
+	B string
+}
+
+func init() { core.RegisterPayload(benchGobPayload{}) }
 
 func BenchmarkDelayDeviceZeroLatency(b *testing.B) {
 	d := vmi.NewDelayDevice(func(src, dst int32) time.Duration { return 0 })

@@ -2,66 +2,445 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"math"
+	"reflect"
+	"sync"
 )
 
 // Wire serialization for messages that cross OS-process boundaries (the
 // TCP transport). In-process messages are never serialized — the paper's
-// intra-cluster fast path. Payload types that travel between processes
-// must be registered with RegisterPayload in every participating process,
-// in the same way gob requires.
+// intra-cluster fast path.
+//
+// The codec is a hand-rolled binary format: a fixed 41-byte header
+// (magic, version, Kind, To, Entry, Prio, Bytes, SrcPE, DstPE) followed by
+// a tagged payload. A payload codec registry provides allocation-light
+// fast paths for every payload type the runtime itself sends (ints,
+// floats, []float64, strings, byte slices, ReducePartial, quiescence
+// probes, and bundle contents, which encode recursively) plus any type an
+// application registers with RegisterPayloadCodec. Unregistered types fall
+// back to gob.
+//
+// Compatibility note — why the gob fallback is self-contained: a gob
+// stream sends a type descriptor once per *encoder*, so the cheapest
+// scheme would keep one pooled encoder/decoder pair per TCP connection
+// and amortize descriptors across messages. That requires the decode
+// order to match the encode order exactly, which this runtime cannot
+// guarantee: messages are encoded before the wire send chain runs, frames
+// from many PEs interleave onto per-destination connections, and
+// DecodeMessage must also accept standalone byte strings (checkpoints,
+// fuzzing, frames replayed out of context). Each fallback payload is
+// therefore a self-contained gob stream — descriptors are re-sent per
+// message — and the encoder's scratch buffer is pooled instead, so the
+// fallback costs allocations, not correctness. The fix for a *hot*
+// payload type is not a stateful stream but RegisterPayloadCodec, which
+// removes gob from its path entirely; every runtime protocol type already
+// has one. Types that keep the gob fallback must be registered with
+// RegisterPayload in every participating process, as gob requires.
 
-// RegisterPayload registers a concrete payload type for wire transport.
+// Message wire layout (big-endian):
+//
+//	off len field
+//	  0   2  magic 0x474D ("GM")
+//	  2   1  version (1)
+//	  3   1  Kind
+//	  4   4  To.Array (int32)
+//	  8   8  To.Index (int64)
+//	 16   4  Entry (int32)
+//	 20   4  Prio (int32)
+//	 24   8  Bytes (int64)
+//	 32   4  SrcPE (int32)
+//	 36   4  DstPE (int32)
+//	 40   1  payload tag
+//	 41   …  payload (tag-specific)
+const (
+	wireMagic    uint16 = 0x474D
+	wireVersion  byte   = 1
+	msgHeaderLen        = 41
+)
+
+// Payload tags. Tags 0–63 are reserved for the runtime's built-in fast
+// paths; 64–254 are available to applications via RegisterPayloadCodec;
+// 255 marks the gob fallback.
+const (
+	tagNil      byte = 0
+	tagInt      byte = 1
+	tagInt64    byte = 2
+	tagFloat64  byte = 3
+	tagF64Slice byte = 4
+	tagString   byte = 5
+	tagBytes    byte = 6
+	tagBool     byte = 7
+	tagReduce   byte = 8
+	tagQD       byte = 9
+	tagBundle   byte = 10
+
+	minAppTag byte = 64
+	tagGob    byte = 255
+)
+
+// ErrBadWire is wrapped by all structural decode failures.
+var ErrBadWire = errors.New("core: malformed wire message")
+
+// RegisterPayload registers a concrete payload type for the gob fallback
+// path of the wire codec. Hot payload types should prefer
+// RegisterPayloadCodec, which bypasses gob entirely.
 func RegisterPayload(v any) { gob.Register(v) }
 
+// PayloadCodec is a binary fast path for one concrete payload type.
+// Append serializes v (which is always of the registered type) onto dst;
+// Decode parses one value from the front of b and returns the remainder.
+// Decode must copy everything it keeps: b aliases a pooled transport
+// buffer.
+type PayloadCodec struct {
+	Append func(dst []byte, v any) ([]byte, error)
+	Decode func(b []byte) (v any, rest []byte, err error)
+}
+
+var (
+	payloadMu     sync.RWMutex
+	payloadByType = map[reflect.Type]byte{}
+	payloadByTag  = map[byte]PayloadCodec{}
+)
+
+// RegisterPayloadCodec installs a binary fast path for the payload type of
+// sample under the given tag (which must be in [64, 255)). Both sides of a
+// connection must register identical codecs. Registration is typically
+// done from init functions; it panics on tag or type conflicts.
+func RegisterPayloadCodec(tag byte, sample any, c PayloadCodec) {
+	if tag < minAppTag || tag == tagGob {
+		panic(fmt.Sprintf("core: payload tag %d outside application range [%d,255)", tag, minAppTag))
+	}
+	if c.Append == nil || c.Decode == nil {
+		panic("core: payload codec needs both Append and Decode")
+	}
+	t := reflect.TypeOf(sample)
+	payloadMu.Lock()
+	defer payloadMu.Unlock()
+	if _, dup := payloadByTag[tag]; dup {
+		panic(fmt.Sprintf("core: payload tag %d registered twice", tag))
+	}
+	if _, dup := payloadByType[t]; dup {
+		panic(fmt.Sprintf("core: payload type %v registered twice", t))
+	}
+	payloadByTag[tag] = c
+	payloadByType[t] = tag
+}
+
 func init() {
-	// Runtime protocol payloads that may cross process boundaries, and the
-	// concrete types carried inside reduction values.
+	// Concrete types carried inside reduction values and bundles still
+	// need gob registration: they may appear nested under a fallback
+	// payload that an application routes through gob.
 	RegisterPayload(ReducePartial{})
-	RegisterPayload(qdMsg{})
-	RegisterPayload([]*Message(nil)) // bundle contents
+	RegisterPayload([]*Message(nil))
 	RegisterPayload(float64(0))
 	RegisterPayload(int64(0))
 	RegisterPayload(int(0))
 	RegisterPayload([]float64(nil))
 }
 
-// wireMessage is the gob envelope. Only fields needed on the far side are
-// carried.
-type wireMessage struct {
-	Kind  Kind
-	To    ElemRef
-	Entry EntryID
-	Prio  int32
-	Bytes int
-	SrcPE int32
-	DstPE int32
-	Data  any
-}
-
 // EncodeMessage serializes a message for the TCP transport.
 func EncodeMessage(m *Message) ([]byte, error) {
-	var buf bytes.Buffer
-	enc := gob.NewEncoder(&buf)
-	w := wireMessage{
-		Kind: m.Kind, To: m.To, Entry: m.Entry, Prio: m.Prio,
-		Bytes: m.Bytes, SrcPE: m.SrcPE, DstPE: m.DstPE, Data: m.Data,
-	}
-	if err := enc.Encode(&w); err != nil {
-		return nil, fmt.Errorf("core: encode message %v: %w", m, err)
-	}
-	return buf.Bytes(), nil
+	return AppendMessage(nil, m)
 }
 
-// DecodeMessage reverses EncodeMessage.
-func DecodeMessage(b []byte) (*Message, error) {
-	var w wireMessage
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
-		return nil, fmt.Errorf("core: decode message: %w", err)
+// AppendMessage appends m's wire encoding to dst and returns the extended
+// slice. The transport path calls it with pooled buffers so steady-state
+// sends do not allocate.
+func AppendMessage(dst []byte, m *Message) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint16(dst, wireMagic)
+	dst = append(dst, wireVersion, byte(m.Kind))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.To.Array))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.To.Index)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Entry))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Prio))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.Bytes)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.SrcPE))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.DstPE))
+	dst, err := appendPayload(dst, m.Data)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode message %v: %w", m, err)
 	}
-	return &Message{
-		Kind: w.Kind, To: w.To, Entry: w.Entry, Prio: w.Prio,
-		Bytes: w.Bytes, SrcPE: w.SrcPE, DstPE: w.DstPE, Data: w.Data,
-	}, nil
+	return dst, nil
+}
+
+// DecodeMessage reverses EncodeMessage. The input must contain exactly one
+// message; nothing in the result aliases b, so callers may recycle it.
+func DecodeMessage(b []byte) (*Message, error) {
+	m, rest, err := decodeMessage(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadWire, len(rest))
+	}
+	return m, nil
+}
+
+func decodeMessage(b []byte) (*Message, []byte, error) {
+	if len(b) < msgHeaderLen {
+		return nil, b, fmt.Errorf("%w: truncated header (%d bytes)", ErrBadWire, len(b))
+	}
+	if binary.BigEndian.Uint16(b[0:]) != wireMagic {
+		return nil, b, fmt.Errorf("%w: bad magic", ErrBadWire)
+	}
+	if b[2] != wireVersion {
+		return nil, b, fmt.Errorf("%w: version %d, want %d", ErrBadWire, b[2], wireVersion)
+	}
+	m := &Message{
+		Kind:  Kind(b[3]),
+		To:    ElemRef{Array: ArrayID(int32(binary.BigEndian.Uint32(b[4:]))), Index: int(int64(binary.BigEndian.Uint64(b[8:])))},
+		Entry: EntryID(int32(binary.BigEndian.Uint32(b[16:]))),
+		Prio:  int32(binary.BigEndian.Uint32(b[20:])),
+		Bytes: int(int64(binary.BigEndian.Uint64(b[24:]))),
+		SrcPE: int32(binary.BigEndian.Uint32(b[32:])),
+		DstPE: int32(binary.BigEndian.Uint32(b[36:])),
+	}
+	data, rest, err := decodePayload(b[40], b[msgHeaderLen:])
+	if err != nil {
+		return nil, b, err
+	}
+	m.Data = data
+	return m, rest, nil
+}
+
+// appendPayload writes the tag byte and tag-specific encoding of v.
+func appendPayload(dst []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, tagNil), nil
+	case int:
+		dst = append(dst, tagInt)
+		return binary.BigEndian.AppendUint64(dst, uint64(int64(x))), nil
+	case int64:
+		dst = append(dst, tagInt64)
+		return binary.BigEndian.AppendUint64(dst, uint64(x)), nil
+	case float64:
+		dst = append(dst, tagFloat64)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(x)), nil
+	case []float64:
+		dst = append(dst, tagF64Slice)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(x)))
+		for _, f := range x {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+		}
+		return dst, nil
+	case string:
+		dst = append(dst, tagString)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(x)))
+		return append(dst, x...), nil
+	case []byte:
+		dst = append(dst, tagBytes)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(x)))
+		return append(dst, x...), nil
+	case bool:
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		return append(dst, tagBool, b), nil
+	case ReducePartial:
+		dst = append(dst, tagReduce)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(x.Array))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(x.Seq))
+		dst = append(dst, byte(x.Op))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(int64(x.Contribs)))
+		return appendPayload(dst, x.Value)
+	case qdMsg:
+		probe := byte(0)
+		if x.Probe {
+			probe = 1
+		}
+		dst = append(dst, tagQD, probe)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(x.Wave))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(x.Sent))
+		return binary.BigEndian.AppendUint64(dst, uint64(x.Processed)), nil
+	case []*Message:
+		dst = append(dst, tagBundle)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(x)))
+		var err error
+		for _, sub := range x {
+			if dst, err = AppendMessage(dst, sub); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	default:
+		payloadMu.RLock()
+		tag, ok := payloadByType[reflect.TypeOf(v)]
+		c := payloadByTag[tag]
+		payloadMu.RUnlock()
+		if ok {
+			return c.Append(append(dst, tag), v)
+		}
+		return appendGob(dst, v)
+	}
+}
+
+// decodePayload parses one tagged payload body. Everything returned is
+// freshly allocated — nothing aliases b.
+func decodePayload(tag byte, b []byte) (any, []byte, error) {
+	switch tag {
+	case tagNil:
+		return nil, b, nil
+	case tagInt:
+		if len(b) < 8 {
+			return nil, b, truncErr("int")
+		}
+		return int(int64(binary.BigEndian.Uint64(b))), b[8:], nil
+	case tagInt64:
+		if len(b) < 8 {
+			return nil, b, truncErr("int64")
+		}
+		return int64(binary.BigEndian.Uint64(b)), b[8:], nil
+	case tagFloat64:
+		if len(b) < 8 {
+			return nil, b, truncErr("float64")
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(b)), b[8:], nil
+	case tagF64Slice:
+		if len(b) < 4 {
+			return nil, b, truncErr("[]float64")
+		}
+		n := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if n > len(b)/8 {
+			return nil, b, truncErr("[]float64")
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))
+		}
+		return out, b[8*n:], nil
+	case tagString:
+		if len(b) < 4 {
+			return nil, b, truncErr("string")
+		}
+		n := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if n > len(b) {
+			return nil, b, truncErr("string")
+		}
+		return string(b[:n]), b[n:], nil
+	case tagBytes:
+		if len(b) < 4 {
+			return nil, b, truncErr("[]byte")
+		}
+		n := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if n > len(b) {
+			return nil, b, truncErr("[]byte")
+		}
+		return append([]byte(nil), b[:n]...), b[n:], nil
+	case tagBool:
+		if len(b) < 1 {
+			return nil, b, truncErr("bool")
+		}
+		return b[0] != 0, b[1:], nil
+	case tagReduce:
+		// Fixed prefix (reducePartialHeaderLen bytes) plus at least the
+		// nested payload's tag byte.
+		if len(b) < reducePartialHeaderLen+1 {
+			return nil, b, truncErr("ReducePartial")
+		}
+		p := ReducePartial{
+			Array:    ArrayID(int32(binary.BigEndian.Uint32(b))),
+			Seq:      int64(binary.BigEndian.Uint64(b[4:])),
+			Op:       ReduceOp(b[12]),
+			Contribs: int(int64(binary.BigEndian.Uint64(b[13:]))),
+		}
+		v, rest, err := decodePayload(b[21], b[22:])
+		if err != nil {
+			return nil, b, err
+		}
+		p.Value = v
+		return p, rest, nil
+	case tagQD:
+		if len(b) < 25 {
+			return nil, b, truncErr("qdMsg")
+		}
+		return qdMsg{
+			Probe:     b[0] != 0,
+			Wave:      int64(binary.BigEndian.Uint64(b[1:])),
+			Sent:      int64(binary.BigEndian.Uint64(b[9:])),
+			Processed: int64(binary.BigEndian.Uint64(b[17:])),
+		}, b[25:], nil
+	case tagBundle:
+		if len(b) < 4 {
+			return nil, b, truncErr("bundle")
+		}
+		n := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		// Each sub-message needs at least a header; reject counts the
+		// remaining bytes cannot possibly satisfy before allocating.
+		if n > len(b)/msgHeaderLen {
+			return nil, b, truncErr("bundle")
+		}
+		subs := make([]*Message, n)
+		for i := range subs {
+			var err error
+			if subs[i], b, err = decodeMessage(b); err != nil {
+				return nil, b, err
+			}
+		}
+		return subs, b, nil
+	case tagGob:
+		return decodeGob(b)
+	default:
+		payloadMu.RLock()
+		c, ok := payloadByTag[tag]
+		payloadMu.RUnlock()
+		if !ok {
+			return nil, b, fmt.Errorf("%w: unknown payload tag %d", ErrBadWire, tag)
+		}
+		return c.Decode(b)
+	}
+}
+
+func truncErr(what string) error {
+	return fmt.Errorf("%w: truncated %s payload", ErrBadWire, what)
+}
+
+// reducePartialHeaderLen documents the fixed prefix decoded above: Array
+// (4) + Seq (8) + Op (1) + Contribs (8), followed by a nested payload.
+const reducePartialHeaderLen = 21
+
+// gobPayload is the envelope of the fallback path; the indirection through
+// an interface field is what lets gob carry arbitrary registered types.
+type gobPayload struct {
+	V any
+}
+
+// gobBufPool recycles the encoder scratch buffers of the fallback path.
+var gobBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func appendGob(dst []byte, v any) ([]byte, error) {
+	buf := gobBufPool.Get().(*bytes.Buffer)
+	defer gobBufPool.Put(buf)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(&gobPayload{V: v}); err != nil {
+		return nil, fmt.Errorf("gob payload %T: %w", v, err)
+	}
+	dst = append(dst, tagGob)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(buf.Len()))
+	return append(dst, buf.Bytes()...), nil
+}
+
+func decodeGob(b []byte) (any, []byte, error) {
+	if len(b) < 4 {
+		return nil, b, truncErr("gob")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if n > len(b) {
+		return nil, b, truncErr("gob")
+	}
+	var p gobPayload
+	if err := gob.NewDecoder(bytes.NewReader(b[:n])).Decode(&p); err != nil {
+		return nil, b, fmt.Errorf("core: decode gob payload: %w", err)
+	}
+	return p.V, b[n:], nil
 }

@@ -9,20 +9,29 @@ import (
 // (smaller Prio first) with FIFO order among equal priorities — the
 // "message queue in either FIFO or priority order" of the paper's §4.
 //
-// The implementation is a single binary heap ordered by (Prio, seq). The
-// executor assigns monotonically increasing sequence numbers at enqueue
-// time, which both provides the FIFO tie-break and makes ordering
-// deterministic for the virtual-time executor.
+// The implementation is two lanes sharing one (Prio, seq) ordering
+// contract. Default-priority messages — the overwhelming majority of
+// application traffic — land in a ring-buffer FIFO lane that costs one
+// index bump per push and pop; only prioritized and runtime protocol
+// messages pay for a binary heap. A pop compares the lane heads under the
+// shared (Prio, seq) order, so the observable ordering is identical to a
+// single heap over all messages. The executor assigns monotonically
+// increasing sequence numbers at enqueue time, which both provides the
+// FIFO tie-break and makes ordering deterministic for the virtual-time
+// executor.
 //
 // Queue is safe for concurrent use; Pop blocks until a message is
-// available or the queue is closed. The virtual-time executor uses the
-// non-blocking TryPop.
+// available or the queue is closed, and PopBatch drains a burst under a
+// single lock acquisition for the real-time scheduler. The virtual-time
+// executor uses the non-blocking TryPop.
 type Queue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	h      msgHeap
-	seq    uint64
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	fifo    msgRing // Prio == 0 lane
+	h       msgHeap // Prio != 0 lane
+	seq     uint64
+	waiters int
+	closed  bool
 }
 
 // NewQueue builds an empty open queue.
@@ -30,6 +39,44 @@ func NewQueue() *Queue {
 	q := &Queue{}
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+// msgRing is a growable circular FIFO of messages.
+type msgRing struct {
+	buf  []*Message
+	head int // index of the front message
+	n    int // number of queued messages
+}
+
+func (r *msgRing) push(m *Message) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = m
+	r.n++
+}
+
+func (r *msgRing) grow() {
+	newCap := len(r.buf) * 2
+	if newCap == 0 {
+		newCap = 16
+	}
+	buf := make([]*Message, newCap) // power-of-two capacity keeps index math a mask
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+func (r *msgRing) front() *Message { return r.buf[r.head] }
+
+func (r *msgRing) pop() *Message {
+	m := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return m
 }
 
 type msgHeap []*Message
@@ -53,7 +100,9 @@ func (h *msgHeap) Pop() any {
 }
 
 // Push enqueues a message, assigning its FIFO sequence number. Pushing to
-// a closed queue is a no-op (shutdown races drop cleanly).
+// a closed queue is a no-op (shutdown races drop cleanly). A waiting
+// popper is woken only when one exists; the common push-to-busy-PE case
+// pays no futex call.
 func (q *Queue) Push(m *Message) {
 	q.mu.Lock()
 	if q.closed {
@@ -62,41 +111,97 @@ func (q *Queue) Push(m *Message) {
 	}
 	q.seq++
 	m.seq = q.seq
-	heap.Push(&q.h, m)
+	if m.Prio == 0 {
+		q.fifo.push(m)
+	} else {
+		heap.Push(&q.h, m)
+	}
+	wake := q.waiters > 0
 	q.mu.Unlock()
-	q.cond.Signal()
+	if wake {
+		q.cond.Signal()
+	}
+}
+
+// size reports the queued message count. Callers hold q.mu.
+func (q *Queue) size() int { return q.fifo.n + len(q.h) }
+
+// popLocked removes the (Prio, seq)-least message across both lanes.
+// Callers hold q.mu and guarantee the queue is non-empty.
+func (q *Queue) popLocked() *Message {
+	if len(q.h) == 0 {
+		return q.fifo.pop()
+	}
+	if q.fifo.n == 0 {
+		return heap.Pop(&q.h).(*Message)
+	}
+	hp, fp := q.h[0], q.fifo.front()
+	if hp.Prio < fp.Prio || (hp.Prio == fp.Prio && hp.seq < fp.seq) {
+		return heap.Pop(&q.h).(*Message)
+	}
+	return q.fifo.pop()
 }
 
 // Pop removes the highest-priority message, blocking while the queue is
 // empty. It returns nil once the queue is closed and drained.
 func (q *Queue) Pop() *Message {
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.h) == 0 && !q.closed {
+	for q.size() == 0 && !q.closed {
+		q.waiters++
 		q.cond.Wait()
+		q.waiters--
 	}
-	if len(q.h) == 0 {
+	if q.size() == 0 {
+		q.mu.Unlock()
 		return nil
 	}
-	return heap.Pop(&q.h).(*Message)
+	m := q.popLocked()
+	q.mu.Unlock()
+	return m
+}
+
+// PopBatch blocks like Pop for the first message, then drains further
+// deliverable messages — in (Prio, seq) order — into the spare capacity of
+// into, all under one lock acquisition. It appends to into and returns the
+// extended slice; the result is empty only once the queue is closed and
+// drained. Callers bound the burst with into's capacity.
+func (q *Queue) PopBatch(into []*Message) []*Message {
+	max := cap(into) - len(into)
+	if max <= 0 {
+		max = 1
+	}
+	q.mu.Lock()
+	for q.size() == 0 && !q.closed {
+		q.waiters++
+		q.cond.Wait()
+		q.waiters--
+	}
+	for i := 0; i < max && q.size() > 0; i++ {
+		into = append(into, q.popLocked())
+	}
+	q.mu.Unlock()
+	return into
 }
 
 // TryPop removes the highest-priority message without blocking, returning
 // nil when the queue is empty.
 func (q *Queue) TryPop() *Message {
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	if len(q.h) == 0 {
+	if q.size() == 0 {
+		q.mu.Unlock()
 		return nil
 	}
-	return heap.Pop(&q.h).(*Message)
+	m := q.popLocked()
+	q.mu.Unlock()
+	return m
 }
 
 // Len reports the number of queued messages.
 func (q *Queue) Len() int {
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	return len(q.h)
+	n := q.size()
+	q.mu.Unlock()
+	return n
 }
 
 // Close marks the queue closed and wakes all blocked poppers. Messages

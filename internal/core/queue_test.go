@@ -153,6 +153,123 @@ func TestQueueConcurrentProducersConsumers(t *testing.T) {
 	}
 }
 
+// TestQueuePopBatchOrdering: a batch drain observes the same global
+// (Prio, seq) order as repeated single pops, merging both lanes.
+func TestQueuePopBatchOrdering(t *testing.T) {
+	q := NewQueue()
+	q.Push(&Message{Prio: 0, Entry: 1})
+	q.Push(&Message{Prio: -5, Entry: 2})
+	q.Push(&Message{Prio: 0, Entry: 3})
+	q.Push(&Message{Prio: 3, Entry: 4})
+	q.Push(&Message{Prio: -5, Entry: 5})
+	batch := q.PopBatch(make([]*Message, 0, 8))
+	want := []EntryID{2, 5, 1, 3, 4}
+	if len(batch) != len(want) {
+		t.Fatalf("batch of %d, want %d", len(batch), len(want))
+	}
+	for i, w := range want {
+		if batch[i].Entry != w {
+			t.Fatalf("batch[%d]: entry %d, want %d", i, batch[i].Entry, w)
+		}
+	}
+}
+
+// TestQueuePopBatchCapacityBound: PopBatch never exceeds the spare
+// capacity of into, and leaves the remainder queued.
+func TestQueuePopBatchCapacityBound(t *testing.T) {
+	q := NewQueue()
+	for i := 0; i < 10; i++ {
+		q.Push(&Message{Entry: EntryID(i)})
+	}
+	batch := q.PopBatch(make([]*Message, 0, 4))
+	if len(batch) != 4 {
+		t.Fatalf("batch of %d, want 4", len(batch))
+	}
+	if q.Len() != 6 {
+		t.Fatalf("queue holds %d, want 6", q.Len())
+	}
+	for i, m := range batch {
+		if m.Entry != EntryID(i) {
+			t.Fatalf("batch[%d]: entry %d", i, m.Entry)
+		}
+	}
+	// A full slice still yields one message so the scheduler always
+	// makes progress.
+	one := q.PopBatch(make([]*Message, 0))
+	if len(one) != 1 || one[0].Entry != 4 {
+		t.Fatalf("zero-capacity batch: %v", one)
+	}
+}
+
+// TestQueuePopBatchBlocksAndCloses: PopBatch blocks on empty like Pop,
+// wakes on push, and returns an empty slice once closed and drained.
+func TestQueuePopBatchBlocksAndCloses(t *testing.T) {
+	q := NewQueue()
+	done := make(chan []*Message, 1)
+	go func() { done <- q.PopBatch(make([]*Message, 0, 8)) }()
+	select {
+	case <-done:
+		t.Fatal("PopBatch returned without a message")
+	case <-time.After(10 * time.Millisecond):
+	}
+	q.Push(&Message{Entry: 9})
+	select {
+	case batch := <-done:
+		if len(batch) != 1 || batch[0].Entry != 9 {
+			t.Fatalf("got %v", batch)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PopBatch never unblocked")
+	}
+	q.Close()
+	if batch := q.PopBatch(make([]*Message, 0, 8)); len(batch) != 0 {
+		t.Fatalf("closed+drained queue returned %v", batch)
+	}
+}
+
+// Property: splitting a workload into arbitrary-size batch drains yields
+// the same order as single pops.
+func TestQueuePopBatchEquivalenceProperty(t *testing.T) {
+	prop := func(prios []int8, caps []uint8) bool {
+		single, batched := NewQueue(), NewQueue()
+		for i, p := range prios {
+			single.Push(&Message{Prio: int32(p), Entry: EntryID(i)})
+			batched.Push(&Message{Prio: int32(p), Entry: EntryID(i)})
+		}
+		single.Close()
+		batched.Close()
+		var a, b []*Message
+		for m := single.Pop(); m != nil; m = single.Pop() {
+			a = append(a, m)
+		}
+		ci := 0
+		for {
+			c := 1
+			if len(caps) > 0 {
+				c = int(caps[ci%len(caps)])%8 + 1
+				ci++
+			}
+			batch := batched.PopBatch(make([]*Message, 0, c))
+			if len(batch) == 0 {
+				break
+			}
+			b = append(b, batch...)
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Entry != b[i].Entry {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestBlockMapCoversAllPEs(t *testing.T) {
 	for _, tc := range []struct{ n, p int }{{16, 4}, {7, 3}, {64, 64}, {3, 8}} {
 		counts := make([]int, tc.p)

@@ -149,6 +149,13 @@ func NewRuntime(topo *topology.Topology, prog *Program, opts Options) (*Runtime,
 	if opts.Transport != nil {
 		rt.wireSend = vmi.BuildSendChain(opts.Transport.Send, opts.WireSend...)
 		rt.wireRecv = vmi.BuildRecvChain(rt.injectDecoded, opts.WireRecv...)
+		// The transport's write path is asynchronous (coalesced); errors it
+		// can no longer return from Send must fail the run, or a dead peer
+		// leaves the surviving node waiting forever for messages that were
+		// acknowledged into a doomed buffer.
+		if st, ok := opts.Transport.(interface{ SetErrHandler(func(error)) }); ok {
+			st.SetErrHandler(rt.fail)
+		}
 	}
 	rt.pes = make([]*peState, opts.PEHi-opts.PELo)
 	for i := range rt.pes {
@@ -265,14 +272,28 @@ func (rt *Runtime) pastDelay(f *vmi.Frame) error {
 		return nil
 	}
 	m := f.Obj.(*Message)
-	body, err := EncodeMessage(m)
+	if rt.Err() != nil {
+		// The runtime is already failing; frames drained out of the delay
+		// device during shutdown would each pay a full dial-retry cycle
+		// against a possibly-dead peer, stalling Run's cleanup.
+		return nil
+	}
+	// Serialize into a pooled buffer. The TCP device copies the body into
+	// its coalescing buffer before Send returns (and transform devices
+	// that reallocate the body drop this one), so it can be recycled as
+	// soon as the send chain hands the frame back.
+	buf := vmi.GetBuf(msgHeaderLen + m.Bytes)
+	body, err := AppendMessage(buf[:0], m)
 	if err != nil {
+		vmi.PutBuf(buf)
 		rt.fail(err)
 		return err
 	}
 	f.Body = body
 	f.Obj = nil
-	if err := rt.wireSend(f); err != nil {
+	err = rt.wireSend(f)
+	vmi.PutBuf(body)
+	if err != nil {
 		rt.fail(err)
 		return err
 	}
@@ -424,6 +445,12 @@ func (rt *Runtime) Run() (any, error) {
 	return rt.exitVal, rt.Err()
 }
 
+// schedBatchSize bounds how many messages a scheduler drains per queue
+// lock acquisition. Large enough to amortize the lock across a burst
+// (e.g. a bundle's worth of ghost exchanges), small enough that a
+// late-arriving prioritized message preempts within one batch.
+const schedBatchSize = 32
+
 func (rt *Runtime) schedule(ps *peState) {
 	defer rt.wg.Done()
 	defer func() {
@@ -431,41 +458,47 @@ func (rt *Runtime) schedule(ps *peState) {
 			rt.fail(fmt.Errorf("core: PE %d handler panicked: %v", ps.id, r))
 		}
 	}()
+	batch := make([]*Message, 0, schedBatchSize)
 	for {
 		ps.idle.Store(true)
-		m := ps.q.Pop()
+		batch = ps.q.PopBatch(batch[:0])
 		ps.idle.Store(false)
-		if m == nil || m.Kind == KindStop {
+		if len(batch) == 0 {
 			return
 		}
-		rt.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvBegin, At: rt.Now(), Arg1: int64(m.To.Array), Arg2: int64(m.To.Index)})
-		var err error
-		switch m.Kind {
-		case KindApp:
-			err = ps.host.DeliverApp(m)
-		case KindStart:
-			ps.host.RunStart(rt.prog)
-		case KindReduce:
-			err = ps.reduce.HandlePartial(m)
-		case KindLB:
-			if ps.lb == nil {
-				err = fmt.Errorf("core: PE %d received LB message without LB config", ps.id)
-			} else {
-				err = ps.lb.Handle(m)
+		for _, m := range batch {
+			if m.Kind == KindStop {
+				return
 			}
-		case KindQD:
-			err = rt.handleQD(ps, m)
-		default:
-			err = fmt.Errorf("core: PE %d received unknown message kind %d", ps.id, m.Kind)
-		}
-		rt.flushBundles(ps)
-		rt.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvEnd, At: rt.Now()})
-		if m.Kind != KindQD {
-			rt.processedByPE[ps.id].Add(1)
-		}
-		if err != nil {
-			rt.fail(err)
-			return
+			rt.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvBegin, At: rt.Now(), Arg1: int64(m.To.Array), Arg2: int64(m.To.Index)})
+			var err error
+			switch m.Kind {
+			case KindApp:
+				err = ps.host.DeliverApp(m)
+			case KindStart:
+				ps.host.RunStart(rt.prog)
+			case KindReduce:
+				err = ps.reduce.HandlePartial(m)
+			case KindLB:
+				if ps.lb == nil {
+					err = fmt.Errorf("core: PE %d received LB message without LB config", ps.id)
+				} else {
+					err = ps.lb.Handle(m)
+				}
+			case KindQD:
+				err = rt.handleQD(ps, m)
+			default:
+				err = fmt.Errorf("core: PE %d received unknown message kind %d", ps.id, m.Kind)
+			}
+			rt.flushBundles(ps)
+			rt.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvEnd, At: rt.Now()})
+			if m.Kind != KindQD {
+				rt.processedByPE[ps.id].Add(1)
+			}
+			if err != nil {
+				rt.fail(err)
+				return
+			}
 		}
 	}
 }

@@ -92,6 +92,144 @@ func (f *Frame) EncodeTo(w io.Writer) error {
 	return nil
 }
 
+// AppendEncode appends the frame's wire encoding (header and body) to dst
+// and returns the extended slice. It is the allocation-free counterpart of
+// EncodeTo used by the TCP write coalescer.
+func (f *Frame) AppendEncode(dst []byte) []byte {
+	var h [headerLen]byte
+	binary.BigEndian.PutUint32(h[0:], frameMagic)
+	h[4] = byte(f.Class)
+	// h[5] reserved
+	binary.BigEndian.PutUint16(h[6:], f.Flags)
+	binary.BigEndian.PutUint32(h[8:], uint32(f.Src))
+	binary.BigEndian.PutUint32(h[12:], uint32(f.Dst))
+	binary.BigEndian.PutUint32(h[16:], uint32(f.Prio))
+	binary.BigEndian.PutUint64(h[20:], f.Seq)
+	binary.BigEndian.PutUint32(h[28:], uint32(len(f.Body)))
+	dst = append(dst, h[:]...)
+	return append(dst, f.Body...)
+}
+
+// DecodeBytes parses one frame from the front of b, replacing f's fields,
+// and returns the remainder of b. Body aliases b — no copy is made — so
+// the frame is only valid while the caller keeps b intact; retainers must
+// Clone. An incomplete frame returns io.ErrUnexpectedEOF.
+func (f *Frame) DecodeBytes(b []byte) ([]byte, error) {
+	if len(b) < headerLen {
+		return b, io.ErrUnexpectedEOF
+	}
+	if binary.BigEndian.Uint32(b[0:]) != frameMagic {
+		return b, ErrBadMagic
+	}
+	n := binary.BigEndian.Uint32(b[28:])
+	if n > maxFrameBody {
+		return b, ErrFrameTooLarge
+	}
+	if uint32(len(b)-headerLen) < n {
+		return b, io.ErrUnexpectedEOF
+	}
+	f.Class = Class(b[4])
+	f.Flags = binary.BigEndian.Uint16(b[6:])
+	f.Src = int32(binary.BigEndian.Uint32(b[8:]))
+	f.Dst = int32(binary.BigEndian.Uint32(b[12:]))
+	f.Prio = int32(binary.BigEndian.Uint32(b[16:]))
+	f.Seq = binary.BigEndian.Uint64(b[20:])
+	f.Obj = nil
+	if n == 0 {
+		f.Body = nil
+	} else {
+		f.Body = b[headerLen : headerLen+int(n) : headerLen+int(n)]
+	}
+	return b[headerLen+int(n):], nil
+}
+
+// frameReader decodes a stream of frames with block reads and zero-copy
+// bodies: it fills a single reusable buffer with as many bytes as each
+// Read returns and parses frames out of it in place. A decoded frame's
+// Body aliases the buffer and is valid only until the next Next call;
+// consumers that retain bodies must copy (Frame.Clone does).
+type frameReader struct {
+	r        io.Reader
+	buf      []byte
+	pos, end int
+}
+
+// frameReaderBufSize is the initial block size; it grows (to at most the
+// frame body cap) when a larger frame arrives.
+const frameReaderBufSize = 64 << 10
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{r: r, buf: GetBuf(frameReaderBufSize)}
+}
+
+// release returns the reader's block buffer to the pool. No frame decoded
+// by this reader may be referenced afterwards.
+func (fr *frameReader) release() {
+	PutBuf(fr.buf)
+	fr.buf = nil
+}
+
+// fill ensures at least need unparsed bytes are buffered, compacting and
+// growing the block as required. It reports io.EOF only at a clean frame
+// boundary (no partial data), matching DecodeFrom's stream semantics.
+func (fr *frameReader) fill(need int) error {
+	if fr.pos > 0 {
+		copy(fr.buf, fr.buf[fr.pos:fr.end])
+		fr.end -= fr.pos
+		fr.pos = 0
+	}
+	if need > len(fr.buf) {
+		grown := GetBuf(need)
+		copy(grown, fr.buf[:fr.end])
+		PutBuf(fr.buf)
+		fr.buf = grown
+	}
+	for fr.end < need {
+		n, err := fr.r.Read(fr.buf[fr.end:])
+		fr.end += n
+		if err != nil {
+			if fr.end >= need {
+				return nil
+			}
+			if err == io.EOF && fr.end > 0 {
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Next decodes the next frame from the stream into f. The frame's Body is
+// only valid until the following Next (or release) call.
+func (fr *frameReader) Next(f *Frame) error {
+	if fr.end-fr.pos < headerLen {
+		if err := fr.fill(headerLen); err != nil {
+			return err
+		}
+	}
+	h := fr.buf[fr.pos:]
+	if binary.BigEndian.Uint32(h[0:]) != frameMagic {
+		return ErrBadMagic
+	}
+	n := binary.BigEndian.Uint32(h[28:])
+	if n > maxFrameBody {
+		return ErrFrameTooLarge
+	}
+	total := headerLen + int(n)
+	if fr.end-fr.pos < total {
+		if err := fr.fill(total); err != nil {
+			return err
+		}
+	}
+	rest, err := f.DecodeBytes(fr.buf[fr.pos:fr.end])
+	if err != nil {
+		return err
+	}
+	fr.pos = fr.end - len(rest)
+	return nil
+}
+
 // DecodeFrom reads one frame from r, replacing f's fields. Obj is left nil.
 func (f *Frame) DecodeFrom(r io.Reader) error {
 	var h [headerLen]byte

@@ -142,7 +142,9 @@ func (r *StripeReassembler) Recv(f *Frame, next RecvFunc) error {
 		return fmt.Errorf("vmi: inconsistent stripe headers for %v", key)
 	}
 	if st.chunks[idx] == nil {
-		st.chunks[idx] = f.Body[stripeHeaderLen:]
+		// Copy: the chunk outlives this Recv call, and bodies arriving off
+		// the TCP transport alias a reader buffer that is reused after it.
+		st.chunks[idx] = append([]byte(nil), f.Body[stripeHeaderLen:]...)
 		st.have++
 	}
 	complete := st.have == st.total

@@ -1,13 +1,13 @@
 package vmi
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -20,6 +20,15 @@ import (
 // directions: an accepted connection is also registered as the outgoing
 // path to the peer that dialed in, so a pair of nodes shares one
 // connection per direction of first use.
+//
+// Writes are coalesced with a flush-on-idle policy: Send serializes the
+// frame into the connection's pending buffer and returns; a per-connection
+// writer goroutine drains the buffer in single large writes, so a burst of
+// frames pays one syscall and the socket is flushed exactly when the send
+// queue goes idle rather than once per frame. Frames received from the
+// wire are decoded with zero-copy bodies: the frame passed to onRecv (and
+// its Body) is valid only for the duration of the call, and receivers that
+// retain data must copy (Frame.Clone does).
 type TCP struct {
 	self   int
 	addrs  map[int]string
@@ -34,9 +43,12 @@ type TCP struct {
 
 	wg sync.WaitGroup
 
-	// ErrHandler receives asynchronous reader errors; nil means ignore
-	// (connection teardown during shutdown is normal).
-	ErrHandler func(error)
+	// errHandler receives asynchronous reader and writer errors; nil means
+	// ignore (connection teardown during shutdown is normal). Because Send
+	// returns before the coalesced write happens, a transport used for
+	// anything long-running must install a handler (SetErrHandler) or peer
+	// failures after enqueue are invisible to the sender.
+	errHandler atomic.Pointer[func(error)]
 
 	// OnControl, if non-nil, receives control frames other than the
 	// connection hello (e.g. coordinator shutdown announcements).
@@ -51,10 +63,108 @@ type TCP struct {
 // announcement control frame.
 const ControlShutdown int32 = -2
 
+// maxPendingBytes bounds a connection's coalescing buffer; senders block
+// (backpressure) until the writer drains below it.
+const maxPendingBytes = 4 << 20
+
+// closeFlushTimeout caps how long a closing connection's writer may spend
+// flushing its remaining pending bytes to a possibly-dead peer.
+const closeFlushTimeout = 2 * time.Second
+
+// tcpConn is one direction-of-use connection with its write coalescer.
 type tcpConn struct {
-	c  net.Conn
-	w  *bufio.Writer
-	mu sync.Mutex // serializes writes
+	c net.Conn
+
+	mu      sync.Mutex
+	hasData *sync.Cond // writer waits here for pending bytes
+	drained *sync.Cond // backpressured senders wait here for the writer
+	pending []byte     // frames encoded and awaiting the writer
+	spare   []byte     // writer's swap buffer, recycled each drain
+	closed  bool
+	err     error // first write error, returned to later senders
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	tc := &tcpConn{c: c, pending: GetBuf(0)[:0], spare: GetBuf(0)[:0]}
+	tc.hasData = sync.NewCond(&tc.mu)
+	tc.drained = sync.NewCond(&tc.mu)
+	return tc
+}
+
+// enqueue appends the frame's encoding to the pending buffer and wakes the
+// writer if it was idle. The frame and its Body are fully copied, so the
+// caller may reuse them on return.
+func (tc *tcpConn) enqueue(f *Frame) error {
+	tc.mu.Lock()
+	for len(tc.pending) >= maxPendingBytes && !tc.closed {
+		tc.drained.Wait()
+	}
+	if tc.closed {
+		err := tc.err
+		tc.mu.Unlock()
+		if err == nil {
+			err = net.ErrClosed
+		}
+		return err
+	}
+	wasIdle := len(tc.pending) == 0
+	tc.pending = f.AppendEncode(tc.pending)
+	tc.mu.Unlock()
+	if wasIdle {
+		tc.hasData.Signal()
+	}
+	return nil
+}
+
+// shutdown marks the connection closed; the writer flushes what is already
+// pending (bounded by closeFlushTimeout) and then closes the socket.
+func (tc *tcpConn) shutdown() {
+	tc.mu.Lock()
+	tc.closed = true
+	tc.c.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
+	tc.mu.Unlock()
+	tc.hasData.Signal()
+	tc.drained.Broadcast()
+}
+
+// writeLoop drains the pending buffer. Each pass swaps the buffer out and
+// writes it whole, so frames queued during a write coalesce into the next
+// one; the socket goes idle only when the queue is empty.
+func (tc *tcpConn) writeLoop(onErr func(error)) {
+	tc.mu.Lock()
+	for {
+		for len(tc.pending) == 0 && !tc.closed {
+			tc.hasData.Wait()
+		}
+		if len(tc.pending) == 0 { // closed and drained
+			tc.mu.Unlock()
+			tc.c.Close()
+			return
+		}
+		buf := tc.pending
+		tc.pending = tc.spare[:0]
+		tc.mu.Unlock()
+
+		_, err := tc.c.Write(buf)
+
+		tc.mu.Lock()
+		tc.spare = buf
+		tc.drained.Broadcast()
+		if err != nil {
+			if tc.err == nil {
+				tc.err = err
+			}
+			wasClosed := tc.closed
+			tc.closed = true
+			tc.mu.Unlock()
+			tc.c.Close()
+			tc.drained.Broadcast()
+			if !wasClosed && onErr != nil {
+				onErr(err)
+			}
+			return
+		}
+	}
 }
 
 // NewTCP builds a TCP transport for node self. addrs maps node ID to
@@ -122,12 +232,28 @@ func helloFrame(node int) *Frame {
 	return &Frame{Class: ClassControl, Src: int32(node), Dst: -1}
 }
 
+// startWriter launches a connection's write coalescer under the transport's
+// WaitGroup.
+func (t *TCP) startWriter(tc *tcpConn) {
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		tc.writeLoop(func(err error) {
+			if h := t.errh(); h != nil && !t.isClosed() {
+				h(fmt.Errorf("vmi: tcp write: %w", err))
+			}
+			t.evict(tc.c)
+		})
+	}()
+}
+
 func (t *TCP) serveConn(c net.Conn) {
 	defer t.wg.Done()
-	br := bufio.NewReaderSize(c, 64<<10)
+	fr := newFrameReader(c)
+	defer fr.release()
 
 	var hello Frame
-	if err := hello.DecodeFrom(br); err != nil || hello.Class != ClassControl {
+	if err := fr.Next(&hello); err != nil || hello.Class != ClassControl {
 		c.Close()
 		return
 	}
@@ -142,11 +268,13 @@ func (t *TCP) serveConn(c net.Conn) {
 		return
 	}
 	if _, ok := t.out[peer]; !ok {
-		t.out[peer] = &tcpConn{c: c, w: bufio.NewWriterSize(c, 64<<10)}
+		tc := newTCPConn(c)
+		t.out[peer] = tc
+		t.startWriter(tc)
 	}
 	t.mu.Unlock()
 
-	t.readLoop(br, c)
+	t.readLoop(fr, c)
 	t.evict(c)
 }
 
@@ -154,20 +282,28 @@ func (t *TCP) serveConn(c net.Conn) {
 // re-dials instead of writing into a closed socket.
 func (t *TCP) evict(c net.Conn) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	var dead *tcpConn
 	for node, tc := range t.out {
 		if tc.c == c {
+			dead = tc
 			delete(t.out, node)
 		}
 	}
+	t.mu.Unlock()
+	if dead != nil {
+		dead.shutdown()
+	}
 }
 
-func (t *TCP) readLoop(br *bufio.Reader, c net.Conn) {
+// readLoop decodes frames off the connection and hands them up. Bodies are
+// zero-copy views into the reader's block buffer, valid only during the
+// delivery call.
+func (t *TCP) readLoop(fr *frameReader, c net.Conn) {
+	var f Frame
 	for {
-		var f Frame
-		if err := f.DecodeFrom(br); err != nil {
+		if err := fr.Next(&f); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !t.isClosed() {
-				if h := t.ErrHandler; h != nil {
+				if h := t.errh(); h != nil {
 					h(fmt.Errorf("vmi: tcp read: %w", err))
 				}
 			}
@@ -176,16 +312,32 @@ func (t *TCP) readLoop(br *bufio.Reader, c net.Conn) {
 		}
 		if f.Class == ClassControl {
 			if h := t.OnControl; h != nil {
-				h(&f)
+				// Control handlers may retain the frame; clone it off the
+				// shared read buffer.
+				h(f.Clone())
 			}
 			continue
 		}
 		if err := t.onRecv(&f); err != nil {
-			if h := t.ErrHandler; h != nil {
+			if h := t.errh(); h != nil {
 				h(fmt.Errorf("vmi: tcp deliver: %w", err))
 			}
 		}
 	}
+}
+
+// SetErrHandler installs the asynchronous error handler; the runtime wires
+// its failure path here at construction.
+func (t *TCP) SetErrHandler(h func(error)) {
+	t.errHandler.Store(&h)
+}
+
+// errh returns the installed error handler, or nil.
+func (t *TCP) errh() func(error) {
+	if p := t.errHandler.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 func (t *TCP) isClosed() bool {
@@ -218,9 +370,10 @@ func (t *TCP) connTo(node int) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vmi: dial node %d (%s): %w", node, addr, err)
 	}
-	tc := &tcpConn{c: c, w: bufio.NewWriterSize(c, 64<<10)}
-	if err := t.writeFrame(tc, helloFrame(t.self)); err != nil {
-		c.Close()
+	tc := newTCPConn(c)
+	t.startWriter(tc)
+	if err := tc.enqueue(helloFrame(t.self)); err != nil {
+		tc.shutdown()
 		return nil, err
 	}
 
@@ -228,7 +381,7 @@ func (t *TCP) connTo(node int) (*tcpConn, error) {
 	if prior, ok := t.out[node]; ok {
 		// Lost a dial race; keep the registered one.
 		t.mu.Unlock()
-		c.Close()
+		tc.shutdown()
 		return prior, nil
 	}
 	t.out[node] = tc
@@ -238,7 +391,9 @@ func (t *TCP) connTo(node int) (*tcpConn, error) {
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
-		t.readLoop(bufio.NewReaderSize(c, 64<<10), c)
+		fr := newFrameReader(c)
+		defer fr.release()
+		t.readLoop(fr, c)
 		t.evict(c)
 	}()
 	return tc, nil
@@ -268,17 +423,11 @@ func dialRetry(addr string, attempts int, closed func() bool) (net.Conn, error) 
 	return nil, lastErr
 }
 
-func (t *TCP) writeFrame(tc *tcpConn, f *Frame) error {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if err := f.EncodeTo(tc.w); err != nil {
-		return err
-	}
-	return tc.w.Flush()
-}
-
 // Send implements the terminal SendFunc of a wide-area send chain. The
-// frame must carry a serialized Body (Obj is not transmitted).
+// frame must carry a serialized Body (Obj is not transmitted). The body is
+// copied into the connection's coalescing buffer before Send returns, so
+// callers may recycle it; transport errors after that point are reported
+// asynchronously through ErrHandler.
 func (t *TCP) Send(f *Frame) error {
 	if f.Body == nil && f.Obj != nil {
 		return fmt.Errorf("vmi: tcp send of frame with unserialized payload: %v", f)
@@ -292,7 +441,7 @@ func (t *TCP) Send(f *Frame) error {
 	if err != nil {
 		return err
 	}
-	if err := t.writeFrame(tc, f); err != nil {
+	if err := tc.enqueue(f); err != nil {
 		return fmt.Errorf("vmi: tcp send to node %d: %w", node, err)
 	}
 	return nil
@@ -312,10 +461,13 @@ func (t *TCP) SendControl(node int, f *Frame) error {
 	if err != nil {
 		return err
 	}
-	return t.writeFrame(tc, f)
+	return tc.enqueue(f)
 }
 
-// Close shuts the listener and all connections down.
+// Close shuts the listener and all connections down. Each connection's
+// writer flushes frames already queued (bounded by closeFlushTimeout)
+// before its socket closes, so shutdown announcements sent just before
+// Close still reach their peers.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -334,7 +486,7 @@ func (t *TCP) Close() error {
 		t.ln.Close()
 	}
 	for _, tc := range conns {
-		tc.c.Close()
+		tc.shutdown()
 	}
 	t.wg.Wait()
 	return nil
