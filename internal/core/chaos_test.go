@@ -1,0 +1,395 @@
+package core_test
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"gridmdo/internal/core"
+	"gridmdo/internal/stencil"
+	"gridmdo/internal/topology"
+	"gridmdo/internal/vmi"
+)
+
+// End-to-end chaos acceptance tests: real programs (the stencil benchmark,
+// a ping-pong exchange) over two runtimes joined by the real TCP
+// transport, with seeded faults injected below the reliability layer and a
+// forced mid-run disconnect. The assertions are outcome invariants —
+// exactly-once, in-order delivery and bit-identical results versus a
+// fault-free run — which hold for any interleaving of the same seeded
+// fault schedule; the schedule itself is seed-deterministic (see
+// vmi.TestChaosSameSeedSameFaultSchedule).
+
+// coreChaosSeed mirrors vmi's chaos seed plumbing: GRIDMDO_CHAOS_SEED
+// replays a schedule, and the seed in use is always logged.
+func coreChaosSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := int64(20260805)
+	if s := os.Getenv("GRIDMDO_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("GRIDMDO_CHAOS_SEED=%q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("chaos seed: %d (set GRIDMDO_CHAOS_SEED=%d to replay)", seed, seed)
+	return seed
+}
+
+// twoNodeHarness is one two-process run: a pair of TCP transports on
+// loopback, optionally wrapped in reliability layers, hosting one PE each.
+type twoNodeHarness struct {
+	tcps [2]*vmi.TCP
+	rels [2]*vmi.Reliable
+	rts  [2]*core.Runtime
+}
+
+// buildTwoNodes wires transports and runtimes for a two-PE topology.
+// relCfg non-nil interposes a reliability layer per node (relCfg[node]
+// carrying that node's fault devices); nil runs bare TCP with faults, if
+// any, in the wire send chain (where PR 1 left them: above the transport,
+// unrecoverable).
+func buildTwoNodes(t *testing.T, topo *topology.Topology, mkProg func() *core.Program,
+	relCfg *[2]vmi.ReliableConfig, bareFaults [2][]vmi.SendDevice) *twoNodeHarness {
+	t.Helper()
+	h := &twoNodeHarness{}
+	routeFn := func(pe int32) int { return int(pe) }
+	addrs := []map[int]string{
+		{0: "127.0.0.1:0", 1: ""},
+		{0: "", 1: "127.0.0.1:0"},
+	}
+	for node := 0; node < 2; node++ {
+		node := node
+		inject := func(f *vmi.Frame) error { return h.rts[node].InjectFrame(f) }
+		h.tcps[node] = vmi.NewTCP(node, addrs[node], routeFn, inject)
+		if relCfg != nil {
+			h.rels[node] = vmi.NewReliable(h.tcps[node], inject, relCfg[node])
+		}
+	}
+	a0, err := h.tcps[0].Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := h.tcps[1].Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.tcps[0].SetAddr(1, a1)
+	h.tcps[1].SetAddr(0, a0)
+
+	for node := 0; node < 2; node++ {
+		var tr core.Transport = h.tcps[node]
+		if h.rels[node] != nil {
+			tr = h.rels[node]
+		}
+		rt, err := core.NewRuntime(topo, mkProg(), core.Options{
+			Transport: tr,
+			NodeOf:    func(pe int) int { return pe },
+			Node:      node,
+			PELo:      node,
+			PEHi:      node + 1,
+			WireSend:  bareFaults[node],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.rts[node] = rt
+	}
+	t.Cleanup(func() {
+		for node := 0; node < 2; node++ {
+			if h.rels[node] != nil {
+				h.rels[node].Close()
+			}
+			h.tcps[node].Close()
+		}
+	})
+	return h
+}
+
+// run executes both runtimes (node 0 as coordinator) and returns node 0's
+// result. The worker node is stopped once the coordinator finishes, as
+// cmd/gridnode's coordinator shutdown announcement does.
+func (h *twoNodeHarness) run(t *testing.T, timeout time.Duration) (any, error) {
+	t.Helper()
+	workerDone := make(chan error, 1)
+	go func() {
+		_, err := h.rts[1].Run()
+		workerDone <- err
+	}()
+	type result struct {
+		v   any
+		err error
+	}
+	coord := make(chan result, 1)
+	go func() {
+		v, err := h.rts[0].Run()
+		coord <- result{v, err}
+	}()
+	var r result
+	select {
+	case r = <-coord:
+	case <-time.After(timeout):
+		t.Fatal("coordinator did not finish within timeout")
+	}
+	h.rts[1].Stop()
+	select {
+	case <-workerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker node never stopped")
+	}
+	return r.v, r.err
+}
+
+// dropConnSoon severs the node0→node1 connection as soon as one exists
+// (polling, since the transport dials lazily) and reports whether it
+// managed to within the window.
+func dropConnSoon(h *twoNodeHarness, window time.Duration) <-chan bool {
+	done := make(chan bool, 1)
+	go func() {
+		deadline := time.Now().Add(window)
+		for time.Now().Before(deadline) {
+			if h.tcps[0].DropConn(1) {
+				done <- true
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		done <- false
+	}()
+	return done
+}
+
+func stencilParams() *stencil.Params {
+	// 30 steps over a 2ms WAN keeps the run alive for tens of
+	// milliseconds, so the forced disconnect (fired as soon as the first
+	// ghost exchange dials the link) lands mid-run, with plenty of later
+	// traffic to repair.
+	return &stencil.Params{Width: 64, Height: 64, VX: 2, VY: 2, Steps: 30, Warmup: 0}
+}
+
+func stencilProg(t *testing.T) func() *core.Program {
+	return func() *core.Program {
+		prog, err := stencil.BuildProgram(stencilParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prog
+	}
+}
+
+// TestChaosStencilBitIdentical is the acceptance run: a stencil over
+// TwoClusters with 5% seeded drop on both send paths plus one forced TCP
+// disconnect completes and produces a checksum bit-identical to the
+// fault-free run. (All reduction fold points combine at most two
+// contributions, and IEEE-754 addition is commutative, so the checksum is
+// independent of message arrival order — any bit difference means frames
+// were lost, duplicated, or corrupted.)
+func TestChaosStencilBitIdentical(t *testing.T) {
+	seed := coreChaosSeed(t)
+	topoFor := func() *topology.Topology {
+		topo, err := topology.TwoClusters(2, 2*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return topo
+	}
+
+	// Fault-free baseline: same wiring, reliability on, no faults.
+	base := buildTwoNodes(t, topoFor(), stencilProg(t), &[2]vmi.ReliableConfig{}, [2][]vmi.SendDevice{})
+	bv, err := base.run(t, 30*time.Second)
+	if err != nil {
+		t.Fatalf("fault-free run failed: %v", err)
+	}
+	baseRes, ok := bv.(*stencil.Result)
+	if !ok {
+		t.Fatalf("fault-free result = %T, want *stencil.Result", bv)
+	}
+
+	// Chaos run: 5% drop under the reliability layer on both nodes, plus a
+	// forced disconnect as soon as the WAN link is up.
+	fd0 := vmi.NewFaultDevice(seed, vmi.FaultPlan{Drop: 0.05})
+	fd1 := vmi.NewFaultDevice(seed+1, vmi.FaultPlan{Drop: 0.05})
+	defer fd0.Close()
+	defer fd1.Close()
+	cfg := [2]vmi.ReliableConfig{
+		{RTO: 5 * time.Millisecond, SendFaults: []vmi.SendDevice{fd0}},
+		{RTO: 5 * time.Millisecond, SendFaults: []vmi.SendDevice{fd1}},
+	}
+	chaos := buildTwoNodes(t, topoFor(), stencilProg(t), &cfg, [2][]vmi.SendDevice{})
+	dropped := dropConnSoon(chaos, 10*time.Second)
+	cv, err := chaos.run(t, 60*time.Second)
+	if err != nil {
+		t.Fatalf("chaos run failed (seed %d): %v", seed, err)
+	}
+	if !<-dropped {
+		t.Fatal("forced disconnect never found a live connection to sever")
+	}
+	chaosRes, ok := cv.(*stencil.Result)
+	if !ok {
+		t.Fatalf("chaos result = %T, want *stencil.Result", cv)
+	}
+
+	if math.Float64bits(chaosRes.Checksum) != math.Float64bits(baseRes.Checksum) {
+		t.Errorf("checksum diverged under chaos (seed %d): %x (%.17g) vs fault-free %x (%.17g)",
+			seed, math.Float64bits(chaosRes.Checksum), chaosRes.Checksum,
+			math.Float64bits(baseRes.Checksum), baseRes.Checksum)
+	}
+	if fd0.Stats().Dropped == 0 && fd1.Stats().Dropped == 0 {
+		t.Error("chaos run dropped no frames; the schedule never exercised the reliability layer")
+	}
+	relStats := [2]vmi.ReliableStats{chaos.rels[0].Stats(), chaos.rels[1].Stats()}
+	if relStats[0].Retransmits+relStats[1].Retransmits == 0 {
+		t.Error("drops and a disconnect produced zero retransmits; the reliability layer never repaired anything")
+	}
+	if relStats[0].TransportErrs == 0 {
+		t.Error("forced disconnect was not absorbed as a transport error on node 0")
+	}
+	t.Logf("faults 0→1: %+v, 1→0: %+v", fd0.Stats(), fd1.Stats())
+	t.Logf("repairs node 0: %+v, node 1: %+v", relStats[0], relStats[1])
+}
+
+// TestChaosStencilFailsWithoutReliability: the same fault schedule with the
+// reliability layer disabled does not complete — the forced disconnect
+// surfaces as a run error through the transport's fail-fast error handler
+// (and the 5% drops, living above the transport in PR 1's wire chain, are
+// simply lost).
+func TestChaosStencilFailsWithoutReliability(t *testing.T) {
+	seed := coreChaosSeed(t)
+	topo, err := topology.TwoClusters(2, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd0 := vmi.NewFaultDevice(seed, vmi.FaultPlan{Drop: 0.05})
+	fd1 := vmi.NewFaultDevice(seed+1, vmi.FaultPlan{Drop: 0.05})
+	defer fd0.Close()
+	defer fd1.Close()
+	h := buildTwoNodes(t, topo, stencilProg(t), nil, [2][]vmi.SendDevice{
+		{fd0}, {fd1},
+	})
+	for node := 0; node < 2; node++ {
+		h.tcps[node].DialAttempts = 2 // fail fast once the link is severed
+	}
+
+	workerDone := make(chan struct{})
+	go func() {
+		_, _ = h.rts[1].Run()
+		close(workerDone)
+	}()
+	dropped := dropConnSoon(h, 10*time.Second)
+	res := make(chan error, 1)
+	go func() {
+		_, err := h.rts[0].Run()
+		res <- err
+	}()
+	select {
+	case err := <-res:
+		if err == nil {
+			t.Errorf("run succeeded despite drops and a severed connection without reliability (seed %d)", seed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("unreliable chaos run neither failed nor finished")
+	}
+	if !<-dropped {
+		t.Fatal("forced disconnect never found a live connection to sever")
+	}
+	h.rts[1].Stop()
+	select {
+	case <-workerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker node never stopped")
+	}
+}
+
+// pingChare bounces a counter between two elements, recording every value
+// it receives so the test can check exactly-once, in-order delivery at the
+// application layer.
+type pingChare struct {
+	rec   *pingRecorder
+	limit int
+}
+
+type pingRecorder struct {
+	mu   sync.Mutex
+	seen map[int][]int // element index -> values received, in order
+}
+
+func (c *pingChare) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
+	n := data.(int)
+	idx := ctx.Elem().Index
+	c.rec.mu.Lock()
+	c.rec.seen[idx] = append(c.rec.seen[idx], n)
+	c.rec.mu.Unlock()
+	if n >= c.limit {
+		ctx.ExitWith(n)
+		return
+	}
+	ctx.Send(core.ElemRef{Array: 0, Index: 1 - idx}, 0, n+1)
+}
+
+// TestChaosPingPongExactlyOnce: a ping-pong over a fully faulty link
+// (drops, duplicates, reordering, corruption) still delivers each message
+// exactly once and in order — any duplicate or out-of-order delivery
+// would break the strict value sequences each element records.
+func TestChaosPingPongExactlyOnce(t *testing.T) {
+	seed := coreChaosSeed(t)
+	core.RegisterPayload(int(0))
+	topo, err := topology.TwoClusters(2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const limit = 60 // even: the exchange ends on element 0 (node 0)
+	rec := &pingRecorder{seen: make(map[int][]int)}
+	mkProg := func() *core.Program {
+		return &core.Program{
+			Arrays: []core.ArraySpec{{
+				ID: 0, N: 2,
+				New: func(i int) core.Chare { return &pingChare{rec: rec, limit: limit} },
+			}},
+			Start: func(ctx *core.Ctx) { ctx.Send(core.ElemRef{Array: 0, Index: 0}, 0, 0) },
+		}
+	}
+	plan := vmi.FaultPlan{Drop: 0.1, Duplicate: 0.1, Reorder: 0.1, Corrupt: 0.1}
+	fd0 := vmi.NewFaultDevice(seed, plan)
+	fd1 := vmi.NewFaultDevice(seed+1, plan)
+	defer fd0.Close()
+	defer fd1.Close()
+	cfg := [2]vmi.ReliableConfig{
+		{RTO: 5 * time.Millisecond, SendFaults: []vmi.SendDevice{fd0}},
+		{RTO: 5 * time.Millisecond, SendFaults: []vmi.SendDevice{fd1}},
+	}
+	h := buildTwoNodes(t, topo, mkProg, &cfg, [2][]vmi.SendDevice{})
+	v, err := h.run(t, 60*time.Second)
+	if err != nil {
+		t.Fatalf("chaos ping-pong failed (seed %d): %v", seed, err)
+	}
+	if v.(int) != limit {
+		t.Errorf("final value = %v, want %d", v, limit)
+	}
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	// Element 0 must have seen exactly 0,2,4,...,limit; element 1 exactly
+	// 1,3,...,limit-1. A lost message would stall the exchange, a
+	// duplicate would repeat a value, reordering would break monotonicity.
+	for idx, first := range map[int]int{0: 0, 1: 1} {
+		var want []int
+		for v := first; v <= limit; v += 2 {
+			want = append(want, v)
+		}
+		got := rec.seen[idx]
+		if len(got) != len(want) {
+			t.Fatalf("element %d received %d values, want %d (seed %d): %v", idx, len(got), len(want), seed, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("element %d value %d = %d, want %d (seed %d)", idx, i, got[i], want[i], seed)
+			}
+		}
+	}
+	if s := fd0.Stats(); s.Dropped+s.Duplicated+s.Reordered+s.Corrupted == 0 {
+		t.Error("fault schedule injected nothing; the run proved nothing")
+	}
+}

@@ -8,91 +8,165 @@ import (
 	"gridmdo/internal/vmi"
 )
 
-// TestTransportFailureSurfaces kills one node's transport mid-run and
-// checks the surviving node reports an error instead of hanging or
-// silently dropping work.
+// TestTransportFailureSurfaces injects one transport-layer fault per case
+// into a two-node ping-pong — a dead peer (writer errors), wire garbage
+// that breaks the VMI framing (reader errors), and per-frame payload
+// corruption that breaks message decoding — and checks the surviving node
+// reports an error instead of hanging or silently dropping work. This is
+// the PR 1 fail-fast contract; the reliability layer's chaos tests
+// (chaos_test.go) cover the opposite regime, where the same faults are
+// absorbed and repaired.
 func TestTransportFailureSurfaces(t *testing.T) {
-	topo, err := topology.TwoClusters(2, 5*time.Millisecond)
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		name string
+		// wireSend returns extra devices for a node's wire send chain.
+		wireSend func(node int) []vmi.SendDevice
+		// fault, if non-nil, is fired after the exchange is flowing —
+		// unless preStart is set, in which case it fires before node 0
+		// starts, so node 0's first remote send meets the fault head-on.
+		fault    func(t *testing.T, tcps [2]*vmi.TCP, rts [2]*Runtime)
+		preStart bool
+	}{
+		{
+			// Node 1's process dies before node 0 ever talks to it: the
+			// first remote send exhausts its dial attempts and fails the
+			// run. (A chare quietly awaiting a reply from a dead peer is
+			// a hang by design — the error must come from the send path.)
+			name:     "peer transport death",
+			preStart: true,
+			fault: func(t *testing.T, tcps [2]*vmi.TCP, rts [2]*Runtime) {
+				tcps[1].Close()
+				rts[1].Stop()
+			},
+		},
+		{
+			// Garbage bytes in the TCP stream: node 0's frame reader hits
+			// a bad magic and the connection is unrecoverable.
+			name: "wire corruption breaks framing",
+			fault: func(t *testing.T, tcps [2]*vmi.TCP, rts [2]*Runtime) {
+				if err := tcps[1].CorruptWire(0); err != nil {
+					t.Errorf("CorruptWire: %v", err)
+				}
+			},
+		},
+		{
+			// Every frame node 1 sends has one body bit flipped (seeded,
+			// deterministic): the message header or payload fails to
+			// decode on node 0 within a few frames, surfacing through the
+			// deliver error path. No explicit fault action needed.
+			name: "frame corruption fails decode",
+			wireSend: func(node int) []vmi.SendDevice {
+				if node != 1 {
+					return nil
+				}
+				return []vmi.SendDevice{vmi.NewFaultDevice(424242, vmi.FaultPlan{Corrupt: 1})}
+			},
+		},
 	}
-	mkProg := func() *Program {
-		return &Program{
-			Arrays: []ArraySpec{{
-				ID: 0, N: 2,
-				New: func(i int) Chare {
-					return funcChare(func(ctx *Ctx, entry EntryID, data any) {
-						n := data.(int)
-						if n >= 1000 { // far more rounds than the test allows
-							ctx.ExitWith(n)
-							return
-						}
-						ctx.Send(ElemRef{Array: 0, Index: 1 - ctx.Elem().Index}, 0, n+1)
-					})
-				},
-			}},
-			Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, 0) },
-		}
-	}
-	nodeOf := func(pe int) int { return pe }
-	routeFn := func(pe int32) int { return int(pe) }
-	var rts [2]*Runtime
-	var tcps [2]*vmi.TCP
-	addrs := []map[int]string{{0: "127.0.0.1:0"}, {1: "127.0.0.1:0"}}
-	for node := 0; node < 2; node++ {
-		node := node
-		tcps[node] = vmi.NewTCP(node, addrs[node], routeFn, func(f *vmi.Frame) error {
-			return rts[node].InjectFrame(f)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := topology.TwoClusters(2, 5*time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Endless ping-pong: the run can only end with an error.
+			mkProg := func() *Program {
+				return &Program{
+					Arrays: []ArraySpec{{
+						ID: 0, N: 2,
+						New: func(i int) Chare {
+							return funcChare(func(ctx *Ctx, entry EntryID, data any) {
+								n := data.(int)
+								ctx.Send(ElemRef{Array: 0, Index: 1 - ctx.Elem().Index}, 0, n+1)
+							})
+						},
+					}},
+					Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, 0) },
+				}
+			}
+			nodeOf := func(pe int) int { return pe }
+			routeFn := func(pe int32) int { return int(pe) }
+			var rts [2]*Runtime
+			var tcps [2]*vmi.TCP
+			addrs := []map[int]string{{0: "127.0.0.1:0"}, {1: "127.0.0.1:0"}}
+			for node := 0; node < 2; node++ {
+				node := node
+				tcps[node] = vmi.NewTCP(node, addrs[node], routeFn, func(f *vmi.Frame) error {
+					return rts[node].InjectFrame(f)
+				})
+				tcps[node].DialAttempts = 2 // fail fast after the peer dies
+			}
+			a0, err := tcps[0].Listen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			a1, err := tcps[1].Listen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tcps[0].SetAddr(1, a1)
+			tcps[1].SetAddr(0, a0)
+			defer tcps[0].Close()
+
+			for node := 0; node < 2; node++ {
+				var ws []vmi.SendDevice
+				if tc.wireSend != nil {
+					ws = tc.wireSend(node)
+				}
+				rt, err := NewRuntime(topo, mkProg(), Options{
+					Transport: tcps[node], NodeOf: nodeOf, Node: node,
+					PELo: node, PEHi: node + 1,
+					WireSend: ws,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rts[node] = rt
+			}
+
+			node1Done := make(chan struct{})
+			go func() {
+				_, _ = rts[1].Run()
+				close(node1Done)
+			}()
+
+			res := make(chan error, 1)
+			startNode0 := func() {
+				go func() {
+					_, err := rts[0].Run()
+					res <- err
+				}()
+			}
+			if tc.preStart {
+				time.Sleep(60 * time.Millisecond)
+				tc.fault(t, tcps, rts)
+				startNode0()
+			} else {
+				startNode0()
+				// Let a few rounds flow before firing the fault.
+				if tc.fault != nil {
+					time.Sleep(60 * time.Millisecond)
+					tc.fault(t, tcps, rts)
+				}
+			}
+
+			select {
+			case err := <-res:
+				if err == nil {
+					t.Error("surviving node returned success after transport fault")
+				} else {
+					t.Logf("surfaced: %v", err)
+				}
+			case <-time.After(20 * time.Second):
+				t.Fatal("surviving node hung after transport fault")
+			}
+			rts[1].Stop()
+			select {
+			case <-node1Done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("node 1 never stopped")
+			}
+			tcps[1].Close()
 		})
-		tcps[node].DialAttempts = 2 // fail fast after the peer dies
 	}
-	a0, err := tcps[0].Listen()
-	if err != nil {
-		t.Fatal(err)
-	}
-	a1, err := tcps[1].Listen()
-	if err != nil {
-		t.Fatal(err)
-	}
-	tcps[0].SetAddr(1, a1)
-	tcps[1].SetAddr(0, a0)
-	defer tcps[0].Close()
-
-	for node := 0; node < 2; node++ {
-		rt, err := NewRuntime(topo, mkProg(), Options{
-			Transport: tcps[node], NodeOf: nodeOf, Node: node,
-			PELo: node, PEHi: node + 1,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		rts[node] = rt
-	}
-
-	node1Done := make(chan struct{})
-	go func() {
-		_, _ = rts[1].Run()
-		close(node1Done)
-	}()
-
-	// Let a few rounds flow, then kill node 1's transport and stop its
-	// runtime (simulating a crashed remote cluster allocation).
-	time.Sleep(60 * time.Millisecond)
-	tcps[1].Close()
-	rts[1].Stop()
-
-	res := make(chan error, 1)
-	go func() {
-		_, err := rts[0].Run()
-		res <- err
-	}()
-	select {
-	case err := <-res:
-		if err == nil {
-			t.Error("surviving node returned success after peer death")
-		}
-	case <-time.After(20 * time.Second):
-		t.Fatal("surviving node hung after peer death")
-	}
-	<-node1Done
 }

@@ -35,6 +35,7 @@ const (
 	FlagChecksummed
 	FlagEncrypted
 	FlagStriped
+	FlagReliable // body carries a reliability header (see reliable.go)
 )
 
 // Frame is the unit VMI devices operate on.

@@ -1,0 +1,575 @@
+package vmi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Reliable is an end-to-end reliability layer between the runtime and the
+// TCP device: per-peer sequence numbers, cumulative acks piggybacked on
+// every data frame (plus delayed standalone acks for one-way flows), a
+// bounded retransmit buffer with timeout and exponential backoff,
+// duplicate suppression and in-order delivery on receive, and transparent
+// reconnection of dropped TCP connections (the next send or retransmit
+// re-dials through the transport's existing retry path). Transport-level
+// errors — write failures, dropped connections, CRC-corrupt frames — are
+// absorbed and repaired by retransmission; the error handler installed via
+// SetErrHandler (the runtime's fail-fast hook) fires only when a frame
+// exhausts its retransmit budget, turning PR 1's fail-fast into graceful
+// degradation with a hard backstop.
+//
+// Layering: transform devices (compress, checksum, cipher) run above
+// Reliable, fault devices and the socket below it, so every fault the
+// chaos harness injects on the "wire" side is inside the reliability
+// envelope:
+//
+//	runtime → wire send chain → Reliable → SendFaults → TCP ⇢ socket
+//	runtime ← wire recv chain ← Reliable ← RecvFaults ← TCP ⇠ socket
+//
+// Each data frame's body is prefixed with a 28-byte reliability header
+// carrying the sequence number, the cumulative ack, and a CRC of the
+// payload; frames without FlagReliable (pre-reliability senders, control
+// traffic) pass through untouched.
+
+// Reliability header layout (big-endian):
+//
+//	off len field
+//	  0   4  magic 0x524C4231 ("RLB1")
+//	  4   1  kind (1 data, 2 ack)
+//	  5   3  reserved
+//	  8   8  seq (data frames; 0 on pure acks)
+//	 16   8  ack (cumulative: every seq <= ack was received; 0 = none)
+//	 24   4  CRC-32C of the header's first 24 bytes (reserved read as
+//	         zero) followed by the payload — covering seq and ack matters:
+//	         a bit flip in the ack field would otherwise pass a
+//	         payload-only CRC and free unacked retransmit entries
+const (
+	relMagic     = 0x524C4231
+	relHeaderLen = 28
+
+	relKindData byte = 1
+	relKindAck  byte = 2
+)
+
+// ErrBadRelHeader is returned when decoding a reliability header that is
+// truncated, mis-tagged, or of unknown kind.
+var ErrBadRelHeader = errors.New("vmi: bad reliability header")
+
+// RelHeader is the decoded reliability header of one frame.
+type RelHeader struct {
+	Kind byte
+	Seq  uint64
+	Ack  uint64
+	CRC  uint32
+}
+
+// AppendRelHeader appends h's wire encoding to dst.
+func AppendRelHeader(dst []byte, h RelHeader) []byte {
+	var b [relHeaderLen]byte
+	binary.BigEndian.PutUint32(b[0:], relMagic)
+	b[4] = h.Kind
+	binary.BigEndian.PutUint64(b[8:], h.Seq)
+	binary.BigEndian.PutUint64(b[16:], h.Ack)
+	binary.BigEndian.PutUint32(b[24:], h.CRC)
+	return append(dst, b[:]...)
+}
+
+// DecodeRelHeader parses a reliability header from the front of b and
+// returns it with the remaining payload bytes.
+func DecodeRelHeader(b []byte) (RelHeader, []byte, error) {
+	if len(b) < relHeaderLen {
+		return RelHeader{}, b, fmt.Errorf("%w: %d bytes", ErrBadRelHeader, len(b))
+	}
+	if binary.BigEndian.Uint32(b[0:]) != relMagic {
+		return RelHeader{}, b, fmt.Errorf("%w: bad magic", ErrBadRelHeader)
+	}
+	h := RelHeader{
+		Kind: b[4],
+		Seq:  binary.BigEndian.Uint64(b[8:]),
+		Ack:  binary.BigEndian.Uint64(b[16:]),
+		CRC:  binary.BigEndian.Uint32(b[24:]),
+	}
+	if h.Kind != relKindData && h.Kind != relKindAck {
+		return RelHeader{}, b, fmt.Errorf("%w: kind %d", ErrBadRelHeader, h.Kind)
+	}
+	return h, b[relHeaderLen:], nil
+}
+
+// relCRC computes the checksum stored in a reliability header: CRC-32C
+// over the canonical first 24 header bytes (kind, seq, ack; reserved as
+// zero) and the payload.
+func relCRC(h RelHeader, payload []byte) uint32 {
+	var b [relHeaderLen - 4]byte
+	binary.BigEndian.PutUint32(b[0:], relMagic)
+	b[4] = h.Kind
+	binary.BigEndian.PutUint64(b[8:], h.Seq)
+	binary.BigEndian.PutUint64(b[16:], h.Ack)
+	return crc32.Update(crc32.Checksum(b[:], castagnoli), castagnoli, payload)
+}
+
+// ReliableConfig tunes the reliability layer. Zero values select the
+// defaults noted on each field.
+type ReliableConfig struct {
+	// RTO is the initial retransmit timeout (default 20ms); it backs off
+	// exponentially per attempt up to RTOMax (default 500ms).
+	RTO    time.Duration
+	RTOMax time.Duration
+	// AckDelay bounds how long a received frame waits before a standalone
+	// ack is emitted when no reverse traffic piggybacks one (default 2ms).
+	AckDelay time.Duration
+	// MaxRetransmits is the per-frame retransmit budget; when a frame has
+	// been retransmitted this many times without an ack, the layer gives
+	// up and fires the error handler (default 12).
+	MaxRetransmits int
+	// Window bounds the per-peer retransmit buffer in frames; senders
+	// block until acks free space (default 512).
+	Window int
+	// SendFaults and RecvFaults are device chains interposed between the
+	// reliability layer and the socket — the chaos harness injects drops,
+	// duplicates, reordering, corruption, and partitions here, inside the
+	// reliability envelope.
+	SendFaults []SendDevice
+	RecvFaults []RecvDevice
+}
+
+func (c *ReliableConfig) fill() {
+	if c.RTO <= 0 {
+		c.RTO = 20 * time.Millisecond
+	}
+	if c.RTOMax <= 0 {
+		c.RTOMax = 500 * time.Millisecond
+	}
+	if c.AckDelay <= 0 {
+		c.AckDelay = 2 * time.Millisecond
+	}
+	if c.MaxRetransmits <= 0 {
+		c.MaxRetransmits = 12
+	}
+	if c.Window <= 0 {
+		c.Window = 512
+	}
+}
+
+// ReliableStats counts the layer's repair activity.
+type ReliableStats struct {
+	DataSent, Retransmits, AcksSent        int64
+	Delivered, DupDropped, CrcDropped      int64
+	HeldOutOfOrder, TransportErrs, BadHdrs int64
+}
+
+// Reliable implements the core.Transport Send contract over a *TCP. Build
+// it with NewReliable, which rewires the TCP's receive path and error
+// handler through the layer.
+type Reliable struct {
+	tcp  *TCP
+	up   RecvFunc
+	down SendFunc
+	cfg  ReliableConfig
+
+	// errHandler is the budget-exhaustion backstop (the runtime's fail
+	// hook); transport-level errors never reach it directly.
+	errHandler atomic.Pointer[func(error)]
+
+	mu      sync.Mutex
+	space   *sync.Cond // senders wait here for retransmit-window space
+	peers   map[int]*relPeer
+	stats   ReliableStats
+	failErr error
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type relPeer struct {
+	node    int
+	nextSeq uint64 // next sequence number to assign (first frame is 1)
+	sendBuf []*relEntry
+
+	// deliverMu serializes upward delivery for this peer: it is taken
+	// before the layer's state lock (never the other way around), so the
+	// in-order guarantee holds even while an old and a reconnected
+	// connection briefly both deliver. Hence the upward callback must not
+	// call Send synchronously while itself running under deliverMu — the
+	// runtime's inject path only enqueues, so it never does.
+	deliverMu sync.Mutex
+	recvNext  uint64            // lowest sequence not yet delivered upward
+	heldRecv  map[uint64]*Frame // out-of-order arrivals awaiting the gap
+	ackDue    bool
+
+	// Representative PEs for routing standalone acks, learned from
+	// traffic (frames to the peer carry a local Src and remote Dst;
+	// frames from it the reverse).
+	selfPE, peerPE int32
+	havePEs        bool
+}
+
+type relEntry struct {
+	seq      uint64
+	f        *Frame
+	lastSent time.Time
+	attempts int
+}
+
+// NewReliable interposes a reliability layer on t: frames handed to
+// rel.Send are sequenced, buffered, and shipped through t (below any
+// cfg.SendFaults); frames arriving off t's wire (through cfg.RecvFaults)
+// are verified, deduplicated, reordered back into sequence, and delivered
+// to deliver. Must be called before t establishes connections.
+func NewReliable(t *TCP, deliver RecvFunc, cfg ReliableConfig) *Reliable {
+	cfg.fill()
+	rel := &Reliable{
+		tcp:   t,
+		up:    deliver,
+		cfg:   cfg,
+		peers: make(map[int]*relPeer),
+		done:  make(chan struct{}),
+	}
+	rel.space = sync.NewCond(&rel.mu)
+	rel.down = BuildSendChain(t.Send, cfg.SendFaults...)
+	t.SetRecv(BuildRecvChain(rel.deliverWire, cfg.RecvFaults...))
+	t.SetErrHandler(rel.onTransportErr)
+	rel.wg.Add(2)
+	go rel.retransmitLoop()
+	go rel.ackLoop()
+	return rel
+}
+
+// SetErrHandler installs the budget-exhaustion handler (the runtime wires
+// its failure path here, exactly as it would on a bare TCP).
+func (r *Reliable) SetErrHandler(h func(error)) { r.errHandler.Store(&h) }
+
+func (r *Reliable) errh() func(error) {
+	if p := r.errHandler.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the repair counters.
+func (r *Reliable) Stats() ReliableStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Outstanding reports unacked frames buffered for node.
+func (r *Reliable) Outstanding(node int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.peers[node]; ok {
+		return len(p.sendBuf)
+	}
+	return 0
+}
+
+func (r *Reliable) peer(node int) *relPeer {
+	p, ok := r.peers[node]
+	if !ok {
+		p = &relPeer{node: node, nextSeq: 1, recvNext: 1, heldRecv: make(map[uint64]*Frame)}
+		r.peers[node] = p
+	}
+	return p
+}
+
+// fail records the terminal error and fires the backstop handler once.
+func (r *Reliable) fail(err error) {
+	r.mu.Lock()
+	already := r.failErr != nil
+	if !already {
+		r.failErr = err
+	}
+	r.mu.Unlock()
+	r.space.Broadcast()
+	if !already {
+		if h := r.errh(); h != nil {
+			h(err)
+		}
+	}
+}
+
+// onTransportErr absorbs asynchronous TCP errors (dead peers, dropped
+// connections, reader failures). The data they may have lost is still in
+// the retransmit buffer; the next retransmit re-dials.
+func (r *Reliable) onTransportErr(err error) {
+	r.mu.Lock()
+	r.stats.TransportErrs++
+	r.mu.Unlock()
+}
+
+// Send implements the transport contract: sequence, buffer, and ship one
+// frame. The frame and its body are copied before Send returns, so the
+// caller may recycle them. Send blocks while the peer's retransmit window
+// is full and returns an error only once the layer has failed terminally
+// or closed.
+func (r *Reliable) Send(f *Frame) error {
+	node := r.tcp.route(f.Dst)
+	if node == r.tcp.self {
+		return r.up(f)
+	}
+	r.mu.Lock()
+	p := r.peer(node)
+	for len(p.sendBuf) >= r.cfg.Window && r.failErr == nil && !r.closed {
+		r.space.Wait()
+	}
+	if r.failErr != nil {
+		err := r.failErr
+		r.mu.Unlock()
+		return err
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("vmi: reliable layer closed")
+	}
+	p.selfPE, p.peerPE, p.havePEs = f.Src, f.Dst, true
+	seq := p.nextSeq
+	p.nextSeq++
+	h := RelHeader{Kind: relKindData, Seq: seq, Ack: p.recvNext - 1}
+	h.CRC = relCRC(h, f.Body)
+	body := AppendRelHeader(make([]byte, 0, relHeaderLen+len(f.Body)), h)
+	body = append(body, f.Body...)
+	wf := &Frame{
+		Src: f.Src, Dst: f.Dst, Prio: f.Prio, Class: f.Class, Seq: f.Seq,
+		Flags: f.Flags | FlagReliable,
+		Body:  body,
+	}
+	p.sendBuf = append(p.sendBuf, &relEntry{seq: seq, f: wf, lastSent: time.Now()})
+	p.ackDue = false // this frame piggybacks the current cumulative ack
+	r.stats.DataSent++
+	r.mu.Unlock()
+
+	// Transport errors here (dial failure against a partitioned peer,
+	// enqueue into a conn that just died) are repairable: the entry stays
+	// buffered and the retransmit loop retries until the budget runs out.
+	if err := r.down(wf); err != nil {
+		r.mu.Lock()
+		r.stats.TransportErrs++
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// deliverWire is the terminal of the wire-side receive chain: verify,
+// ack-process, deduplicate, reorder, and deliver.
+func (r *Reliable) deliverWire(f *Frame) error {
+	if f.Flags&FlagReliable == 0 {
+		return r.up(f) // pre-reliability traffic passes through
+	}
+	h, payload, err := DecodeRelHeader(f.Body)
+	if err != nil {
+		r.mu.Lock()
+		r.stats.BadHdrs++
+		r.mu.Unlock()
+		return nil // unparseable: treat as lost; retransmit repairs
+	}
+	if relCRC(h, payload) != h.CRC {
+		r.mu.Lock()
+		r.stats.CrcDropped++
+		r.mu.Unlock()
+		return nil // corrupt in flight: drop, retransmit repairs
+	}
+	node := r.tcp.route(f.Src)
+	r.mu.Lock()
+	p := r.peer(node)
+	r.mu.Unlock()
+
+	p.deliverMu.Lock()
+	defer p.deliverMu.Unlock()
+	r.mu.Lock()
+	p.peerPE, p.selfPE, p.havePEs = f.Src, f.Dst, true
+
+	// Cumulative ack: release everything at or below h.Ack.
+	if n := ackPrefix(p.sendBuf, h.Ack); n > 0 {
+		p.sendBuf = append(p.sendBuf[:0], p.sendBuf[n:]...)
+		r.space.Broadcast()
+	}
+	if h.Kind == relKindAck {
+		r.mu.Unlock()
+		return nil
+	}
+
+	switch {
+	case h.Seq < p.recvNext: // duplicate of something already delivered
+		r.stats.DupDropped++
+		p.ackDue = true // re-ack so the sender stops retransmitting
+		r.mu.Unlock()
+		return nil
+	case h.Seq > p.recvNext: // gap: hold until the missing frames arrive
+		if _, dup := p.heldRecv[h.Seq]; !dup {
+			held := f.Clone() // wire body is only valid during this call
+			held.Body = held.Body[relHeaderLen:]
+			held.Flags &^= FlagReliable
+			p.heldRecv[h.Seq] = held
+			r.stats.HeldOutOfOrder++
+		} else {
+			r.stats.DupDropped++
+		}
+		p.ackDue = true
+		r.mu.Unlock()
+		return nil
+	}
+
+	// In sequence: deliver, then drain any directly following held frames.
+	p.recvNext++
+	var drain []*Frame
+	for {
+		g, ok := p.heldRecv[p.recvNext]
+		if !ok {
+			break
+		}
+		delete(p.heldRecv, p.recvNext)
+		drain = append(drain, g)
+		p.recvNext++
+	}
+	p.ackDue = true
+	r.stats.Delivered += int64(1 + len(drain))
+	r.mu.Unlock()
+
+	f.Body = payload
+	f.Flags &^= FlagReliable
+	if err := r.up(f); err != nil {
+		return err
+	}
+	for _, g := range drain {
+		if err := r.up(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ackPrefix counts leading entries of buf with seq <= ack.
+func ackPrefix(buf []*relEntry, ack uint64) int {
+	n := 0
+	for n < len(buf) && buf[n].seq <= ack {
+		n++
+	}
+	return n
+}
+
+// rto is the timeout before retransmit attempt n+1.
+func (r *Reliable) rto(attempts int) time.Duration {
+	d := r.cfg.RTO
+	for i := 0; i < attempts && d < r.cfg.RTOMax; i++ {
+		d *= 2
+	}
+	if d > r.cfg.RTOMax {
+		d = r.cfg.RTOMax
+	}
+	return d
+}
+
+// retransmitLoop rescans the send buffers and re-ships timed-out entries.
+// Re-dialing a dead connection happens inside TCP.Send, so a retransmit
+// after a connection drop is also the transparent reconnect.
+func (r *Reliable) retransmitLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.cfg.RTO / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		var resend []*relEntry
+		r.mu.Lock()
+		if r.failErr != nil {
+			r.mu.Unlock()
+			return
+		}
+		var exhausted *relEntry
+		for _, p := range r.peers {
+			for _, e := range p.sendBuf {
+				if now.Sub(e.lastSent) < r.rto(e.attempts) {
+					continue
+				}
+				if e.attempts >= r.cfg.MaxRetransmits {
+					exhausted = e
+					break
+				}
+				e.attempts++
+				e.lastSent = now
+				resend = append(resend, e)
+			}
+			if exhausted != nil {
+				break
+			}
+		}
+		if resend != nil {
+			r.stats.Retransmits += int64(len(resend))
+		}
+		r.mu.Unlock()
+		if exhausted != nil {
+			r.fail(fmt.Errorf("vmi: reliable: frame %v seq %d unacked after %d retransmits",
+				exhausted.f, exhausted.seq, r.cfg.MaxRetransmits))
+			return
+		}
+		for _, e := range resend {
+			if err := r.down(e.f); err != nil {
+				r.mu.Lock()
+				r.stats.TransportErrs++
+				r.mu.Unlock()
+			}
+		}
+	}
+}
+
+// ackLoop emits standalone cumulative acks for peers whose received
+// frames have not been acked by reverse traffic within AckDelay.
+func (r *Reliable) ackLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.cfg.AckDelay)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-tick.C:
+		}
+		var acks []*Frame
+		r.mu.Lock()
+		if r.failErr != nil {
+			r.mu.Unlock()
+			return
+		}
+		for _, p := range r.peers {
+			if !p.ackDue || !p.havePEs {
+				continue
+			}
+			p.ackDue = false
+			h := RelHeader{Kind: relKindAck, Ack: p.recvNext - 1}
+			h.CRC = relCRC(h, nil)
+			acks = append(acks, &Frame{
+				Src: p.selfPE, Dst: p.peerPE, Class: ClassSystem, Flags: FlagReliable,
+				Body: AppendRelHeader(make([]byte, 0, relHeaderLen), h),
+			})
+		}
+		r.stats.AcksSent += int64(len(acks))
+		r.mu.Unlock()
+		for _, f := range acks {
+			_ = r.down(f) // ack loss is repaired by retransmit-then-re-ack
+		}
+	}
+}
+
+// Close stops the retransmit and ack goroutines. It does not close the
+// underlying TCP; the owner does that separately.
+func (r *Reliable) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.done)
+	r.space.Broadcast()
+	r.wg.Wait()
+}

@@ -40,6 +40,14 @@ type TCP struct {
 	mu     sync.Mutex
 	out    map[int]*tcpConn
 	closed bool
+	done   chan struct{} // closed by Close; aborts dial backoff waits
+
+	// aux tracks accepted connections that were NOT registered in out
+	// (the peer slot was already taken — e.g. two nodes dialed each other
+	// simultaneously). They are read-only from this side, but Close must
+	// still close them: their readLoops would otherwise block until the
+	// peer closes, and a peer doing the same produces a shutdown deadlock.
+	aux map[net.Conn]struct{}
 
 	wg sync.WaitGroup
 
@@ -116,6 +124,28 @@ func (tc *tcpConn) enqueue(f *Frame) error {
 	return nil
 }
 
+// enqueueRaw appends arbitrary bytes to the pending buffer, bypassing the
+// frame encoder. It exists for fault injection: bytes that do not parse as
+// a frame exercise the peer's reader-error path.
+func (tc *tcpConn) enqueueRaw(b []byte) error {
+	tc.mu.Lock()
+	if tc.closed {
+		err := tc.err
+		tc.mu.Unlock()
+		if err == nil {
+			err = net.ErrClosed
+		}
+		return err
+	}
+	wasIdle := len(tc.pending) == 0
+	tc.pending = append(tc.pending, b...)
+	tc.mu.Unlock()
+	if wasIdle {
+		tc.hasData.Signal()
+	}
+	return nil
+}
+
 // shutdown marks the connection closed; the writer flushes what is already
 // pending (bounded by closeFlushTimeout) and then closes the socket.
 func (tc *tcpConn) shutdown() {
@@ -177,8 +207,16 @@ func NewTCP(self int, addrs map[int]string, route func(pe int32) int, onRecv Rec
 		route:  route,
 		onRecv: onRecv,
 		out:    make(map[int]*tcpConn),
+		aux:    make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
 	}
 }
+
+// SetRecv replaces the terminal receive function for data frames arriving
+// off the wire. It must be called before any connection is established;
+// NewReliable uses it to interpose the reliability layer between the
+// socket and the application's receive chain.
+func (t *TCP) SetRecv(fn RecvFunc) { t.onRecv = fn }
 
 // Listen starts accepting connections on this node's configured address.
 // It returns the bound address (useful when the configured address has
@@ -271,11 +309,16 @@ func (t *TCP) serveConn(c net.Conn) {
 		tc := newTCPConn(c)
 		t.out[peer] = tc
 		t.startWriter(tc)
+	} else {
+		t.aux[c] = struct{}{}
 	}
 	t.mu.Unlock()
 
 	t.readLoop(fr, c)
 	t.evict(c)
+	t.mu.Lock()
+	delete(t.aux, c)
+	t.mu.Unlock()
 }
 
 // evict drops a dead connection from the outgoing table so the next send
@@ -293,6 +336,42 @@ func (t *TCP) evict(c net.Conn) {
 	if dead != nil {
 		dead.shutdown()
 	}
+}
+
+// DropConn severs the live connection to node the way a WAN fault would:
+// the socket closes immediately (bytes sitting in the coalescing buffer
+// are lost), the connection is evicted so the next send re-dials, and the
+// error handler fires as it does for an asynchronous write failure.
+// Without a reliability layer above, that fails the run; with one, the
+// lost frames are retransmitted over a fresh connection. Reports whether a
+// connection to node existed.
+func (t *TCP) DropConn(node int) bool {
+	t.mu.Lock()
+	tc, ok := t.out[node]
+	if ok {
+		delete(t.out, node)
+	}
+	t.mu.Unlock()
+	if !ok {
+		return false
+	}
+	tc.c.Close() // hard close first: pending bytes are lost, not flushed
+	tc.shutdown()
+	if h := t.errh(); h != nil && !t.isClosed() {
+		h(fmt.Errorf("vmi: connection to node %d dropped by fault injection", node))
+	}
+	return true
+}
+
+// CorruptWire injects garbage bytes into the outgoing byte stream to node,
+// simulating wire-level corruption that breaks the VMI framing. The peer's
+// reader fails on the bad magic and reports through its error handler.
+func (t *TCP) CorruptWire(node int) error {
+	tc, err := t.connTo(node)
+	if err != nil {
+		return err
+	}
+	return tc.enqueueRaw([]byte{0xDE, 0xAD, 0xBE, 0xEF, 'n', 'o', 'i', 's', 'e'})
 }
 
 // readLoop decodes frames off the connection and hands them up. Bodies are
@@ -366,7 +445,7 @@ func (t *TCP) connTo(node int) (*tcpConn, error) {
 	if attempts <= 0 {
 		attempts = 10
 	}
-	c, err := dialRetry(addr, attempts, t.isClosed)
+	c, err := dialRetry(addr, attempts, t.done)
 	if err != nil {
 		return nil, fmt.Errorf("vmi: dial node %d (%s): %w", node, addr, err)
 	}
@@ -399,25 +478,51 @@ func (t *TCP) connTo(node int) (*tcpConn, error) {
 	return tc, nil
 }
 
+// dialBackoff is the wait before retry attempt+1: 50ms doubling per
+// attempt, capped at 2s.
+func dialBackoff(attempt int) time.Duration {
+	const base, max = 50 * time.Millisecond, 2 * time.Second
+	if attempt >= 6 { // base<<6 > max; also keeps the shift in range
+		return max
+	}
+	d := base << uint(attempt)
+	if d > max {
+		return max
+	}
+	return d
+}
+
 // dialRetry dials with exponential backoff so peers that start in any
 // order still connect (a co-allocated job's processes rarely come up
-// simultaneously). It gives up after ~15 seconds or when the transport
-// closes.
-func dialRetry(addr string, attempts int, closed func() bool) (net.Conn, error) {
-	backoff := 50 * time.Millisecond
+// simultaneously). It gives up after ~15 seconds at the default attempt
+// count, or immediately — even mid-backoff — when done closes, so a
+// transport shutting down never sits out a sleep.
+func dialRetry(addr string, attempts int, done <-chan struct{}) (net.Conn, error) {
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
-		if closed() {
+		select {
+		case <-done:
 			return nil, net.ErrClosed
+		default:
 		}
 		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
 		if err == nil {
 			return c, nil
 		}
 		lastErr = err
-		time.Sleep(backoff)
-		if backoff < 2*time.Second {
-			backoff *= 2
+		if attempt == attempts-1 {
+			break // no point sleeping after the final failure
+		}
+		timer.Reset(dialBackoff(attempt))
+		select {
+		case <-timer.C:
+		case <-done:
+			timer.Stop()
+			return nil, net.ErrClosed
 		}
 	}
 	return nil, lastErr
@@ -475,11 +580,17 @@ func (t *TCP) Close() error {
 		return nil
 	}
 	t.closed = true
+	close(t.done)
 	conns := make([]*tcpConn, 0, len(t.out))
 	for _, tc := range t.out {
 		conns = append(conns, tc)
 	}
 	t.out = make(map[int]*tcpConn)
+	raw := make([]net.Conn, 0, len(t.aux))
+	for c := range t.aux {
+		raw = append(raw, c)
+	}
+	t.aux = make(map[net.Conn]struct{})
 	t.mu.Unlock()
 
 	if t.ln != nil {
@@ -487,6 +598,11 @@ func (t *TCP) Close() error {
 	}
 	for _, tc := range conns {
 		tc.shutdown()
+	}
+	// Unregistered accepted connections have no writer to flush; close
+	// the sockets directly so their readLoops return.
+	for _, c := range raw {
+		c.Close()
 	}
 	t.wg.Wait()
 	return nil
