@@ -16,86 +16,116 @@
 // nodes, the node boundary coincides with the cluster boundary, so all
 // node-to-node TCP traffic is the "wide area" path and carries the
 // configured injected latency.
+//
+// Observability: -metrics serves the runtime's registry over HTTP
+// (Prometheus text at /metrics, JSON with ?format=json), and
+// -metrics-out writes a JSON snapshot of the same registry when the run
+// completes. Both cover the core scheduler series (per-PE) and the VMI
+// device series (per-device).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"gridmdo/internal/core"
 	"gridmdo/internal/leanmd"
+	"gridmdo/internal/metrics"
 	"gridmdo/internal/stencil"
 	"gridmdo/internal/topology"
 	"gridmdo/internal/vmi"
 )
 
+// config carries the parsed command line into run.
+type config struct {
+	node                  int
+	addrList, app         string
+	procs                 int
+	latency               time.Duration
+	objects, width        int
+	cells, atoms          int
+	steps, warmup         int
+	reliable              bool
+	metricsAddr, snapshot string
+
+	// onMetrics, when non-nil, receives the bound metrics address once the
+	// endpoint is listening (tests scrape it during a live run).
+	onMetrics func(addr string)
+}
+
 func main() {
-	var (
-		node    = flag.Int("node", 0, "this process's node index")
-		addrs   = flag.String("addrs", "", "comma-separated listen addresses, one per node")
-		app     = flag.String("app", "stencil", "stencil|leanmd")
-		procs   = flag.Int("procs", 4, "total PEs across all nodes")
-		latency = flag.Duration("latency", 1725*time.Microsecond, "one-way inter-cluster latency")
-		objects = flag.Int("objects", 64, "stencil: virtualization degree (perfect square)")
-		width   = flag.Int("width", 1024, "stencil: mesh width and height")
-		cells   = flag.Int("cells", 4, "leanmd: cells per axis")
-		atoms   = flag.Int("atoms", 8, "leanmd: atoms per cell")
-		steps   = flag.Int("steps", 10, "time steps")
-		warmup  = flag.Int("warmup", 3, "warmup steps")
-	)
+	var cfg config
+	flag.IntVar(&cfg.node, "node", 0, "this process's node index")
+	flag.StringVar(&cfg.addrList, "addrs", "", "comma-separated listen addresses, one per node")
+	flag.StringVar(&cfg.app, "app", "stencil", "stencil|leanmd")
+	flag.IntVar(&cfg.procs, "procs", 4, "total PEs across all nodes")
+	flag.DurationVar(&cfg.latency, "latency", 1725*time.Microsecond, "one-way inter-cluster latency")
+	flag.IntVar(&cfg.objects, "objects", 64, "stencil: virtualization degree (perfect square)")
+	flag.IntVar(&cfg.width, "width", 1024, "stencil: mesh width and height")
+	flag.IntVar(&cfg.cells, "cells", 4, "leanmd: cells per axis")
+	flag.IntVar(&cfg.atoms, "atoms", 8, "leanmd: atoms per cell")
+	flag.IntVar(&cfg.steps, "steps", 10, "time steps")
+	flag.IntVar(&cfg.warmup, "warmup", 3, "warmup steps")
+	flag.BoolVar(&cfg.reliable, "reliable", false, "interpose the end-to-end reliability layer over TCP")
+	flag.StringVar(&cfg.metricsAddr, "metrics", "", "serve the metrics registry over HTTP on this address (e.g. 127.0.0.1:9300)")
+	flag.StringVar(&cfg.snapshot, "metrics-out", "", "write a JSON metrics snapshot to this file when the run completes")
 	flag.Parse()
-	if err := run(*node, *addrs, *app, *procs, *latency, *objects, *width, *cells, *atoms, *steps, *warmup); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "gridnode: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(node int, addrList, app string, procs int, latency time.Duration,
-	objects, width, cells, atoms, steps, warmup int) error {
-
-	addrs := strings.Split(addrList, ",")
-	nodes := len(addrs)
-	if addrList == "" || nodes < 2 {
-		return fmt.Errorf("need -addrs with at least two addresses")
-	}
-	if node < 0 || node >= nodes {
-		return fmt.Errorf("node %d out of range for %d addresses", node, nodes)
-	}
-	if procs%nodes != 0 {
-		return fmt.Errorf("procs=%d not divisible by %d nodes", procs, nodes)
-	}
-	perNode := procs / nodes
-
-	topo, err := topology.TwoClusters(procs, latency)
-	if err != nil {
-		return err
-	}
-
-	var prog *core.Program
-	switch app {
+func buildProgram(cfg config) (*core.Program, error) {
+	switch cfg.app {
 	case "stencil":
 		v := 1
-		for v*v < objects {
+		for v*v < cfg.objects {
 			v++
 		}
-		if v*v != objects {
-			return fmt.Errorf("objects=%d is not a perfect square", objects)
+		if v*v != cfg.objects {
+			return nil, fmt.Errorf("objects=%d is not a perfect square", cfg.objects)
 		}
-		prog, err = stencil.BuildProgram(&stencil.Params{
-			Width: width, Height: width, VX: v, VY: v, Steps: steps, Warmup: warmup,
+		return stencil.BuildProgram(&stencil.Params{
+			Width: cfg.width, Height: cfg.width, VX: v, VY: v,
+			Steps: cfg.steps, Warmup: cfg.warmup,
 		})
 	case "leanmd":
 		p := leanmd.DefaultParams()
-		p.NX, p.NY, p.NZ = cells, cells, cells
-		p.AtomsPerCell = atoms
-		p.Steps, p.Warmup = steps, warmup
-		prog, _, err = leanmd.BuildProgram(p)
+		p.NX, p.NY, p.NZ = cfg.cells, cfg.cells, cfg.cells
+		p.AtomsPerCell = cfg.atoms
+		p.Steps, p.Warmup = cfg.steps, cfg.warmup
+		prog, _, err := leanmd.BuildProgram(p)
+		return prog, err
 	default:
-		return fmt.Errorf("unknown app %q", app)
+		return nil, fmt.Errorf("unknown app %q", cfg.app)
 	}
+}
+
+func run(cfg config) error {
+	addrs := strings.Split(cfg.addrList, ",")
+	nodes := len(addrs)
+	if cfg.addrList == "" || nodes < 2 {
+		return fmt.Errorf("need -addrs with at least two addresses")
+	}
+	if cfg.node < 0 || cfg.node >= nodes {
+		return fmt.Errorf("node %d out of range for %d addresses", cfg.node, nodes)
+	}
+	if cfg.procs%nodes != 0 {
+		return fmt.Errorf("procs=%d not divisible by %d nodes", cfg.procs, nodes)
+	}
+	perNode := cfg.procs / nodes
+
+	topo, err := topology.TwoClusters(cfg.procs, cfg.latency)
+	if err != nil {
+		return err
+	}
+	prog, err := buildProgram(cfg)
 	if err != nil {
 		return err
 	}
@@ -106,40 +136,64 @@ func run(node int, addrList, app string, procs int, latency time.Duration,
 	}
 	nodeOf := func(pe int) int { return pe / perNode }
 
+	reg := metrics.NewRegistry()
 	var rt *core.Runtime
-	tcp := vmi.NewTCP(node, addrMap, func(pe int32) int { return nodeOf(int(pe)) }, func(f *vmi.Frame) error {
-		return rt.InjectFrame(f)
-	})
-	tcp.OnControl = func(f *vmi.Frame) {
-		if f.Dst == vmi.ControlShutdown && rt != nil {
-			rt.Stop()
-		}
+	builder := vmi.NewChainBuilder(cfg.node, addrMap, func(pe int32) int { return nodeOf(int(pe)) }).
+		Metrics(reg).
+		OnControl(func(f *vmi.Frame) {
+			if f.Dst == vmi.ControlShutdown && rt != nil {
+				rt.Stop()
+			}
+		})
+	if cfg.reliable {
+		builder.Reliable(vmi.ReliableConfig{})
 	}
-	if _, err := tcp.Listen(); err != nil {
+	stack, err := builder.Build()
+	if err != nil {
 		return err
 	}
-	defer tcp.Close()
+	if _, err := stack.Listen(); err != nil {
+		return err
+	}
+	defer stack.Close()
 
-	rt, err = core.NewRuntime(topo, prog, core.Options{
-		Transport: tcp,
-		NodeOf:    nodeOf,
-		Node:      node,
-		PELo:      node * perNode,
-		PEHi:      (node + 1) * perNode,
-	})
+	rt, err = core.NewRuntime(topo, prog,
+		core.WithCluster(core.ClusterConfig{
+			Transport: stack,
+			NodeOf:    nodeOf,
+			Node:      cfg.node,
+			PELo:      cfg.node * perNode,
+			PEHi:      (cfg.node + 1) * perNode,
+		}),
+		core.WithMetrics(reg))
 	if err != nil {
 		return err
 	}
 
+	if cfg.metricsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Fprintf(os.Stderr, "gridnode %d: metrics on http://%s/metrics\n", cfg.node, ln.Addr())
+		if cfg.onMetrics != nil {
+			cfg.onMetrics(ln.Addr().String())
+		}
+	}
+
 	fmt.Fprintf(os.Stderr, "gridnode %d/%d: hosting PEs [%d,%d) of %s on %s\n",
-		node, nodes, node*perNode, (node+1)*perNode, topo, addrMap[node])
+		cfg.node, nodes, cfg.node*perNode, (cfg.node+1)*perNode, topo, addrMap[cfg.node])
 
 	v, err := rt.Run()
 	if err != nil {
 		return err
 	}
 
-	if node == 0 {
+	if cfg.node == 0 {
 		switch res := v.(type) {
 		case *stencil.Result:
 			fmt.Printf("stencil: per-step %v, total %v, checksum %.6f\n", res.PerStep, res.Total, res.Checksum)
@@ -150,12 +204,32 @@ func run(node int, addrList, app string, procs int, latency time.Duration,
 		}
 		// Announce shutdown to the workers.
 		for n := 1; n < nodes; n++ {
-			if err := tcp.SendControl(n, &vmi.Frame{Src: int32(node), Dst: vmi.ControlShutdown}); err != nil {
+			if err := stack.SendControl(n, &vmi.Frame{Src: int32(cfg.node), Dst: vmi.ControlShutdown}); err != nil {
 				fmt.Fprintf(os.Stderr, "gridnode: shutdown announce to node %d: %v\n", n, err)
 			}
 		}
 		// Give the frames time to flush before closing connections.
 		time.Sleep(100 * time.Millisecond)
 	}
+
+	if cfg.snapshot != "" {
+		if err := writeSnapshot(cfg.snapshot, reg); err != nil {
+			return fmt.Errorf("metrics snapshot: %w", err)
+		}
+	}
 	return nil
+}
+
+// writeSnapshot dumps the registry as indented JSON, the same structure
+// the benchmark harness records next to its results.
+func writeSnapshot(path string, reg *metrics.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"gridmdo/internal/bench"
+	"gridmdo/internal/metrics"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		skipRealtime = flag.Bool("skip-realtime", false, "skip wall-clock (host) columns in tables 1 and 2")
 		csvDir       = flag.String("csv", "", "also write CSV files into this directory")
 		svgDir       = flag.String("svg", "", "also write SVG charts (figures only) into this directory")
+		metricsOut   = flag.String("metrics-out", "", "write a JSON metrics snapshot of the real-time runs to this file")
 		quiet        = flag.Bool("quiet", false, "suppress per-run progress lines")
 	)
 	flag.Parse()
@@ -35,6 +37,9 @@ func main() {
 	profile := bench.PaperProfile()
 	if *fast {
 		profile = bench.FastProfile()
+	}
+	if *metricsOut != "" {
+		profile.Metrics = metrics.NewRegistry()
 	}
 	progress := os.Stderr
 	if *quiet {
@@ -168,6 +173,34 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *metricsOut != "" {
+		if len(profile.Metrics.Snapshot().Series) == 0 {
+			fmt.Fprintf(os.Stderr, "gridsim: warning: no metrics recorded — metrics cover the real-time/TCP runs (table1, table2), not virtual-time-only experiments\n")
+		}
+		if err := writeSnapshot(*metricsOut, profile.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: metrics snapshot: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeSnapshot dumps the accumulated real-time-run registry as indented
+// JSON, next to wherever the caller keeps the CSV results.
+func writeSnapshot(path string, reg *metrics.Registry) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeSVG(dir, name string, fig *bench.Figure) error {

@@ -63,7 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt, err := core.NewRuntime(topo2, prog2, core.Options{})
+	rt, err := core.NewRuntime(topo2, prog2)
 	if err != nil {
 		log.Fatal(err)
 	}

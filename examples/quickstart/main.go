@@ -102,7 +102,11 @@ func run(withAsker, withWorkers bool) time.Duration {
 			}
 		},
 	}
-	rt, err := core.NewRuntime(topo, prog, core.Options{RunToQuiescence: !withAsker})
+	var opts []core.Option
+	if !withAsker {
+		opts = append(opts, core.WithQuiescence())
+	}
+	rt, err := core.NewRuntime(topo, prog, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -85,6 +85,8 @@ type Comm struct {
 
 	resume chan *pkt
 	yield  chan yieldKind
+
+	met *ampiMetrics // shared across the program's ranks; never nil
 }
 
 // Rank reports this rank's index.
@@ -116,6 +118,7 @@ func (c *Comm) sendPkt(dst, tag int, data any, bytes int) {
 	if dst < 0 || dst >= c.size {
 		panic(fmt.Sprintf("ampi: send to rank %d of %d", dst, c.size))
 	}
+	c.met.sends.Inc()
 	c.ctx.Send(core.ElemRef{Array: 0, Index: dst}, entryMsg,
 		pkt{Src: c.rank, Tag: tag, Data: data, Bytes: bytes})
 }
@@ -128,13 +131,16 @@ func (c *Comm) Recv(src, tag int) (any, Status) {
 	for i, p := range c.inbox {
 		if req.matches(p) {
 			c.inbox = append(c.inbox[:i], c.inbox[i+1:]...)
+			c.met.unexpected.Add(-1)
 			return p.Data, Status{Source: p.Src, Tag: p.Tag}
 		}
 	}
 	// Suspend: hand the PE back to the scheduler until a match arrives.
 	c.waiting = &req
+	c.met.blocked.Add(1)
 	c.yield <- yBlocked
 	p := <-c.resume
+	c.met.blocked.Add(-1)
 	return p.Data, Status{Source: p.Src, Tag: p.Tag}
 }
 
@@ -179,6 +185,7 @@ func (r *rankChare) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
 			return
 		}
 		c.inbox = append(c.inbox, &p)
+		c.met.unexpected.Add(1)
 	default:
 		panic(fmt.Sprintf("ampi: unknown entry %d", entry))
 	}
@@ -193,13 +200,21 @@ func (r *rankChare) wait() {
 
 // BuildProgram wraps an MPI-style main into a runnable core.Program with
 // n ranks. The program exits (with nil) when every rank's main returns.
-func BuildProgram(n int, main func(*Comm)) (*core.Program, error) {
+// Options (e.g. WithMetrics) configure the layer for the whole program.
+func BuildProgram(n int, main func(*Comm), opts ...Option) (*core.Program, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("ampi: %d ranks", n)
 	}
 	if main == nil {
 		return nil, fmt.Errorf("ampi: nil main")
 	}
+	var o options
+	for _, f := range opts {
+		if f != nil {
+			f(&o)
+		}
+	}
+	met := newAMPIMetrics(o.reg)
 	prog := &core.Program{
 		Arrays: []core.ArraySpec{{
 			ID: 0, N: n,
@@ -210,6 +225,7 @@ func BuildProgram(n int, main func(*Comm)) (*core.Program, error) {
 						rank: i, size: n,
 						resume: make(chan *pkt),
 						yield:  make(chan yieldKind),
+						met:    met,
 					},
 				}
 			},

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gridmdo/internal/core"
+	"gridmdo/internal/metrics"
 	"gridmdo/internal/sim"
 	"gridmdo/internal/stencil"
 	"gridmdo/internal/topology"
@@ -28,7 +29,7 @@ func runRealtime(t *testing.T, procs, ranks int, lat time.Duration, main func(*C
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := core.NewRuntime(topo, prog, core.Options{})
+	rt, err := core.NewRuntime(topo, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,5 +361,49 @@ func TestAMPIOnSimDeterministic(t *testing.T) {
 	}
 	if t1, t2 := run(), run(); t1 != t2 {
 		t.Errorf("AMPI on sim not deterministic: %v vs %v", t1, t2)
+	}
+}
+
+// TestAMPIMetrics checks the layer's series over a run with collectives
+// and unexpected traffic: sends are counted, tree fan-in matches the
+// binomial-tree contribution count, and both gauges return to zero once
+// every rank finishes.
+func TestAMPIMetrics(t *testing.T) {
+	const ranks = 8
+	reg := metrics.NewRegistry()
+	prog, err := BuildProgram(ranks, func(c *Comm) {
+		v := c.Allreduce(float64(c.Rank()), core.OpSum)
+		if v.(float64) != 28 {
+			t.Errorf("rank %d: allreduce = %v", c.Rank(), v)
+		}
+		c.Barrier()
+	}, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.TwoClusters(4, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.NewRuntime(topo, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	// Reduce and Barrier-up each fold ranks-1 contributions across the
+	// tree; Bcast and Barrier-down are fan-out and do not count.
+	if got := snap.Value("ampi_collective_fanin_total"); got != 2*(ranks-1) {
+		t.Errorf("fan-in = %d, want %d", got, 2*(ranks-1))
+	}
+	if got := snap.Value("ampi_msgs_sent_total"); got <= 0 {
+		t.Errorf("sends = %d, want > 0", got)
+	}
+	for _, g := range []string{"ampi_ranks_blocked", "ampi_unexpected_msgs"} {
+		if got := snap.Value(g); got != 0 {
+			t.Errorf("%s = %d after completion, want 0", g, got)
+		}
 	}
 }

@@ -60,6 +60,7 @@ func (c *Comm) Barrier() {
 	// Reduce-to-0 then broadcast, both over binomial trees.
 	for _, child := range treeChildren(r, c.size) {
 		c.Recv(child, tagBarrierUp)
+		c.met.fanin.Inc()
 	}
 	if r != 0 {
 		c.Send(treeParent(r), tagBarrierUp, nil)
@@ -92,6 +93,7 @@ func (c *Comm) Reduce(root int, v any, op core.ReduceOp) (any, bool) {
 	acc := v
 	for _, child := range treeChildren(r, c.size) {
 		cv, _ := c.Recv(unrelabel(child, root, c.size), tagReduce)
+		c.met.fanin.Inc()
 		acc = core.Combine(op, acc, cv)
 	}
 	if r != 0 {
@@ -122,6 +124,7 @@ func (c *Comm) Gather(root int, v any) []any {
 	out[root], seen[root] = v, true
 	for i := 0; i < c.size-1; i++ {
 		p, st := c.recvInternal(AnySource, tagGather)
+		c.met.fanin.Inc()
 		if seen[st.Source] {
 			panic(fmt.Sprintf("ampi: duplicate gather contribution from %d", st.Source))
 		}
@@ -171,6 +174,7 @@ func (c *Comm) Alltoall(vals []any) []any {
 	out[c.rank] = vals[c.rank]
 	for i := 0; i < c.size-1; i++ {
 		p, st := c.recvInternal(AnySource, tagAlltoall)
+		c.met.fanin.Inc()
 		out[st.Source] = p
 	}
 	return out
@@ -196,11 +200,14 @@ func (c *Comm) recvInternal(src, tag int) (any, Status) {
 	for i, p := range c.inbox {
 		if (req.src == AnySource || req.src == p.Src) && p.Tag == tag {
 			c.inbox = append(c.inbox[:i], c.inbox[i+1:]...)
+			c.met.unexpected.Add(-1)
 			return p.Data, Status{Source: p.Src, Tag: p.Tag}
 		}
 	}
 	c.waiting = &req
+	c.met.blocked.Add(1)
 	c.yield <- yBlocked
 	p := <-c.resume
+	c.met.blocked.Add(-1)
 	return p.Data, Status{Source: p.Src, Tag: p.Tag}
 }

@@ -1,0 +1,40 @@
+package ampi
+
+import "gridmdo/internal/metrics"
+
+// Option configures BuildProgram, mirroring the runtime's functional
+// construction options.
+type Option func(*options)
+
+type options struct {
+	reg *metrics.Registry
+}
+
+// WithMetrics registers the AMPI layer's series on reg: ranks blocked in
+// a receive, unexpected-queue occupancy, collective fan-in, and messages
+// sent. All ranks of the program share one handle set.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(o *options) { o.reg = reg }
+}
+
+// ampiMetrics is the layer's shared handle set. The zero value (all nil
+// handles) is a valid no-op: every handle method is nil-safe, so an
+// uninstrumented program pays one branch per update.
+type ampiMetrics struct {
+	blocked    *metrics.Gauge   // ranks suspended in Recv/Probe awaiting a match
+	unexpected *metrics.Gauge   // packets parked in unexpected-message queues
+	fanin      *metrics.Counter // child contributions folded in tree collectives
+	sends      *metrics.Counter // point-to-point packets sent (collectives included)
+}
+
+func newAMPIMetrics(reg *metrics.Registry) *ampiMetrics {
+	m := &ampiMetrics{}
+	if reg == nil {
+		return m
+	}
+	m.blocked = reg.Gauge("ampi_ranks_blocked")
+	m.unexpected = reg.Gauge("ampi_unexpected_msgs")
+	m.fanin = reg.Counter("ampi_collective_fanin_total")
+	m.sends = reg.Counter("ampi_msgs_sent_total")
+	return m
+}

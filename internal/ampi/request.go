@@ -31,6 +31,7 @@ func (c *Comm) Irecv(src, tag int) *Request {
 	for i, p := range c.inbox {
 		if req.matches(p) {
 			c.inbox = append(c.inbox[:i], c.inbox[i+1:]...)
+			c.met.unexpected.Add(-1)
 			r.done = true
 			r.val = p.Data
 			r.status = Status{Source: p.Src, Tag: p.Tag}
@@ -53,6 +54,7 @@ func (r *Request) Test() bool {
 	for i, p := range r.c.inbox {
 		if req.matches(p) {
 			r.c.inbox = append(r.c.inbox[:i], r.c.inbox[i+1:]...)
+			r.c.met.unexpected.Add(-1)
 			r.done = true
 			r.val = p.Data
 			r.status = Status{Source: p.Src, Tag: p.Tag}
@@ -93,9 +95,12 @@ func (c *Comm) Probe(src, tag int) Status {
 		// recheck. We wait for *any* message and requeue it if it does
 		// not match the probe.
 		c.waiting = &recvReq{src: AnySource, tag: AnyTag}
+		c.met.blocked.Add(1)
 		c.yield <- yBlocked
 		p := <-c.resume
+		c.met.blocked.Add(-1)
 		c.inbox = append(c.inbox, p)
+		c.met.unexpected.Add(1)
 	}
 }
 

@@ -18,7 +18,9 @@ package bench
 import (
 	"time"
 
+	"gridmdo/internal/core"
 	"gridmdo/internal/leanmd"
+	"gridmdo/internal/metrics"
 	"gridmdo/internal/stencil"
 )
 
@@ -54,6 +56,21 @@ type Profile struct {
 
 	// IrregularVertices sizes the irregular-mesh generality experiment.
 	IrregularVertices int
+
+	// Metrics, when non-nil, instruments every real-time runtime and TCP
+	// stack the harness constructs (the Table 1/2 host and TCP columns).
+	// The registry accumulates across runs; gridsim -metrics-out writes
+	// its snapshot next to the CSV results.
+	Metrics *metrics.Registry
+}
+
+// rtOpts are the runtime options every real-time run of this profile
+// shares.
+func (p Profile) rtOpts() []core.Option {
+	if p.Metrics == nil {
+		return nil
+	}
+	return []core.Option{core.WithMetrics(p.Metrics)}
 }
 
 // PaperProfile reproduces the paper's exact workloads: a 2048×2048 mesh

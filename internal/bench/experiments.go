@@ -99,11 +99,11 @@ func Table1(w io.Writer, p Profile, skipRealtime bool) (*Table, error) {
 		if skipRealtime {
 			cells = append(cells, "-", "-", "-")
 		} else {
-			rtRes, err := StencilRealtime(p.Stencil, row.Procs, row.Objects, p.RealLatency)
+			rtRes, err := StencilRealtime(p.Stencil, row.Procs, row.Objects, p.RealLatency, p.rtOpts()...)
 			if err != nil {
 				return nil, fmt.Errorf("table1 realtime P=%d V=%d: %w", row.Procs, row.Objects, err)
 			}
-			tcpRes, err := StencilTCP(p.Stencil, row.Procs, row.Objects, p.RealLatency)
+			tcpRes, err := StencilTCP(p.Stencil, row.Procs, row.Objects, p.RealLatency, p.rtOpts()...)
 			if err != nil {
 				return nil, fmt.Errorf("table1 tcp P=%d V=%d: %w", row.Procs, row.Objects, err)
 			}
@@ -138,11 +138,11 @@ func Table2(w io.Writer, p Profile, skipRealtime bool) (*Table, error) {
 		if skipRealtime {
 			cells = append(cells, "-", "-", "-")
 		} else {
-			rtRes, err := LeanMDRealtime(p.MD, procs, p.RealLatency)
+			rtRes, err := LeanMDRealtime(p.MD, procs, p.RealLatency, p.rtOpts()...)
 			if err != nil {
 				return nil, fmt.Errorf("table2 realtime P=%d: %w", procs, err)
 			}
-			tcpRes, err := LeanMDTCP(p.MD, procs, p.RealLatency)
+			tcpRes, err := LeanMDTCP(p.MD, procs, p.RealLatency, p.rtOpts()...)
 			if err != nil {
 				return nil, fmt.Errorf("table2 tcp P=%d: %w", procs, err)
 			}

@@ -99,7 +99,7 @@ func StencilSimParams(p *stencil.Params, procs int, lat time.Duration) (*stencil
 // StencilRealtime runs the stencil on the real-time runtime in one
 // process, with the delay device injecting the WAN latency (the paper's
 // simulated-Grid environment, wall-clock measured).
-func StencilRealtime(cfg StencilConfig, procs, objects int, lat time.Duration) (*stencil.Result, error) {
+func StencilRealtime(cfg StencilConfig, procs, objects int, lat time.Duration, opts ...core.Option) (*stencil.Result, error) {
 	p, err := cfg.params(objects, false)
 	if err != nil {
 		return nil, err
@@ -112,7 +112,7 @@ func StencilRealtime(cfg StencilConfig, procs, objects int, lat time.Duration) (
 	if err != nil {
 		return nil, err
 	}
-	rt, err := core.NewRuntime(topo, prog, core.Options{})
+	rt, err := core.NewRuntime(topo, prog, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +126,7 @@ func StencilRealtime(cfg StencilConfig, procs, objects int, lat time.Duration) (
 // StencilTCP runs the stencil across two runtimes joined by real TCP
 // sockets (one per cluster) with the delay device supplying the WAN
 // flight time — the "real latency" validation pathway of Table 1.
-func StencilTCP(cfg StencilConfig, procs, objects int, lat time.Duration) (*stencil.Result, error) {
+func StencilTCP(cfg StencilConfig, procs, objects int, lat time.Duration, opts ...core.Option) (*stencil.Result, error) {
 	mk := func() (*core.Program, error) {
 		p, err := cfg.params(objects, false)
 		if err != nil {
@@ -134,7 +134,7 @@ func StencilTCP(cfg StencilConfig, procs, objects int, lat time.Duration) (*sten
 		}
 		return stencil.BuildProgram(p)
 	}
-	v, err := runTwoNodeTCP(procs, lat, mk)
+	v, err := runTwoNodeTCP(procs, lat, mk, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +177,7 @@ func LeanMDSim(cfg MDConfig, procs int, lat time.Duration, opts sim.Options) (*l
 }
 
 // LeanMDRealtime runs LeanMD on the real-time runtime in one process.
-func LeanMDRealtime(cfg MDConfig, procs int, lat time.Duration) (*leanmd.Result, error) {
+func LeanMDRealtime(cfg MDConfig, procs int, lat time.Duration, opts ...core.Option) (*leanmd.Result, error) {
 	prog, _, err := leanmd.BuildProgram(cfg.params(false))
 	if err != nil {
 		return nil, err
@@ -186,7 +186,7 @@ func LeanMDRealtime(cfg MDConfig, procs int, lat time.Duration) (*leanmd.Result,
 	if err != nil {
 		return nil, err
 	}
-	rt, err := core.NewRuntime(topo, prog, core.Options{})
+	rt, err := core.NewRuntime(topo, prog, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -198,12 +198,12 @@ func LeanMDRealtime(cfg MDConfig, procs int, lat time.Duration) (*leanmd.Result,
 }
 
 // LeanMDTCP runs LeanMD across two TCP-joined runtimes.
-func LeanMDTCP(cfg MDConfig, procs int, lat time.Duration) (*leanmd.Result, error) {
+func LeanMDTCP(cfg MDConfig, procs int, lat time.Duration, opts ...core.Option) (*leanmd.Result, error) {
 	mk := func() (*core.Program, error) {
 		prog, _, err := leanmd.BuildProgram(cfg.params(false))
 		return prog, err
 	}
-	v, err := runTwoNodeTCP(procs, lat, mk)
+	v, err := runTwoNodeTCP(procs, lat, mk, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +213,7 @@ func LeanMDTCP(cfg MDConfig, procs int, lat time.Duration) (*leanmd.Result, erro
 // runTwoNodeTCP hosts a two-cluster machine as two Runtimes in this
 // process, one per cluster, connected by the VMI TCP transport on
 // loopback. The program's result is produced on node 0.
-func runTwoNodeTCP(procs int, lat time.Duration, mkProg func() (*core.Program, error)) (any, error) {
+func runTwoNodeTCP(procs int, lat time.Duration, mkProg func() (*core.Program, error), opts ...core.Option) (any, error) {
 	if procs < 2 || procs%2 != 0 {
 		return nil, fmt.Errorf("bench: two-node TCP run needs an even PE count >= 2, got %d", procs)
 	}
@@ -230,40 +230,51 @@ func runTwoNodeTCP(procs int, lat time.Duration, mkProg func() (*core.Program, e
 	}
 	routeFn := func(pe int32) int { return nodeOf(int(pe)) }
 
+	// Peek at the assembled options so the transport stacks share the
+	// harness registry (per-device series) with the runtimes (per-PE
+	// series).
+	var peek core.Options
+	for _, o := range opts {
+		o(&peek)
+	}
+
 	var rts [2]*core.Runtime
-	var tcps [2]*vmi.TCP
+	var stacks [2]*vmi.Stack
 	for node := 0; node < 2; node++ {
-		node := node
-		tcps[node] = vmi.NewTCP(node, map[int]string{node: "127.0.0.1:0"}, routeFn, func(f *vmi.Frame) error {
-			return rts[node].InjectFrame(f)
-		})
+		s, err := vmi.NewChainBuilder(node, map[int]string{node: "127.0.0.1:0"}, routeFn).
+			Metrics(peek.Metrics).
+			Build()
+		if err != nil {
+			if node == 1 {
+				stacks[0].Close()
+			}
+			return nil, err
+		}
+		stacks[node] = s
 	}
-	a0, err := tcps[0].Listen()
+	a0, err := stacks[0].Listen()
 	if err != nil {
 		return nil, err
 	}
-	a1, err := tcps[1].Listen()
+	a1, err := stacks[1].Listen()
 	if err != nil {
-		tcps[0].Close()
+		stacks[0].Close()
 		return nil, err
 	}
-	tcps[0].SetAddr(1, a1)
-	tcps[1].SetAddr(0, a0)
-	defer tcps[0].Close()
-	defer tcps[1].Close()
+	stacks[0].SetAddr(1, a1)
+	stacks[1].SetAddr(0, a0)
+	defer stacks[0].Close()
+	defer stacks[1].Close()
 
 	for node := 0; node < 2; node++ {
 		prog, err := mkProg()
 		if err != nil {
 			return nil, err
 		}
-		rt, err := core.NewRuntime(topo, prog, core.Options{
-			Transport: tcps[node],
-			NodeOf:    nodeOf,
-			Node:      node,
-			PELo:      node * half,
-			PEHi:      (node + 1) * half,
-		})
+		nodeOpts := append([]core.Option{
+			core.WithCluster(core.ClusterConfig{Transport: stacks[node], NodeOf: nodeOf, Node: node, PELo: node * half, PEHi: (node + 1) * half}),
+		}, opts...)
+		rt, err := core.NewRuntime(topo, prog, nodeOpts...)
 		if err != nil {
 			return nil, err
 		}

@@ -4,11 +4,14 @@ import (
 	"math"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"gridmdo/internal/core"
+	"gridmdo/internal/metrics"
 	"gridmdo/internal/stencil"
 	"gridmdo/internal/topology"
 	"gridmdo/internal/vmi"
@@ -39,21 +42,22 @@ func coreChaosSeed(t *testing.T) int64 {
 	return seed
 }
 
-// twoNodeHarness is one two-process run: a pair of TCP transports on
-// loopback, optionally wrapped in reliability layers, hosting one PE each.
+// twoNodeHarness is one two-process run: a pair of ChainBuilder stacks on
+// loopback, optionally carrying reliability layers, hosting one PE each.
 type twoNodeHarness struct {
-	tcps [2]*vmi.TCP
-	rels [2]*vmi.Reliable
-	rts  [2]*core.Runtime
+	stacks [2]*vmi.Stack
+	regs   [2]*metrics.Registry
+	rts    [2]*core.Runtime
 }
 
-// buildTwoNodes wires transports and runtimes for a two-PE topology.
-// relCfg non-nil interposes a reliability layer per node (relCfg[node]
-// carrying that node's fault devices); nil runs bare TCP with faults, if
-// any, in the wire send chain (where PR 1 left them: above the transport,
-// unrecoverable).
+// buildTwoNodes wires stacks and runtimes for a two-PE topology through
+// the ChainBuilder. relCfg non-nil interposes a reliability layer per
+// node; faults[node] sits below it (inside the repair envelope) or, with
+// relCfg nil, directly above the socket — unrecoverable. Each node gets
+// its own metrics registry, shared between the stack and the runtime, so
+// chaos runs double as end-to-end observability checks.
 func buildTwoNodes(t *testing.T, topo *topology.Topology, mkProg func() *core.Program,
-	relCfg *[2]vmi.ReliableConfig, bareFaults [2][]vmi.SendDevice) *twoNodeHarness {
+	relCfg *[2]vmi.ReliableConfig, faults [2][]vmi.SendDevice) *twoNodeHarness {
 	t.Helper()
 	h := &twoNodeHarness{}
 	routeFn := func(pe int32) int { return int(pe) }
@@ -62,37 +66,40 @@ func buildTwoNodes(t *testing.T, topo *topology.Topology, mkProg func() *core.Pr
 		{0: "", 1: "127.0.0.1:0"},
 	}
 	for node := 0; node < 2; node++ {
-		node := node
-		inject := func(f *vmi.Frame) error { return h.rts[node].InjectFrame(f) }
-		h.tcps[node] = vmi.NewTCP(node, addrs[node], routeFn, inject)
+		h.regs[node] = metrics.NewRegistry()
+		b := vmi.NewChainBuilder(node, addrs[node], routeFn).
+			Metrics(h.regs[node]).
+			Faults(faults[node], nil)
 		if relCfg != nil {
-			h.rels[node] = vmi.NewReliable(h.tcps[node], inject, relCfg[node])
+			b = b.Reliable(relCfg[node])
 		}
+		st, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.stacks[node] = st
 	}
-	a0, err := h.tcps[0].Listen()
+	a0, err := h.stacks[0].Listen()
 	if err != nil {
 		t.Fatal(err)
 	}
-	a1, err := h.tcps[1].Listen()
+	a1, err := h.stacks[1].Listen()
 	if err != nil {
 		t.Fatal(err)
 	}
-	h.tcps[0].SetAddr(1, a1)
-	h.tcps[1].SetAddr(0, a0)
+	h.stacks[0].SetAddr(1, a1)
+	h.stacks[1].SetAddr(0, a0)
 
 	for node := 0; node < 2; node++ {
-		var tr core.Transport = h.tcps[node]
-		if h.rels[node] != nil {
-			tr = h.rels[node]
-		}
-		rt, err := core.NewRuntime(topo, mkProg(), core.Options{
-			Transport: tr,
-			NodeOf:    func(pe int) int { return pe },
-			Node:      node,
-			PELo:      node,
-			PEHi:      node + 1,
-			WireSend:  bareFaults[node],
-		})
+		rt, err := core.NewRuntime(topo, mkProg(),
+			core.WithCluster(core.ClusterConfig{
+				Transport: h.stacks[node],
+				NodeOf:    func(pe int) int { return pe },
+				Node:      node,
+				PELo:      node,
+				PEHi:      node + 1,
+			}),
+			core.WithMetrics(h.regs[node]))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,10 +107,7 @@ func buildTwoNodes(t *testing.T, topo *topology.Topology, mkProg func() *core.Pr
 	}
 	t.Cleanup(func() {
 		for node := 0; node < 2; node++ {
-			if h.rels[node] != nil {
-				h.rels[node].Close()
-			}
-			h.tcps[node].Close()
+			h.stacks[node].Close()
 		}
 	})
 	return h
@@ -151,7 +155,7 @@ func dropConnSoon(h *twoNodeHarness, window time.Duration) <-chan bool {
 	go func() {
 		deadline := time.Now().Add(window)
 		for time.Now().Before(deadline) {
-			if h.tcps[0].DropConn(1) {
+			if h.stacks[0].TCP().DropConn(1) {
 				done <- true
 				return
 			}
@@ -215,10 +219,11 @@ func TestChaosStencilBitIdentical(t *testing.T) {
 	defer fd0.Close()
 	defer fd1.Close()
 	cfg := [2]vmi.ReliableConfig{
-		{RTO: 5 * time.Millisecond, SendFaults: []vmi.SendDevice{fd0}},
-		{RTO: 5 * time.Millisecond, SendFaults: []vmi.SendDevice{fd1}},
+		{RTO: 5 * time.Millisecond},
+		{RTO: 5 * time.Millisecond},
 	}
-	chaos := buildTwoNodes(t, topoFor(), stencilProg(t), &cfg, [2][]vmi.SendDevice{})
+	chaos := buildTwoNodes(t, topoFor(), stencilProg(t), &cfg,
+		[2][]vmi.SendDevice{{fd0}, {fd1}})
 	dropped := dropConnSoon(chaos, 10*time.Second)
 	cv, err := chaos.run(t, 60*time.Second)
 	if err != nil {
@@ -240,7 +245,7 @@ func TestChaosStencilBitIdentical(t *testing.T) {
 	if fd0.Stats().Dropped == 0 && fd1.Stats().Dropped == 0 {
 		t.Error("chaos run dropped no frames; the schedule never exercised the reliability layer")
 	}
-	relStats := [2]vmi.ReliableStats{chaos.rels[0].Stats(), chaos.rels[1].Stats()}
+	relStats := [2]vmi.ReliableStats{chaos.stacks[0].Reliable().Stats(), chaos.stacks[1].Reliable().Stats()}
 	if relStats[0].Retransmits+relStats[1].Retransmits == 0 {
 		t.Error("drops and a disconnect produced zero retransmits; the reliability layer never repaired anything")
 	}
@@ -253,9 +258,8 @@ func TestChaosStencilBitIdentical(t *testing.T) {
 
 // TestChaosStencilFailsWithoutReliability: the same fault schedule with the
 // reliability layer disabled does not complete — the forced disconnect
-// surfaces as a run error through the transport's fail-fast error handler
-// (and the 5% drops, living above the transport in PR 1's wire chain, are
-// simply lost).
+// surfaces as a run error through the stack's bound failure hook (and the
+// 5% drops, with no reliability layer above them, are simply lost).
 func TestChaosStencilFailsWithoutReliability(t *testing.T) {
 	seed := coreChaosSeed(t)
 	topo, err := topology.TwoClusters(2, 2*time.Millisecond)
@@ -270,7 +274,7 @@ func TestChaosStencilFailsWithoutReliability(t *testing.T) {
 		{fd0}, {fd1},
 	})
 	for node := 0; node < 2; node++ {
-		h.tcps[node].DialAttempts = 2 // fail fast once the link is severed
+		h.stacks[node].TCP().DialAttempts = 2 // fail fast once the link is severed
 	}
 
 	workerDone := make(chan struct{})
@@ -357,10 +361,10 @@ func TestChaosPingPongExactlyOnce(t *testing.T) {
 	defer fd0.Close()
 	defer fd1.Close()
 	cfg := [2]vmi.ReliableConfig{
-		{RTO: 5 * time.Millisecond, SendFaults: []vmi.SendDevice{fd0}},
-		{RTO: 5 * time.Millisecond, SendFaults: []vmi.SendDevice{fd1}},
+		{RTO: 5 * time.Millisecond},
+		{RTO: 5 * time.Millisecond},
 	}
-	h := buildTwoNodes(t, topo, mkProg, &cfg, [2][]vmi.SendDevice{})
+	h := buildTwoNodes(t, topo, mkProg, &cfg, [2][]vmi.SendDevice{{fd0}, {fd1}})
 	v, err := h.run(t, 60*time.Second)
 	if err != nil {
 		t.Fatalf("chaos ping-pong failed (seed %d): %v", seed, err)
@@ -392,4 +396,146 @@ func TestChaosPingPongExactlyOnce(t *testing.T) {
 	if s := fd0.Stats(); s.Dropped+s.Duplicated+s.Reordered+s.Corrupted == 0 {
 		t.Error("fault schedule injected nothing; the run proved nothing")
 	}
+}
+
+// sinkChare counts one-directional deliveries for the metrics
+// consistency run.
+type sinkChare struct{ got *atomic.Int64 }
+
+func (c *sinkChare) Recv(ctx *core.Ctx, entry core.EntryID, data any) { c.got.Add(1) }
+
+// TestChaosMetricsConsistent drives strictly one-directional traffic
+// (node 0 → node 1, so the faulty send path carries only data frames,
+// never acks) through seeded faults and checks that the metrics balance:
+// every wire transmission — original, retransmission, or fault-injected
+// duplicate — is either dropped by the fault device or arrives at the
+// receiver, where it is delivered exactly once or suppressed as a
+// duplicate —
+//
+//	DataSent + Retransmits + Duplicated − Dropped == Delivered + DupDropped
+//
+// and that the registries both nodes share with their stacks report the
+// same numbers as the device stats.
+func TestChaosMetricsConsistent(t *testing.T) {
+	seed := coreChaosSeed(t)
+	core.RegisterPayload(int(0))
+	const n = 80
+
+	runCase := func(t *testing.T, plan vmi.FaultPlan, rto time.Duration) (vmi.FaultStats, vmi.ReliableStats, vmi.ReliableStats, *twoNodeHarness) {
+		t.Helper()
+		topo, err := topology.TwoClusters(2, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got atomic.Int64
+		mkProg := func() *core.Program {
+			return &core.Program{
+				Arrays: []core.ArraySpec{{
+					ID: 0, N: 2,
+					New: func(i int) core.Chare { return &sinkChare{got: &got} },
+				}},
+				Start: func(ctx *core.Ctx) {
+					for i := 0; i < n; i++ {
+						ctx.Send(core.ElemRef{Array: 0, Index: 1}, 0, i)
+					}
+				},
+			}
+		}
+		fd := vmi.NewFaultDevice(seed, plan)
+		t.Cleanup(fd.Close)
+		cfg := [2]vmi.ReliableConfig{{RTO: rto}, {RTO: rto}}
+		h := buildTwoNodes(t, topo, mkProg, &cfg, [2][]vmi.SendDevice{{fd}, nil})
+		errs := make(chan error, 2)
+		for node := 0; node < 2; node++ {
+			node := node
+			go func() {
+				_, err := h.rts[node].Run()
+				errs <- err
+			}()
+		}
+		rel0, rel1 := h.stacks[0].Reliable(), h.stacks[1].Reliable()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			s0, s1 := rel0.Stats(), rel1.Stats()
+			fs := fd.Stats()
+			if got.Load() == n && rel0.Outstanding(1) == 0 &&
+				s0.DataSent+s0.Retransmits+fs.Duplicated-fs.Dropped == s1.Delivered+s1.DupDropped {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("metrics never converged (seed %d): faults %+v, sender %+v, receiver %+v, delivered %d/%d",
+					seed, fd.Stats(), s0, s1, got.Load(), n)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		h.rts[0].Stop()
+		h.rts[1].Stop()
+		for i := 0; i < 2; i++ {
+			if err := <-errs; err != nil {
+				t.Fatalf("run failed (seed %d): %v", seed, err)
+			}
+		}
+		return fd.Stats(), rel0.Stats(), rel1.Stats(), h
+	}
+
+	// seriesValue reads one labeled series out of a snapshot.
+	seriesValue := func(t *testing.T, reg *metrics.Registry, name, labelSub string) int64 {
+		t.Helper()
+		for _, s := range reg.Snapshot().Series {
+			if s.Name == name && strings.Contains(s.Labels, labelSub) {
+				return s.Value
+			}
+		}
+		t.Fatalf("series %s{%s} not in snapshot", name, labelSub)
+		return 0
+	}
+
+	t.Run("duplicates", func(t *testing.T) {
+		// A long RTO keeps retransmits out of the picture, so every
+		// duplicate the fault device injects must surface as exactly one
+		// dup-drop at the receiver.
+		fault, send, recv, h := runCase(t, vmi.FaultPlan{Duplicate: 0.2}, 2*time.Second)
+		if fault.Duplicated == 0 {
+			t.Fatalf("fault schedule duplicated nothing (seed %d); the run proved nothing", seed)
+		}
+		if send.Retransmits != 0 {
+			t.Fatalf("spurious retransmits (%d) with a 2s RTO (seed %d)", send.Retransmits, seed)
+		}
+		if recv.DupDropped != fault.Duplicated {
+			t.Errorf("receiver dropped %d duplicates, fault device injected %d (seed %d)",
+				recv.DupDropped, fault.Duplicated, seed)
+		}
+		if send.DataSent != n || recv.Delivered != n {
+			t.Errorf("sent %d / delivered %d, want %d exactly-once (seed %d)", send.DataSent, recv.Delivered, n, seed)
+		}
+		// Registry series must agree with the device stats they expose.
+		if v := h.regs[1].Snapshot().Value("vmi_rel_dup_dropped_total"); v != recv.DupDropped {
+			t.Errorf("registry vmi_rel_dup_dropped_total = %d, stats say %d", v, recv.DupDropped)
+		}
+		if v := seriesValue(t, h.regs[0], "vmi_fault_injected_total", `kind="duplicate"`); v != fault.Duplicated {
+			t.Errorf("registry vmi_fault_injected_total{kind=duplicate} = %d, stats say %d", v, fault.Duplicated)
+		}
+		if v := h.regs[1].Snapshot().Value("core_msgs_processed_total"); v != n {
+			t.Errorf("registry core_msgs_processed_total on receiver = %d, want %d", v, n)
+		}
+	})
+
+	t.Run("drops", func(t *testing.T) {
+		fault, send, recv, h := runCase(t, vmi.FaultPlan{Drop: 0.1}, 5*time.Millisecond)
+		if fault.Dropped == 0 {
+			t.Fatalf("fault schedule dropped nothing (seed %d); the run proved nothing", seed)
+		}
+		if send.Retransmits < fault.Dropped {
+			t.Errorf("%d retransmits cannot have repaired %d drops (seed %d)", send.Retransmits, fault.Dropped, seed)
+		}
+		if send.DataSent != n || recv.Delivered != n {
+			t.Errorf("sent %d / delivered %d, want %d exactly-once (seed %d)", send.DataSent, recv.Delivered, n, seed)
+		}
+		if v := h.regs[0].Snapshot().Value("vmi_rel_retransmits_total"); v != send.Retransmits {
+			t.Errorf("registry vmi_rel_retransmits_total = %d, stats say %d", v, send.Retransmits)
+		}
+		if v := seriesValue(t, h.regs[0], "vmi_fault_injected_total", `kind="drop"`); v != fault.Dropped {
+			t.Errorf("registry vmi_fault_injected_total{kind=drop} = %d, stats say %d", v, fault.Dropped)
+		}
+	})
 }

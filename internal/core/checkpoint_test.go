@@ -49,7 +49,7 @@ func counterProgram(n int) *Program {
 
 func TestRuntimeCheckpointRoundTrip(t *testing.T) {
 	topo := mustTopo(t, 4, 0)
-	rt, err := NewRuntime(topo, counterProgram(6), Options{})
+	rt, err := NewRuntime(topo, counterProgram(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestRuntimeCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt2, err := NewRuntime(topo2, prog2, Options{})
+	rt2, err := NewRuntime(topo2, prog2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestCheckpointRequiresMigratable(t *testing.T) {
 		Arrays: []ArraySpec{{ID: 0, N: 1, New: func(int) Chare { return funcChare(func(ctx *Ctx, e EntryID, d any) { ctx.Exit() }) }}},
 		Start:  func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, nil) },
 	}
-	rt, err := NewRuntime(topo, prog, Options{})
+	rt, err := NewRuntime(topo, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestCtxAccessorsAndBroadcast(t *testing.T) {
 		}},
 		Start: func(ctx *Ctx) { ctx.Broadcast(0, 0, "hello") },
 	}
-	rt, err := NewRuntime(topo, prog, Options{})
+	rt, err := NewRuntime(topo, prog)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -113,11 +113,9 @@ func TestTransportFailureSurfaces(t *testing.T) {
 				if tc.wireSend != nil {
 					ws = tc.wireSend(node)
 				}
-				rt, err := NewRuntime(topo, mkProg(), Options{
-					Transport: tcps[node], NodeOf: nodeOf, Node: node,
-					PELo: node, PEHi: node + 1,
-					WireSend: ws,
-				})
+				rt, err := NewRuntime(topo, mkProg(),
+					WithCluster(ClusterConfig{Transport: tcps[node], NodeOf: nodeOf, Node: node, PELo: node, PEHi: node + 1}),
+					WithWireDevices(ws, nil))
 				if err != nil {
 					t.Fatal(err)
 				}

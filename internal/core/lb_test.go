@@ -105,7 +105,7 @@ func TestLBMgrInvalidMovesDropped(t *testing.T) {
 		OnReduction: func(ctx *Ctx, a ArrayID, seq int64, v any) { ctx.ExitWith(v) },
 		LB:          &LBConfig{Arrays: []ArrayID{0}, Strategy: bogusStrategy{}},
 	}
-	rt, err := NewRuntime(topo, prog, Options{})
+	rt, err := NewRuntime(topo, prog)
 	if err != nil {
 		t.Fatal(err)
 	}

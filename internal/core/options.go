@@ -1,0 +1,185 @@
+package core
+
+import (
+	"time"
+
+	"gridmdo/internal/metrics"
+	"gridmdo/internal/trace"
+	"gridmdo/internal/vmi"
+)
+
+// Options is the consolidated configuration record of a real-time
+// Runtime. It is populated through the Option functions passed to
+// NewRuntime — construction is the only time these knobs can be set, so
+// every dependency (tracer, metrics registry, transport, failure hook) is
+// in place before the first message moves.
+type Options struct {
+	// Trace, if non-nil, receives scheduler events.
+	Trace *trace.Tracer
+
+	// Metrics, if non-nil, receives the runtime's counter/gauge/histogram
+	// series (per-PE message flow, queue depths, handler and idle time,
+	// delay-device occupancy). Registration happens at construction;
+	// updates are allocation-free atomics.
+	Metrics *metrics.Registry
+
+	// Sinks are additional event receivers teed together with Trace and
+	// the metrics adapter — the shared instrumentation surface of the
+	// executor (see trace.Sink).
+	Sinks []trace.Sink
+
+	// FailureHook, if non-nil, is called once with the first runtime
+	// error, before Run returns it — the constructed-in replacement for
+	// installing transport error handlers after the fact.
+	FailureHook func(error)
+
+	// LB overrides the program's load-balancing configuration for this
+	// runtime (nil keeps prog.LB). Single-process runtimes only.
+	LB *LBConfig
+
+	// PrioritizeWAN implements the paper's §6 proposal: messages that
+	// cross cluster boundaries are tagged with a higher delivery priority
+	// than local messages (unless the application already set one).
+	PrioritizeWAN bool
+
+	// Bundle combines the default-priority application messages each
+	// handler sends to one destination PE into a single transport frame
+	// (the Charm++ communication-optimization analog; see bundle.go).
+	Bundle bool
+
+	// RunToQuiescence ends the run when no messages remain anywhere in
+	// the system (queues, handlers, delay devices, transport links),
+	// detected by a wave-based counting protocol driven from PE 0 — see
+	// quiesce.go. It works across processes; worker nodes still need the
+	// coordinator's shutdown announcement to return from Run. Without
+	// this option, the program must call Ctx.ExitWith.
+	RunToQuiescence bool
+
+	// Multi-process configuration. A nil Transport means all PEs live in
+	// this process. Otherwise this process hosts PEs [PELo, PEHi) and
+	// NodeOf maps every PE to its owning process.
+	Transport Transport
+	NodeOf    func(pe int) int
+	Node      int
+	PELo      int
+	PEHi      int
+
+	// LatencyFor, if non-nil, overrides the topology's one-way latency
+	// for the delay device — e.g. vmi.JitteredLatency for runs with
+	// realistic wide-area variance.
+	LatencyFor func(src, dst int32) time.Duration
+
+	// WireSend and WireRecv are VMI device chains applied to serialized
+	// frames on their way to / from the Transport — e.g. compression and
+	// checksumming of wide-area traffic ("capabilities such as encrypting
+	// or compressing the data"). Every process must configure matching
+	// chains. Ignored without a Transport. Prefer building the whole
+	// stack (transforms, reliability, faults, TCP) with vmi.NewChainBuilder
+	// and passing the Stack via WithCluster; these fields remain for
+	// chains that must run above a custom Transport.
+	WireSend []vmi.SendDevice
+	WireRecv []vmi.RecvDevice
+}
+
+// Option configures a Runtime at construction.
+type Option func(*Options)
+
+// WithTrace attaches a tracer to the runtime's event sink.
+func WithTrace(t *trace.Tracer) Option {
+	return func(o *Options) { o.Trace = t }
+}
+
+// WithMetrics attaches a metrics registry: the runtime registers its
+// per-PE and delay-device series on it at construction, and transports
+// built by vmi.NewChainBuilder share the same registry for per-device
+// series.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(o *Options) { o.Metrics = reg }
+}
+
+// WithSink tees an additional event sink next to the tracer and metrics
+// adapter.
+func WithSink(s trace.Sink) Option {
+	return func(o *Options) { o.Sinks = append(o.Sinks, s) }
+}
+
+// WithFailureHook installs a hook called once with the first runtime
+// error (transport failures included), before Run returns it.
+func WithFailureHook(h func(error)) Option {
+	return func(o *Options) { o.FailureHook = h }
+}
+
+// WithLB overrides the program's load-balancing configuration.
+func WithLB(cfg *LBConfig) Option {
+	return func(o *Options) { o.LB = cfg }
+}
+
+// WithWANPriority enables the paper's §6 cross-cluster prioritization.
+func WithWANPriority() Option {
+	return func(o *Options) { o.PrioritizeWAN = true }
+}
+
+// WithBundling enables per-destination message bundling.
+func WithBundling() Option {
+	return func(o *Options) { o.Bundle = true }
+}
+
+// WithQuiescence ends the run by quiescence detection instead of an
+// explicit ExitWith.
+func WithQuiescence() Option {
+	return func(o *Options) { o.RunToQuiescence = true }
+}
+
+// WithLatency overrides the topology's one-way latency function for the
+// delay device.
+func WithLatency(f func(src, dst int32) time.Duration) Option {
+	return func(o *Options) { o.LatencyFor = f }
+}
+
+// ClusterConfig places this process in a multi-process run: the transport
+// carrying remote frames (usually a vmi.Stack), the PE→node map, and the
+// contiguous local PE range.
+type ClusterConfig struct {
+	Transport  Transport
+	NodeOf     func(pe int) int
+	Node       int
+	PELo, PEHi int
+}
+
+// WithCluster configures the multi-process topology. Transports that
+// implement the vmi.Stack binding contract are completed by the runtime —
+// frame delivery and the failure path attach during NewRuntime, so no
+// post-hoc SetErrHandler call is needed (or supported) in caller code.
+func WithCluster(c ClusterConfig) Option {
+	return func(o *Options) {
+		o.Transport = c.Transport
+		o.NodeOf = c.NodeOf
+		o.Node = c.Node
+		o.PELo = c.PELo
+		o.PEHi = c.PEHi
+	}
+}
+
+// WithWireDevices applies serialized-frame device chains above the
+// transport (see Options.WireSend/WireRecv). Stacks built with
+// vmi.NewChainBuilder carry their transforms internally and do not need
+// this.
+func WithWireDevices(send []vmi.SendDevice, recv []vmi.RecvDevice) Option {
+	return func(o *Options) {
+		o.WireSend = send
+		o.WireRecv = recv
+	}
+}
+
+// binder is the construction-time completion contract of vmi.Stack:
+// NewRuntime binds its frame-delivery entry and failure path through it.
+type binder interface {
+	Bind(deliver vmi.RecvFunc, onErr func(error))
+}
+
+// legacyErrHandler matches transports that predate the Bind contract.
+// Deprecated in vmi; recognized here so out-of-tree transports keep
+// working.
+type legacyErrHandler interface {
+	SetErrHandler(func(error))
+}

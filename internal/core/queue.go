@@ -99,15 +99,17 @@ func (h *msgHeap) Pop() any {
 	return x
 }
 
-// Push enqueues a message, assigning its FIFO sequence number. Pushing to
-// a closed queue is a no-op (shutdown races drop cleanly). A waiting
-// popper is woken only when one exists; the common push-to-busy-PE case
-// pays no futex call.
-func (q *Queue) Push(m *Message) {
+// Push enqueues a message, assigning its FIFO sequence number, and
+// reports the resulting queue depth (0 if the push was dropped) so the
+// caller can maintain a high-water mark without a second lock
+// acquisition. Pushing to a closed queue is a no-op (shutdown races drop
+// cleanly). A waiting popper is woken only when one exists; the common
+// push-to-busy-PE case pays no futex call.
+func (q *Queue) Push(m *Message) int {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return
+		return 0
 	}
 	q.seq++
 	m.seq = q.seq
@@ -116,11 +118,13 @@ func (q *Queue) Push(m *Message) {
 	} else {
 		heap.Push(&q.h, m)
 	}
+	depth := q.size()
 	wake := q.waiters > 0
 	q.mu.Unlock()
 	if wake {
 		q.cond.Signal()
 	}
+	return depth
 }
 
 // size reports the queued message count. Callers hold q.mu.

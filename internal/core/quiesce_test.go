@@ -14,7 +14,7 @@ func TestQDHandlesBadPayload(t *testing.T) {
 		Arrays: []ArraySpec{{ID: 0, N: 1, New: func(int) Chare { return funcChare(func(*Ctx, EntryID, any) {}) }}},
 		Start:  func(*Ctx) {},
 	}
-	rt, err := NewRuntime(topo, prog, Options{})
+	rt, err := NewRuntime(topo, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestQDWithDelayedTraffic(t *testing.T) {
 		}},
 		Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, 3) },
 	}
-	rt, err := NewRuntime(topo, prog, Options{RunToQuiescence: true})
+	rt, err := NewRuntime(topo, prog, WithQuiescence())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,11 +122,9 @@ func TestQDMultiProcess(t *testing.T) {
 
 	var hits [2]int
 	for node := 0; node < 2; node++ {
-		rt, err := NewRuntime(topo, mkProg(&hits[node]), Options{
-			Transport: tcps[node], NodeOf: nodeOf, Node: node,
-			PELo: node, PEHi: node + 1,
-			RunToQuiescence: true,
-		})
+		rt, err := NewRuntime(topo, mkProg(&hits[node]),
+			WithCluster(ClusterConfig{Transport: tcps[node], NodeOf: nodeOf, Node: node, PELo: node, PEHi: node + 1}),
+			WithQuiescence())
 		if err != nil {
 			t.Fatal(err)
 		}

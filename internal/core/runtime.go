@@ -18,63 +18,24 @@ type Transport interface {
 	Send(f *vmi.Frame) error
 }
 
-// Options configures a real-time Runtime.
-type Options struct {
-	// Trace, if non-nil, receives scheduler events.
-	Trace *trace.Tracer
-
-	// PrioritizeWAN implements the paper's §6 proposal: messages that
-	// cross cluster boundaries are tagged with a higher delivery priority
-	// than local messages (unless the application already set one).
-	PrioritizeWAN bool
-
-	// Bundle combines the default-priority application messages each
-	// handler sends to one destination PE into a single transport frame
-	// (the Charm++ communication-optimization analog; see bundle.go).
-	Bundle bool
-
-	// RunToQuiescence ends the run when no messages remain anywhere in
-	// the system (queues, handlers, delay devices, transport links),
-	// detected by a wave-based counting protocol driven from PE 0 — see
-	// quiesce.go. It works across processes; worker nodes still need the
-	// coordinator's shutdown announcement to return from Run. Without
-	// this option, the program must call Ctx.ExitWith.
-	RunToQuiescence bool
-
-	// Multi-process configuration. A nil Transport means all PEs live in
-	// this process. Otherwise this process hosts PEs [PELo, PEHi) and
-	// NodeOf maps every PE to its owning process.
-	Transport Transport
-	NodeOf    func(pe int) int
-	Node      int
-	PELo      int
-	PEHi      int
-
-	// LatencyFor, if non-nil, overrides the topology's one-way latency
-	// for the delay device — e.g. vmi.JitteredLatency for runs with
-	// realistic wide-area variance.
-	LatencyFor func(src, dst int32) time.Duration
-
-	// WireSend and WireRecv are VMI device chains applied to serialized
-	// frames on their way to / from the Transport — e.g. compression and
-	// checksumming of wide-area traffic ("capabilities such as encrypting
-	// or compressing the data"). Every process must configure matching
-	// chains. Ignored without a Transport.
-	WireSend []vmi.SendDevice
-	WireRecv []vmi.RecvDevice
-}
-
 // Runtime is the real-time executor: one scheduler goroutine per hosted
 // PE, VMI delay devices injecting the configured inter-cluster latencies,
 // and an optional TCP transport for PEs in other processes. It implements
 // Backend.
 type Runtime struct {
-	topo *topology.Topology
-	prog *Program
-	opts Options
-	loc  *Locations
-	pes  []*peState
-	dly  *vmi.DelayDevice
+	topo  *topology.Topology
+	prog  *Program
+	opts  Options
+	lbCfg *LBConfig // effective LB config: Options.LB override or prog.LB
+	loc   *Locations
+	pes   []*peState
+	dly   *vmi.DelayDevice
+
+	// sink receives every scheduler event — the tracer, the metrics
+	// adapter, and any extra sinks teed into one. nil when nothing is
+	// configured.
+	sink trace.Sink
+	met  *coreMetrics // nil unless Options.Metrics is set
 
 	// Per-PE cumulative counters (QD traffic excluded), read by the
 	// quiescence protocol from each PE's own scheduler.
@@ -106,10 +67,26 @@ type peState struct {
 	pending *PendingBundles // owned by this PE's execution context
 }
 
-// NewRuntime builds a real-time runtime for prog on topo.
-func NewRuntime(topo *topology.Topology, prog *Program, opts Options) (*Runtime, error) {
+// NewRuntime builds a real-time runtime for prog on topo, configured by
+// functional options (WithTrace, WithMetrics, WithCluster, …). All
+// construction knobs — tracer, metrics registry, transport, failure hook —
+// bind here; there are no post-construction setters.
+func NewRuntime(topo *topology.Topology, prog *Program, options ...Option) (*Runtime, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
+	}
+	var opts Options
+	for _, o := range options {
+		if o != nil {
+			o(&opts)
+		}
+	}
+	lbCfg := prog.LB
+	if opts.LB != nil {
+		lbCfg = opts.LB
+		if err := validateLB(lbCfg, len(prog.Arrays)); err != nil {
+			return nil, err
+		}
 	}
 	if opts.Transport == nil {
 		opts.PELo, opts.PEHi, opts.Node = 0, topo.NumPE(), 0
@@ -121,7 +98,7 @@ func NewRuntime(topo *topology.Topology, prog *Program, opts Options) (*Runtime,
 		if opts.PELo < 0 || opts.PEHi > topo.NumPE() || opts.PELo >= opts.PEHi {
 			return nil, fmt.Errorf("core: bad local PE range [%d,%d)", opts.PELo, opts.PEHi)
 		}
-		if prog.LB != nil {
+		if lbCfg != nil {
 			// Migrations hand the live element across PEs by reference;
 			// that transfer is meaningful only within one address space.
 			return nil, fmt.Errorf("core: load balancing is not supported on multi-process runtimes")
@@ -131,6 +108,7 @@ func NewRuntime(topo *topology.Topology, prog *Program, opts Options) (*Runtime,
 		topo:   topo,
 		prog:   prog,
 		opts:   opts,
+		lbCfg:  lbCfg,
 		loc:    NewLocations(prog, topo.NumPE()),
 		exitCh: make(chan struct{}),
 		// The clock starts at construction so that transport goroutines
@@ -146,17 +124,6 @@ func NewRuntime(topo *topology.Topology, prog *Program, opts Options) (*Runtime,
 		}
 	}
 	rt.dly = vmi.NewDelayDevice(latencyFor)
-	if opts.Transport != nil {
-		rt.wireSend = vmi.BuildSendChain(opts.Transport.Send, opts.WireSend...)
-		rt.wireRecv = vmi.BuildRecvChain(rt.injectDecoded, opts.WireRecv...)
-		// The transport's write path is asynchronous (coalesced); errors it
-		// can no longer return from Send must fail the run, or a dead peer
-		// leaves the surviving node waiting forever for messages that were
-		// acknowledged into a doomed buffer.
-		if st, ok := opts.Transport.(interface{ SetErrHandler(func(error)) }); ok {
-			st.SetErrHandler(rt.fail)
-		}
-	}
 	rt.pes = make([]*peState, opts.PEHi-opts.PELo)
 	for i := range rt.pes {
 		pe := opts.PELo + i
@@ -172,8 +139,8 @@ func NewRuntime(topo *topology.Topology, prog *Program, opts Options) (*Runtime,
 			rt.Route,
 			func(a ArrayID, seq int64, v any) { ps.host.RunReduction(rt.prog, a, seq, v) },
 		)
-		if prog.LB != nil {
-			ps.lb = NewLBMgr(pe, prog.LB, topo, rt.loc, ps.host, rt.Route)
+		if lbCfg != nil {
+			ps.lb = NewLBMgr(pe, lbCfg, topo, rt.loc, ps.host, rt.Route)
 		}
 		rt.pes[i] = ps
 	}
@@ -183,7 +150,45 @@ func NewRuntime(topo *topology.Topology, prog *Program, opts Options) (*Runtime,
 	}); err != nil {
 		return nil, err
 	}
+	// Instrumentation before transport wiring: a bound transport may start
+	// delivering frames (and hence emitting events) immediately.
+	sinks := append([]trace.Sink{opts.Trace}, opts.Sinks...)
+	sinks = append(sinks, rt.instrument(opts.Metrics))
+	rt.sink = trace.Tee(sinks...)
+	if opts.Transport != nil {
+		rt.wireSend = vmi.BuildSendChain(opts.Transport.Send, opts.WireSend...)
+		rt.wireRecv = vmi.BuildRecvChain(rt.injectDecoded, opts.WireRecv...)
+		// The transport's write path is asynchronous (coalesced); errors it
+		// can no longer return from Send must fail the run, or a dead peer
+		// leaves the surviving node waiting forever for messages that were
+		// acknowledged into a doomed buffer. Stacks built by
+		// vmi.NewChainBuilder complete both directions through Bind; plain
+		// transports fall back to the legacy error-handler contract.
+		switch tr := opts.Transport.(type) {
+		case binder:
+			tr.Bind(rt.InjectFrame, rt.fail)
+		case legacyErrHandler:
+			tr.SetErrHandler(rt.fail)
+		}
+	}
 	return rt, nil
+}
+
+// validateLB checks an LB configuration supplied as a runtime override
+// (program-carried configs are checked by Program.Validate).
+func validateLB(cfg *LBConfig, numArrays int) error {
+	if cfg.Strategy == nil {
+		return fmt.Errorf("core: LB config has no strategy")
+	}
+	if len(cfg.Arrays) == 0 {
+		return fmt.Errorf("core: LB config lists no arrays")
+	}
+	for _, id := range cfg.Arrays {
+		if int(id) < 0 || int(id) >= numArrays {
+			return fmt.Errorf("core: LB config references unknown array %d", id)
+		}
+	}
+	return nil
 }
 
 // ConstructElements builds every element placed in [peLo, peHi) on its
@@ -223,7 +228,7 @@ func (rt *Runtime) Route(m *Message) {
 	if m.Kind != KindQD {
 		rt.sentByPE[m.SrcPE].Add(1)
 	}
-	rt.opts.Trace.Record(trace.Event{PE: int(m.SrcPE), Kind: trace.EvSend, At: rt.Now(), Arg1: int64(m.DstPE), Arg2: int64(m.Bytes)})
+	rt.record(trace.Event{PE: int(m.SrcPE), Kind: trace.EvSend, At: rt.Now(), Arg1: int64(m.DstPE), Arg2: int64(m.Bytes)})
 
 	if rt.opts.Bundle && BundleEligible(m) {
 		if src := int(m.SrcPE); src >= rt.opts.PELo && src < rt.opts.PEHi {
@@ -309,8 +314,20 @@ func (rt *Runtime) enqueueLocal(m *Message) {
 		return
 	}
 	m.EnqueuedAt = rt.Now()
-	rt.opts.Trace.Record(trace.Event{PE: int(m.DstPE), Kind: trace.EvEnqueue, At: m.EnqueuedAt, Arg1: int64(m.SrcPE)})
-	rt.pes[int(m.DstPE)-rt.opts.PELo].q.Push(m)
+	rt.record(trace.Event{PE: int(m.DstPE), Kind: trace.EvEnqueue, At: m.EnqueuedAt, Arg1: int64(m.SrcPE)})
+	i := int(m.DstPE) - rt.opts.PELo
+	depth := rt.pes[i].q.Push(m)
+	if rt.met != nil {
+		rt.met.qDepthHW[i].SetMax(int64(depth))
+	}
+}
+
+// record emits an event to the configured sink (tracer, metrics adapter,
+// extra sinks). One predicted branch when nothing is configured.
+func (rt *Runtime) record(ev trace.Event) {
+	if rt.sink != nil {
+		rt.sink.Record(ev)
+	}
 }
 
 // InjectFrame delivers a frame received from the transport into the local
@@ -383,10 +400,14 @@ func (rt *Runtime) fail(err error) {
 		return
 	}
 	rt.errMu.Lock()
-	if rt.runErr == nil {
+	first := rt.runErr == nil
+	if first {
 		rt.runErr = err
 	}
 	rt.errMu.Unlock()
+	if first && rt.opts.FailureHook != nil {
+		rt.opts.FailureHook(err)
+	}
 	rt.ExitWith(nil)
 }
 
@@ -459,10 +480,18 @@ func (rt *Runtime) schedule(ps *peState) {
 		}
 	}()
 	batch := make([]*Message, 0, schedBatchSize)
+	idleCtr := rt.met.idleCounter(ps.id - rt.opts.PELo) // nil when metrics are off
 	for {
+		var idleFrom time.Time
+		if idleCtr != nil {
+			idleFrom = time.Now()
+		}
 		ps.idle.Store(true)
 		batch = ps.q.PopBatch(batch[:0])
 		ps.idle.Store(false)
+		if idleCtr != nil {
+			idleCtr.Add(time.Since(idleFrom).Nanoseconds())
+		}
 		if len(batch) == 0 {
 			return
 		}
@@ -470,7 +499,7 @@ func (rt *Runtime) schedule(ps *peState) {
 			if m.Kind == KindStop {
 				return
 			}
-			rt.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvBegin, At: rt.Now(), Arg1: int64(m.To.Array), Arg2: int64(m.To.Index)})
+			rt.record(trace.Event{PE: ps.id, Kind: trace.EvBegin, At: rt.Now(), Arg1: int64(m.To.Array), Arg2: int64(m.To.Index)})
 			var err error
 			switch m.Kind {
 			case KindApp:
@@ -491,7 +520,7 @@ func (rt *Runtime) schedule(ps *peState) {
 				err = fmt.Errorf("core: PE %d received unknown message kind %d", ps.id, m.Kind)
 			}
 			rt.flushBundles(ps)
-			rt.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvEnd, At: rt.Now()})
+			rt.record(trace.Event{PE: ps.id, Kind: trace.EvEnd, At: rt.Now()})
 			if m.Kind != KindQD {
 				rt.processedByPE[ps.id].Add(1)
 			}

@@ -48,7 +48,7 @@ func TestPingPongAcrossClusters(t *testing.T) {
 		}},
 		Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, 0) },
 	}
-	rt, err := NewRuntime(topo, prog, Options{})
+	rt, err := NewRuntime(topo, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestReductionEndToEnd(t *testing.T) {
 			ctx.ExitWith(v)
 		},
 	}
-	rt, err := NewRuntime(topo, prog, Options{})
+	rt, err := NewRuntime(topo, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestRunToQuiescence(t *testing.T) {
 		}},
 		Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, 10) },
 	}
-	rt, err := NewRuntime(topo, prog, Options{RunToQuiescence: true})
+	rt, err := NewRuntime(topo, prog, WithQuiescence())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestPriorityDeliveryOrder(t *testing.T) {
 		}},
 		Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, nil) },
 	}
-	rt, err := NewRuntime(topo, prog, Options{})
+	rt, err := NewRuntime(topo, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestPrioritizeWANOption(t *testing.T) {
 		}}},
 		Start: func(*Ctx) {},
 	}
-	rt, err := NewRuntime(topo, prog, Options{PrioritizeWAN: true})
+	rt, err := NewRuntime(topo, prog, WithWANPriority())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestHandlerPanicSurfacesAsError(t *testing.T) {
 		}}},
 		Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, nil) },
 	}
-	rt, err := NewRuntime(topo, prog, Options{})
+	rt, err := NewRuntime(topo, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestSendToMissingElementFails(t *testing.T) {
 			ctx.Send(ElemRef{Array: 0, Index: 1}, 0, nil)
 		},
 	}
-	rt, err := NewRuntime(topo, prog, Options{RunToQuiescence: true})
+	rt, err := NewRuntime(topo, prog, WithQuiescence())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +286,7 @@ func TestMulticastReachesAllMembers(t *testing.T) {
 		},
 		OnReduction: func(ctx *Ctx, a ArrayID, seq int64, v any) { ctx.ExitWith(v) },
 	}
-	rt, err := NewRuntime(topo, prog, Options{})
+	rt, err := NewRuntime(topo, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +342,7 @@ func TestLoadBalancingProtocol(t *testing.T) {
 		OnReduction: func(ctx *Ctx, a ArrayID, seq int64, v any) { ctx.ExitWith(v) },
 		LB:          &LBConfig{Arrays: []ArrayID{0}, Strategy: moveAllTo(1)},
 	}
-	rt, err := NewRuntime(topo, prog, Options{})
+	rt, err := NewRuntime(topo, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +374,7 @@ func TestTraceRecordsActivity(t *testing.T) {
 		}}},
 		Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, nil) },
 	}
-	rt, err := NewRuntime(topo, prog, Options{Trace: tr})
+	rt, err := NewRuntime(topo, prog, WithTrace(tr))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,17 +404,17 @@ func TestNewRuntimeValidation(t *testing.T) {
 		Arrays: []ArraySpec{{ID: 0, N: 1, New: func(int) Chare { return funcChare(func(*Ctx, EntryID, any) {}) }}},
 		Start:  func(*Ctx) {},
 	}
-	if _, err := NewRuntime(topo, &Program{}, Options{}); err == nil {
+	if _, err := NewRuntime(topo, &Program{}); err == nil {
 		t.Error("invalid program accepted")
 	}
-	if _, err := NewRuntime(topo, prog, Options{Transport: fakeTransport{}, PELo: 0, PEHi: 1}); err == nil {
+	if _, err := NewRuntime(topo, prog, WithCluster(ClusterConfig{Transport: fakeTransport{}, PELo: 0, PEHi: 1})); err == nil {
 		t.Error("multi-process without NodeOf accepted")
 	}
-	if _, err := NewRuntime(topo, prog, Options{Transport: fakeTransport{}, NodeOf: func(int) int { return 0 }, PELo: 1, PEHi: 1}); err == nil {
+	if _, err := NewRuntime(topo, prog, WithCluster(ClusterConfig{Transport: fakeTransport{}, NodeOf: func(int) int { return 0 }, PELo: 1, PEHi: 1})); err == nil {
 		t.Error("empty PE range accepted")
 	}
 	// Multi-process quiescence detection is supported (wave protocol).
-	if _, err := NewRuntime(topo, prog, Options{Transport: fakeTransport{}, NodeOf: func(int) int { return 0 }, PELo: 0, PEHi: 1, RunToQuiescence: true}); err != nil {
+	if _, err := NewRuntime(topo, prog, WithCluster(ClusterConfig{Transport: fakeTransport{}, NodeOf: func(int) int { return 0 }, PELo: 0, PEHi: 1}), WithQuiescence()); err != nil {
 		t.Errorf("multi-process quiescence rejected: %v", err)
 	}
 	// Load balancing migrates elements by reference: single-process only.
@@ -423,7 +423,7 @@ func TestNewRuntimeValidation(t *testing.T) {
 		Start:  func(*Ctx) {},
 		LB:     &LBConfig{Arrays: []ArrayID{0}, Strategy: moveAllTo(0)},
 	}
-	if _, err := NewRuntime(topo, lbProg, Options{Transport: fakeTransport{}, NodeOf: func(int) int { return 0 }, PELo: 0, PEHi: 1}); err == nil {
+	if _, err := NewRuntime(topo, lbProg, WithCluster(ClusterConfig{Transport: fakeTransport{}, NodeOf: func(int) int { return 0 }, PELo: 0, PEHi: 1})); err == nil {
 		t.Error("multi-process load balancing accepted")
 	}
 }

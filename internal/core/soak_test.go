@@ -55,13 +55,12 @@ func TestSoakJitteredQuiescence(t *testing.T) {
 			}
 		},
 	}
-	rt, err := NewRuntime(topo, prog, Options{
-		RunToQuiescence: true,
-		Bundle:          true,
-		LatencyFor: vmi.JitteredLatency(func(src, dst int32) time.Duration {
+	rt, err := NewRuntime(topo, prog,
+		WithQuiescence(),
+		WithBundling(),
+		WithLatency(vmi.JitteredLatency(func(src, dst int32) time.Duration {
 			return topo.Latency(int(src), int(dst))
-		}, 0.4, 7),
-	})
+		}, 0.4, 7)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -70,13 +70,8 @@ func TestTwoNodeTCPRuntime(t *testing.T) {
 	defer tcps[1].Close()
 
 	for node := 0; node < 2; node++ {
-		rt, err := NewRuntime(topo, mkProg(), Options{
-			Transport: tcps[node],
-			NodeOf:    nodeOf,
-			Node:      node,
-			PELo:      node,
-			PEHi:      node + 1,
-		})
+		rt, err := NewRuntime(topo, mkProg(),
+			WithCluster(ClusterConfig{Transport: tcps[node], NodeOf: nodeOf, Node: node, PELo: node, PEHi: node + 1}))
 		if err != nil {
 			t.Fatal(err)
 		}

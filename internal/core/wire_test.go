@@ -73,12 +73,12 @@ func TestWireDeviceChain(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rt, err := NewRuntime(topo, mkProg(), Options{
-			Transport: tcps[node], NodeOf: nodeOf, Node: node,
-			PELo: node, PEHi: node + 1,
-			WireSend: []vmi.SendDevice{&vmi.CompressDevice{MinSize: 16}, vmi.ChecksumDevice{}, cipher},
-			WireRecv: []vmi.RecvDevice{cipher, vmi.ChecksumDevice{}, &vmi.CompressDevice{MinSize: 16}},
-		})
+		rt, err := NewRuntime(topo, mkProg(),
+			WithCluster(ClusterConfig{Transport: tcps[node], NodeOf: nodeOf, Node: node, PELo: node, PEHi: node + 1}),
+			WithWireDevices(
+				[]vmi.SendDevice{&vmi.CompressDevice{MinSize: 16}, vmi.ChecksumDevice{}, cipher},
+				[]vmi.RecvDevice{cipher, vmi.ChecksumDevice{}, &vmi.CompressDevice{MinSize: 16}},
+			))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -141,16 +141,14 @@ func TestWireChainMismatchFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Node 0 encrypts; node 1 has no recv chain.
-	rts[0], err = NewRuntime(topo, mkProg(), Options{
-		Transport: tcps[0], NodeOf: nodeOf, Node: 0, PELo: 0, PEHi: 1,
-		WireSend: []vmi.SendDevice{cipher},
-	})
+	rts[0], err = NewRuntime(topo, mkProg(),
+		WithCluster(ClusterConfig{Transport: tcps[0], NodeOf: nodeOf, Node: 0, PELo: 0, PEHi: 1}),
+		WithWireDevices([]vmi.SendDevice{cipher}, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rts[1], err = NewRuntime(topo, mkProg(), Options{
-		Transport: tcps[1], NodeOf: nodeOf, Node: 1, PELo: 1, PEHi: 2,
-	})
+	rts[1], err = NewRuntime(topo, mkProg(),
+		WithCluster(ClusterConfig{Transport: tcps[1], NodeOf: nodeOf, Node: 1, PELo: 1, PEHi: 2}))
 	if err != nil {
 		t.Fatal(err)
 	}

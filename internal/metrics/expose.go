@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Collection: Prometheus text exposition, structured JSON snapshots, and
+// an HTTP handler serving both. Collection walks the registry under its
+// lock and invokes Func metrics; a Func callback must not register new
+// metrics (it would deadlock) — closures read their component's own state
+// only.
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	LE    int64 `json:"le"`    // upper bound; the +Inf bucket is omitted (implied by Count)
+	Count int64 `json:"count"` // observations <= LE (cumulative)
+}
+
+// Sample is one series' state at snapshot time.
+type Sample struct {
+	Name   string   `json:"name"`
+	Labels string   `json:"labels,omitempty"` // canonical {k="v",…} rendering
+	Kind   string   `json:"kind"`
+	Value  int64    `json:"value,omitempty"` // counters and gauges
+	Count  int64    `json:"count,omitempty"` // histograms
+	Sum    int64    `json:"sum,omitempty"`   // histograms
+	Bucket []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is the full registry state at one instant, ordered by
+// (name, labels). It is the structure the benchmark harness writes next
+// to its results.
+type Snapshot struct {
+	Series []Sample `json:"series"`
+}
+
+// Value sums every series named name (across label sets); histograms
+// contribute their observation count. Missing names return 0.
+func (s Snapshot) Value(name string) int64 {
+	var v int64
+	for _, smp := range s.Series {
+		if smp.Name != name {
+			continue
+		}
+		if smp.Kind == KindHistogram.String() {
+			v += smp.Count
+		} else {
+			v += smp.Value
+		}
+	}
+	return v
+}
+
+// Has reports whether any series named name exists.
+func (s Snapshot) Has(name string) bool {
+	for _, smp := range s.Series {
+		if smp.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot captures the registry. Nil-safe: a nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	es := r.sorted()
+	snap := Snapshot{Series: make([]Sample, 0, len(es))}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range es {
+		smp := Sample{Name: e.name, Labels: e.labels, Kind: e.kind.String()}
+		switch e.kind {
+		case KindHistogram:
+			var cum int64
+			smp.Bucket = make([]Bucket, len(e.h.bounds))
+			for i, le := range e.h.bounds {
+				cum += e.h.buckets[i].Load()
+				smp.Bucket[i] = Bucket{LE: le, Count: cum}
+			}
+			smp.Count = e.h.Count()
+			smp.Sum = e.h.Sum()
+		default:
+			smp.Value = e.value()
+		}
+		snap.Series = append(snap.Series, smp)
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteProm writes the registry in the Prometheus text exposition format
+// (version 0.0.4): one `# TYPE` line per metric name, then each series.
+// Histograms expand to cumulative `_bucket{le=…}` series plus `_sum` and
+// `_count`. Nil-safe.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	es := r.sorted()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lastName := ""
+	for _, e := range es {
+		if e.name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
+				return err
+			}
+			lastName = e.name
+		}
+		switch e.kind {
+		case KindHistogram:
+			if err := writePromHistogram(w, e); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", e.name, e.labels, e.value()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram series with the le label merged
+// into any existing label set.
+func writePromHistogram(w io.Writer, e *entry) error {
+	withLE := func(le string) string {
+		if e.labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return strings.TrimSuffix(e.labels, "}") + `,le="` + le + `"}`
+	}
+	var cum int64
+	for i, bound := range e.h.bounds {
+		cum += e.h.buckets[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, withLE(fmt.Sprint(bound)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, withLE("+Inf"), e.h.Count()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", e.name, e.labels, e.h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", e.name, e.labels, e.h.Count())
+	return err
+}
+
+// Handler serves the registry over HTTP: Prometheus text by default,
+// the JSON snapshot when the request asks for it (Accept: application/json
+// or ?format=json). Mount it wherever the process exposes diagnostics;
+// cmd/gridnode serves it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			if err := r.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", L("pe", "0"))
+	b := r.Counter("x_total", L("pe", "0"))
+	if a != b {
+		t.Error("same (name, labels) returned distinct handles")
+	}
+	c := r.Counter("x_total", L("pe", "1"))
+	if a == c {
+		t.Error("distinct labels shared one handle")
+	}
+	// Label order must not affect identity: the rendering is sorted.
+	d1 := r.Gauge("y", L("b", "2"), L("a", "1"))
+	d2 := r.Gauge("y", L("a", "1"), L("b", "2"))
+	if d1 != d2 {
+		t.Error("label order changed series identity")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("series")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("series")
+}
+
+func TestFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("f_total", func() int64 { return 1 })
+	r.CounterFunc("f_total", func() int64 { return 7 })
+	if got := r.Snapshot().Value("f_total"); got != 7 {
+		t.Errorf("after replacement value = %d, want 7 (fresh run's closure must win)", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 5126 {
+		t.Errorf("sum = %d", h.Sum())
+	}
+	snap := r.Snapshot()
+	bs := snap.Series[0].Bucket
+	// Cumulative: <=10 holds 2, <=100 holds 4, <=1000 holds 4; the fifth
+	// observation lives only in the implicit +Inf bucket (Count).
+	want := []int64{2, 4, 4}
+	for i, b := range bs {
+		if b.Count != want[i] {
+			t.Errorf("bucket le=%d count = %d, want %d", b.LE, b.Count, want[i])
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a")
+	g := r.Gauge("b")
+	h := r.Histogram("c", CountBuckets)
+	r.CounterFunc("d", func() int64 { return 1 })
+	r.GaugeFunc("e", func() int64 { return 1 })
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(-1)
+	g.SetMax(9)
+	h.Observe(4)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles returned nonzero values")
+	}
+	if err := r.WriteProm(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+	if s := r.Snapshot(); len(s.Series) != 0 {
+		t.Error("nil registry produced series")
+	}
+}
+
+func TestPromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", L("pe", "0")).Add(3)
+	r.Counter("a_total", L("pe", "1")).Add(4)
+	r.Gauge("depth").Set(-2)
+	r.Histogram("sz", []int64{8, 64}, L("dir", "out")).Observe(10)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE a_total counter\n",
+		`a_total{pe="0"} 3` + "\n",
+		`a_total{pe="1"} 4` + "\n",
+		"# TYPE depth gauge\ndepth -2\n",
+		"# TYPE sz histogram\n",
+		`sz_bucket{dir="out",le="8"} 0` + "\n",
+		`sz_bucket{dir="out",le="64"} 1` + "\n",
+		`sz_bucket{dir="out",le="+Inf"} 1` + "\n",
+		`sz_sum{dir="out"} 10` + "\n",
+		`sz_count{dir="out"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per name, not per series.
+	if strings.Count(out, "# TYPE a_total") != 1 {
+		t.Error("duplicate TYPE lines for a_total")
+	}
+}
+
+func TestSnapshotHelpers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", L("pe", "0")).Add(2)
+	r.Counter("c_total", L("pe", "1")).Add(5)
+	r.Histogram("h", CountBuckets).Observe(3)
+	snap := r.Snapshot()
+	if got := snap.Value("c_total"); got != 7 {
+		t.Errorf("Value summed %d, want 7", got)
+	}
+	if got := snap.Value("h"); got != 1 {
+		t.Errorf("histogram Value (count) = %d, want 1", got)
+	}
+	if !snap.Has("c_total") || snap.Has("missing") {
+		t.Error("Has misreported")
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Inc()
+	h := r.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("default content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "hits_total 1") {
+		t.Errorf("prom body missing series: %s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("json body: %v", err)
+	}
+	if snap.Value("hits_total") != 1 {
+		t.Error("json snapshot missing hits_total")
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total")
+	g := r.Gauge("hw")
+	h := r.Histogram("obs", CountBuckets)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.SetMax(int64(w*per + i))
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per-1 {
+		t.Errorf("high-water = %d, want %d", g.Value(), workers*per-1)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+}
+
+// TestUpdatesAllocateNothing pins the hot-path contract: updates on live
+// and nil handles perform zero allocations.
+func TestUpdatesAllocateNothing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DurationBuckets)
+	var nilC *Counter
+	var nilG *Gauge
+	var nilH *Histogram
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(7) }},
+		{"Gauge.SetMax", func() { g.SetMax(9) }},
+		{"Histogram.Observe", func() { h.Observe(12345) }},
+		{"nil Counter.Inc", func() { nilC.Inc() }},
+		{"nil Gauge.Set", func() { nilG.Set(1) }},
+		{"nil Histogram.Observe", func() { nilH.Observe(1) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -137,7 +137,7 @@ func TestBundlingRealtimeChecksum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := core.NewRuntime(topo, prog, core.Options{Bundle: true})
+	rt, err := core.NewRuntime(topo, prog, core.WithBundling())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -132,6 +132,14 @@ func TestCrossExecutorConformance(t *testing.T) {
 	}
 }
 
+// rtOpts maps the table's bundle flag onto real-time runtime options.
+func rtOpts(bundle bool) []core.Option {
+	if bundle {
+		return []core.Option{core.WithBundling()}
+	}
+	return nil
+}
+
 func runConformance(t *testing.T, seed int64, bundle bool) {
 	const n, tokens, hops = 24, 10, 60
 	topo, err := topology.TwoClusters(6, 2*time.Millisecond)
@@ -150,7 +158,7 @@ func runConformance(t *testing.T, seed int64, bundle bool) {
 	}
 
 	rtCounter := &invocationCounter{counts: make(map[int]int)}
-	rt, err := core.NewRuntime(topo, buildConformance(seed, n, tokens, hops, rtCounter), core.Options{Bundle: bundle})
+	rt, err := core.NewRuntime(topo, buildConformance(seed, n, tokens, hops, rtCounter), rtOpts(bundle)...)
 	if err != nil {
 		t.Fatal(err)
 	}

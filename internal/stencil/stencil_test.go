@@ -160,7 +160,7 @@ func TestRealtimeMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := core.NewRuntime(topo, prog, core.Options{})
+	rt, err := core.NewRuntime(topo, prog)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,8 +56,53 @@ type Event struct {
 	Note string
 }
 
+// Sink receives executor events. It is the one instrumentation surface
+// executors emit to: a *Tracer is a Sink, the metrics adapters in core are
+// Sinks, and Tee fans one Record call out to several — so adding metrics
+// next to tracing costs no second instrumentation call site in the
+// scheduler. Implementations must be safe for concurrent Record calls and
+// must not block.
+type Sink interface {
+	Record(Event)
+}
+
+// multiSink fans events out to several sinks.
+type multiSink []Sink
+
+// Record implements Sink.
+func (m multiSink) Record(ev Event) {
+	for _, s := range m {
+		s.Record(ev)
+	}
+}
+
+// Tee combines sinks into one, dropping nils (an untyped nil and a nil
+// *Tracer alike). It returns nil when nothing remains, a single sink
+// unwrapped, and a fan-out otherwise — so the executor's per-event cost
+// matches the sinks actually configured.
+func Tee(sinks ...Sink) Sink {
+	var live multiSink
+	for _, s := range sinks {
+		if s == nil {
+			continue
+		}
+		if t, ok := s.(*Tracer); ok && t == nil {
+			continue
+		}
+		live = append(live, s)
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
 // Tracer collects events, sharded per PE to keep contention low in the
-// real-time runtime. The zero value is unusable; call New.
+// real-time runtime. The zero value is unusable; call New. Tracer
+// implements Sink; a nil *Tracer records nothing.
 type Tracer struct {
 	shards []shard
 }

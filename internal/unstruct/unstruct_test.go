@@ -202,7 +202,7 @@ func TestRealtimeIrregular(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := core.NewRuntime(topo, prog, core.Options{})
+	rt, err := core.NewRuntime(topo, prog)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,326 @@
+package vmi
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gridmdo/internal/metrics"
+)
+
+// ChainBuilder assembles a node's whole transport stack — transform
+// devices, the optional reliability layer, fault-injection devices, and
+// the TCP terminal — from one declarative description, replacing the
+// positional wiring that previously spread across NewTCP, NewReliable,
+// SetRecv, SetErrHandler, and core.Options.WireSend/WireRecv:
+//
+//	runtime → transforms → Reliable → faults → TCP ⇢ socket
+//	runtime ← transforms ← Reliable ← faults ← TCP ⇠ socket
+//
+// Transform devices are declared once in send order and mirrored
+// automatically on the receive side (a compress-then-checksum sender
+// implies a checksum-then-decompress receiver), so the two directions can
+// no longer drift apart. Fault devices sit below the reliability layer,
+// inside its repair envelope, exactly as the chaos harness requires.
+//
+// The builder is also the one place per-device metrics attach: with a
+// registry configured, every device in the chain is wrapped with
+// frames/bytes flow counters, and devices that expose internal state
+// (FaultDevice, PartitionDevice, Reliable, TCP) register their own series
+// too.
+//
+// Build returns a *Stack, which implements core.Transport. The runtime
+// completes the stack at its own construction through Stack.Bind —
+// attaching its frame-delivery entry and failure hook in one call — so no
+// post-hoc setter survives in the public wiring.
+type ChainBuilder struct {
+	self  int
+	addrs map[int]string
+	route func(pe int32) int
+
+	reg           *metrics.Registry
+	transformSend []SendDevice
+	transformRecv []RecvDevice
+	relCfg        *ReliableConfig
+	faultSend     []SendDevice
+	faultRecv     []RecvDevice
+	dialAttempts  int
+	onControl     func(*Frame)
+	err           error
+}
+
+// Device is a symmetric chain stage: one value serving as both the send
+// and receive half of a transform (CompressDevice, ChecksumDevice,
+// CipherDevice, FaultDevice, PartitionDevice all qualify).
+type Device interface {
+	SendDevice
+	RecvDevice
+}
+
+// Instrumentable is implemented by devices that register their own metric
+// series beyond the generic flow counters.
+type Instrumentable interface {
+	Instrument(reg *metrics.Registry, labels ...metrics.Label)
+}
+
+// NewChainBuilder starts a stack description for node self. addrs maps
+// node IDs to listen addresses and route maps a destination PE to its
+// owning node, exactly as for NewTCP.
+func NewChainBuilder(self int, addrs map[int]string, route func(pe int32) int) *ChainBuilder {
+	return &ChainBuilder{self: self, addrs: addrs, route: route}
+}
+
+// Metrics attaches a registry; every stage added (before or after this
+// call) is instrumented at Build. A nil registry leaves the stack
+// uninstrumented.
+func (b *ChainBuilder) Metrics(reg *metrics.Registry) *ChainBuilder {
+	b.reg = reg
+	return b
+}
+
+// Transform appends symmetric transform devices in send order; the
+// receive chain applies them in reverse automatically.
+func (b *ChainBuilder) Transform(devs ...Device) *ChainBuilder {
+	for _, d := range devs {
+		b.transformSend = append(b.transformSend, d)
+		// Mirror: the device added last on the send side runs first on the
+		// receive side.
+		b.transformRecv = append([]RecvDevice{d}, b.transformRecv...)
+	}
+	return b
+}
+
+// TransformPair appends an asymmetric transform stage: send and recv are
+// two halves of one device (either may be nil for a one-directional
+// stage). The recv half is prepended, preserving the mirror invariant.
+func (b *ChainBuilder) TransformPair(send SendDevice, recv RecvDevice) *ChainBuilder {
+	if send != nil {
+		b.transformSend = append(b.transformSend, send)
+	}
+	if recv != nil {
+		b.transformRecv = append([]RecvDevice{recv}, b.transformRecv...)
+	}
+	return b
+}
+
+// Reliable interposes the end-to-end reliability layer between the
+// transforms and the fault devices. Fault chains configured on the
+// builder override cfg.SendFaults/RecvFaults; declare them via Faults.
+func (b *ChainBuilder) Reliable(cfg ReliableConfig) *ChainBuilder {
+	if b.relCfg != nil {
+		b.fail(fmt.Errorf("vmi: chain builder: Reliable declared twice"))
+		return b
+	}
+	b.relCfg = &cfg
+	return b
+}
+
+// Faults appends fault-injection devices below the reliability layer (or
+// directly above TCP when no reliability layer is configured). Symmetric
+// devices (FaultDevice, PartitionDevice) usually appear on one side only:
+// a send-side fault models an outbound-lossy link.
+func (b *ChainBuilder) Faults(send []SendDevice, recv []RecvDevice) *ChainBuilder {
+	b.faultSend = append(b.faultSend, send...)
+	b.faultRecv = append(b.faultRecv, recv...)
+	return b
+}
+
+// DialAttempts bounds the transport's connection retries (see
+// TCP.DialAttempts).
+func (b *ChainBuilder) DialAttempts(n int) *ChainBuilder {
+	b.dialAttempts = n
+	return b
+}
+
+// OnControl installs the control-frame handler (coordinator shutdown
+// announcements and the like).
+func (b *ChainBuilder) OnControl(fn func(*Frame)) *ChainBuilder {
+	b.onControl = fn
+	return b
+}
+
+func (b *ChainBuilder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// instrumentSend wraps a send stage with flow counters when a registry is
+// configured, and lets the device register its own series.
+func (b *ChainBuilder) instrumentSend(d SendDevice, pos int) SendDevice {
+	if b.reg == nil {
+		return d
+	}
+	labels := b.deviceLabels(d.Name(), "send", pos)
+	if in, ok := d.(Instrumentable); ok {
+		in.Instrument(b.reg, b.deviceLabels(d.Name(), "send", pos)[:2]...)
+	}
+	frames := b.reg.Counter("vmi_device_frames_total", labels...)
+	bytes := b.reg.Counter("vmi_device_bytes_total", labels...)
+	return SendDeviceFunc{DeviceName: d.Name(), Fn: func(f *Frame, next SendFunc) error {
+		frames.Inc()
+		bytes.Add(int64(len(f.Body)))
+		return d.Send(f, next)
+	}}
+}
+
+// instrumentRecv mirrors instrumentSend for receive stages.
+func (b *ChainBuilder) instrumentRecv(d RecvDevice, pos int) RecvDevice {
+	if b.reg == nil {
+		return d
+	}
+	labels := b.deviceLabels(d.Name(), "recv", pos)
+	if in, ok := d.(Instrumentable); ok {
+		in.Instrument(b.reg, b.deviceLabels(d.Name(), "recv", pos)[:2]...)
+	}
+	frames := b.reg.Counter("vmi_device_frames_total", labels...)
+	bytes := b.reg.Counter("vmi_device_bytes_total", labels...)
+	return RecvDeviceFunc{DeviceName: d.Name(), Fn: func(f *Frame, next RecvFunc) error {
+		frames.Inc()
+		bytes.Add(int64(len(f.Body)))
+		return d.Recv(f, next)
+	}}
+}
+
+// deviceLabels builds the identity labels of one chain position. The
+// first two (node, device) also label a device's internal series; dir and
+// pos complete the flow-counter identity.
+func (b *ChainBuilder) deviceLabels(name, dir string, pos int) []metrics.Label {
+	return []metrics.Label{
+		metrics.L("node", fmt.Sprint(b.self)),
+		metrics.L("device", fmt.Sprintf("%s%d", name, pos)),
+		metrics.L("dir", dir),
+	}
+}
+
+// Build assembles the stack. The TCP device is created and configured but
+// not yet listening; call Stack.Listen (and Stack.Bind, usually via
+// core.NewRuntime) before traffic flows.
+func (b *ChainBuilder) Build() (*Stack, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.route == nil {
+		return nil, fmt.Errorf("vmi: chain builder needs a route function")
+	}
+	s := &Stack{reg: b.reg}
+	s.tcp = NewTCP(b.self, b.addrs, b.route, nil)
+	s.tcp.DialAttempts = b.dialAttempts
+	s.tcp.OnControl = b.onControl
+	s.tcp.Instrument(b.reg)
+
+	faultSend := make([]SendDevice, len(b.faultSend))
+	for i, d := range b.faultSend {
+		faultSend[i] = b.instrumentSend(d, i)
+	}
+	faultRecv := make([]RecvDevice, len(b.faultRecv))
+	for i, d := range b.faultRecv {
+		faultRecv[i] = b.instrumentRecv(d, i)
+	}
+
+	// Wire side: reliability (with faults inside its envelope) or bare
+	// faults directly above the socket.
+	var wireTerminal SendFunc
+	if b.relCfg != nil {
+		cfg := *b.relCfg
+		cfg.SendFaults = faultSend
+		cfg.RecvFaults = faultRecv
+		s.rel = NewReliable(s.tcp, s.deliverUp, cfg)
+		s.rel.Instrument(b.reg, metrics.L("node", fmt.Sprint(b.self)))
+		wireTerminal = s.rel.Send
+	} else {
+		s.tcp.SetRecv(BuildRecvChain(s.deliverUp, faultRecv...))
+		wireTerminal = BuildSendChain(s.tcp.Send, faultSend...)
+	}
+
+	// Transform side, mirrored: the upward deliverUp entry applies the
+	// receive transforms before handing the frame to the bound deliver
+	// function.
+	tSend := make([]SendDevice, len(b.transformSend))
+	for i, d := range b.transformSend {
+		tSend[i] = b.instrumentSend(d, len(b.faultSend)+i)
+	}
+	tRecv := make([]RecvDevice, len(b.transformRecv))
+	for i, d := range b.transformRecv {
+		tRecv[i] = b.instrumentRecv(d, len(b.faultRecv)+i)
+	}
+	s.send = BuildSendChain(wireTerminal, tSend...)
+	s.recv = BuildRecvChain(s.deliverBound, tRecv...)
+	return s, nil
+}
+
+// Stack is a built transport stack: the core.Transport the runtime sends
+// through, plus lifecycle management for the devices inside it. Complete
+// it with Bind (core.NewRuntime does this for stacks passed as its
+// transport) before frames arrive.
+type Stack struct {
+	tcp  *TCP
+	rel  *Reliable
+	send SendFunc // full send chain entry
+	recv RecvFunc // receive transforms, ending at the bound deliver
+
+	deliver atomic.Pointer[RecvFunc]
+	reg     *metrics.Registry
+}
+
+// deliverUp is the terminal of the wire-side receive path: frames that
+// cleared TCP, faults, and reliability enter the receive transforms here.
+func (s *Stack) deliverUp(f *Frame) error { return s.recv(f) }
+
+// deliverBound hands a fully unwrapped frame to the bound runtime.
+func (s *Stack) deliverBound(f *Frame) error {
+	d := s.deliver.Load()
+	if d == nil {
+		return fmt.Errorf("vmi: stack received frame before Bind")
+	}
+	return (*d)(f)
+}
+
+// Bind attaches the runtime's frame-delivery entry and asynchronous
+// failure hook, completing the stack. With a reliability layer the hook
+// fires only on retransmit-budget exhaustion; otherwise every transport
+// error reaches it. core.NewRuntime calls Bind on transports that
+// implement it.
+func (s *Stack) Bind(deliver RecvFunc, onErr func(error)) {
+	s.deliver.Store(&deliver)
+	if s.rel != nil {
+		s.rel.setErrHandler(onErr)
+	} else {
+		s.tcp.setErrHandler(onErr)
+	}
+}
+
+// Send implements core.Transport: frames enter the transform chain and
+// continue to the wire.
+func (s *Stack) Send(f *Frame) error { return s.send(f) }
+
+// Listen starts the TCP terminal accepting connections and returns the
+// bound address.
+func (s *Stack) Listen() (string, error) { return s.tcp.Listen() }
+
+// Addr returns the bound listen address, or "" before Listen.
+func (s *Stack) Addr() string { return s.tcp.Addr() }
+
+// SetAddr updates a peer node's address (dynamic port exchange).
+func (s *Stack) SetAddr(node int, addr string) { s.tcp.SetAddr(node, addr) }
+
+// SendControl sends a control frame directly to a node.
+func (s *Stack) SendControl(node int, f *Frame) error { return s.tcp.SendControl(node, f) }
+
+// TCP exposes the terminal device (fault injection helpers like DropConn
+// and CorruptWire live there).
+func (s *Stack) TCP() *TCP { return s.tcp }
+
+// Reliable exposes the reliability layer, or nil when none is configured.
+func (s *Stack) Reliable() *Reliable { return s.rel }
+
+// Metrics returns the registry the stack was built with, or nil.
+func (s *Stack) Metrics() *metrics.Registry { return s.reg }
+
+// Close shuts the stack down: the reliability layer's goroutines first,
+// then the TCP device and its connections.
+func (s *Stack) Close() error {
+	if s.rel != nil {
+		s.rel.Close()
+	}
+	return s.tcp.Close()
+}

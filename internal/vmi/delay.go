@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"sync"
 	"time"
+
+	"gridmdo/internal/metrics"
 )
 
 // DelayDevice reproduces the paper's key experimental instrument: a device
@@ -20,6 +22,7 @@ type DelayDevice struct {
 
 	mu      sync.Mutex
 	pq      delayHeap
+	hw      int    // occupancy high-water mark
 	tick    uint64 // insertion order tie-break
 	wake    chan struct{}
 	done    chan struct{}
@@ -91,6 +94,9 @@ func (d *DelayDevice) Hold(f *Frame, next SendFunc, delay time.Duration) error {
 	}
 	d.tick++
 	heap.Push(&d.pq, delayedFrame{due: d.now().Add(delay), tick: d.tick, f: f, next: next})
+	if len(d.pq) > d.hw {
+		d.hw = len(d.pq)
+	}
 	d.mu.Unlock()
 	select {
 	case d.wake <- struct{}{}:
@@ -104,6 +110,23 @@ func (d *DelayDevice) Pending() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.pq)
+}
+
+// HighWater reports the peak number of frames held simultaneously — the
+// occupancy of the modeled WAN link at its most congested.
+func (d *DelayDevice) HighWater() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hw
+}
+
+// Instrument registers the device's occupancy gauges on reg.
+func (d *DelayDevice) Instrument(reg *metrics.Registry, labels ...metrics.Label) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("vmi_delay_occupancy", func() int64 { return int64(d.Pending()) }, labels...)
+	reg.GaugeFunc("vmi_delay_occupancy_high_water", func() int64 { return int64(d.HighWater()) }, labels...)
 }
 
 // Close releases all still-held frames immediately (preserving order) and

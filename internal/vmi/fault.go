@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gridmdo/internal/metrics"
 )
 
 // Fault-injection devices: the chaos-side counterpart of the delay device.
@@ -155,6 +157,31 @@ func (d *FaultDevice) Stats() FaultStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.stats
+}
+
+// Instrument registers the device's injection counters on reg, one series
+// per fault kind, as collection-time reads of Stats().
+func (d *FaultDevice) Instrument(reg *metrics.Registry, labels ...metrics.Label) {
+	if reg == nil {
+		return
+	}
+	stat := func(sel func(FaultStats) int64) func() int64 {
+		return func() int64 { return sel(d.Stats()) }
+	}
+	reg.CounterFunc("vmi_fault_frames_total", stat(func(s FaultStats) int64 { return s.Frames }), labels...)
+	for _, m := range []struct {
+		kind string
+		sel  func(FaultStats) int64
+	}{
+		{"drop", func(s FaultStats) int64 { return s.Dropped }},
+		{"duplicate", func(s FaultStats) int64 { return s.Duplicated }},
+		{"reorder", func(s FaultStats) int64 { return s.Reordered }},
+		{"corrupt", func(s FaultStats) int64 { return s.Corrupted }},
+		{"jitter", func(s FaultStats) int64 { return s.Jittered }},
+	} {
+		kl := append(append([]metrics.Label(nil), labels...), metrics.L("kind", m.kind))
+		reg.CounterFunc("vmi_fault_injected_total", stat(m.sel), kl...)
+	}
 }
 
 // Name implements SendDevice and RecvDevice.
@@ -377,6 +404,20 @@ func (p *PartitionDevice) Severed() bool { return p.severed.Load() }
 
 // Dropped reports how many frames the partition has swallowed.
 func (p *PartitionDevice) Dropped() int64 { return p.dropped.Load() }
+
+// Instrument registers the partition's counters on reg.
+func (p *PartitionDevice) Instrument(reg *metrics.Registry, labels ...metrics.Label) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("vmi_partition_dropped_total", p.Dropped, labels...)
+	reg.GaugeFunc("vmi_partition_severed", func() int64 {
+		if p.Severed() {
+			return 1
+		}
+		return 0
+	}, labels...)
+}
 
 // Name implements SendDevice and RecvDevice.
 func (p *PartitionDevice) Name() string { return "partition" }

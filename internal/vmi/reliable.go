@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gridmdo/internal/metrics"
 )
 
 // Reliable is an end-to-end reliability layer between the runtime and the
@@ -135,6 +137,11 @@ type ReliableConfig struct {
 	// reliability envelope.
 	SendFaults []SendDevice
 	RecvFaults []RecvDevice
+	// OnFail, if non-nil, is the budget-exhaustion backstop, installed at
+	// construction (the replacement for the deprecated post-hoc
+	// SetErrHandler). When the layer is owned by a ChainBuilder Stack, the
+	// runtime's failure path is bound through Stack.Bind instead.
+	OnFail func(error)
 }
 
 func (c *ReliableConfig) fill() {
@@ -231,18 +238,27 @@ func NewReliable(t *TCP, deliver RecvFunc, cfg ReliableConfig) *Reliable {
 		done:  make(chan struct{}),
 	}
 	rel.space = sync.NewCond(&rel.mu)
+	if cfg.OnFail != nil {
+		rel.errHandler.Store(&cfg.OnFail)
+	}
 	rel.down = BuildSendChain(t.Send, cfg.SendFaults...)
 	t.SetRecv(BuildRecvChain(rel.deliverWire, cfg.RecvFaults...))
-	t.SetErrHandler(rel.onTransportErr)
+	t.setErrHandler(rel.onTransportErr)
 	rel.wg.Add(2)
 	go rel.retransmitLoop()
 	go rel.ackLoop()
 	return rel
 }
 
-// SetErrHandler installs the budget-exhaustion handler (the runtime wires
-// its failure path here, exactly as it would on a bare TCP).
-func (r *Reliable) SetErrHandler(h func(error)) { r.errHandler.Store(&h) }
+// SetErrHandler installs the budget-exhaustion handler.
+//
+// Deprecated: set ReliableConfig.OnFail at construction, or let
+// core.NewRuntime bind its failure path through a ChainBuilder Stack.
+// Retained for out-of-tree callers; no in-tree caller remains.
+func (r *Reliable) SetErrHandler(h func(error)) { r.setErrHandler(h) }
+
+// setErrHandler is the in-package installation path (Stack.Bind).
+func (r *Reliable) setErrHandler(h func(error)) { r.errHandler.Store(&h) }
 
 func (r *Reliable) errh() func(error) {
 	if p := r.errHandler.Load(); p != nil {
@@ -256,6 +272,36 @@ func (r *Reliable) Stats() ReliableStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.stats
+}
+
+// Instrument registers the layer's repair counters on reg as collection-
+// time reads of Stats() — the hot path keeps its single stats mutex and
+// pays nothing extra. Reconnects are counted by the underlying TCP device
+// (vmi_tcp_reconnects_total); this layer's counters cover what it
+// repaired.
+func (r *Reliable) Instrument(reg *metrics.Registry, labels ...metrics.Label) {
+	if reg == nil {
+		return
+	}
+	stat := func(sel func(ReliableStats) int64) func() int64 {
+		return func() int64 { return sel(r.Stats()) }
+	}
+	for _, m := range []struct {
+		name string
+		sel  func(ReliableStats) int64
+	}{
+		{"vmi_rel_data_sent_total", func(s ReliableStats) int64 { return s.DataSent }},
+		{"vmi_rel_retransmits_total", func(s ReliableStats) int64 { return s.Retransmits }},
+		{"vmi_rel_acks_sent_total", func(s ReliableStats) int64 { return s.AcksSent }},
+		{"vmi_rel_delivered_total", func(s ReliableStats) int64 { return s.Delivered }},
+		{"vmi_rel_dup_dropped_total", func(s ReliableStats) int64 { return s.DupDropped }},
+		{"vmi_rel_crc_dropped_total", func(s ReliableStats) int64 { return s.CrcDropped }},
+		{"vmi_rel_held_out_of_order_total", func(s ReliableStats) int64 { return s.HeldOutOfOrder }},
+		{"vmi_rel_transport_errs_total", func(s ReliableStats) int64 { return s.TransportErrs }},
+		{"vmi_rel_bad_headers_total", func(s ReliableStats) int64 { return s.BadHdrs }},
+	} {
+		reg.CounterFunc(m.name, stat(m.sel), labels...)
+	}
 }
 
 // Outstanding reports unacked frames buffered for node.

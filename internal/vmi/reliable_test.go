@@ -243,12 +243,12 @@ func TestReliableSurvivesCorruption(t *testing.T) {
 // is re-dialed by the retransmit path; nothing is lost or reordered, and
 // the transport error is absorbed rather than surfaced.
 func TestReliableReconnectsAfterDropConn(t *testing.T) {
-	p := newRelPair(t,
-		ReliableConfig{RTO: 5 * time.Millisecond},
-		ReliableConfig{RTO: 5 * time.Millisecond})
 	var failed sync.Once
 	var failErr error
-	p.r0.SetErrHandler(func(err error) { failed.Do(func() { failErr = err }) })
+	p := newRelPair(t,
+		ReliableConfig{RTO: 5 * time.Millisecond,
+			OnFail: func(err error) { failed.Do(func() { failErr = err }) }},
+		ReliableConfig{RTO: 5 * time.Millisecond})
 
 	const n = 200
 	for i := 0; i < n; i++ {
@@ -275,16 +275,16 @@ func TestReliableReconnectsAfterDropConn(t *testing.T) {
 func TestReliableBudgetExhaustion(t *testing.T) {
 	fd := NewFaultDevice(1, FaultPlan{Drop: 1})
 	defer fd.Close()
-	p := newRelPair(t,
-		ReliableConfig{RTO: 2 * time.Millisecond, RTOMax: 4 * time.Millisecond, MaxRetransmits: 3, SendFaults: []SendDevice{fd}},
-		ReliableConfig{})
 	errc := make(chan error, 1)
-	p.r0.SetErrHandler(func(err error) {
-		select {
-		case errc <- err:
-		default:
-		}
-	})
+	p := newRelPair(t,
+		ReliableConfig{RTO: 2 * time.Millisecond, RTOMax: 4 * time.Millisecond, MaxRetransmits: 3, SendFaults: []SendDevice{fd},
+			OnFail: func(err error) {
+				select {
+				case errc <- err:
+				default:
+				}
+			}},
+		ReliableConfig{})
 	if err := p.r0.Send(&Frame{Src: 0, Dst: 2, Body: []byte("doomed")}); err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gridmdo/internal/metrics"
 )
 
 // TCP is the wide-area (and general inter-process) terminal device: frames
@@ -65,6 +67,46 @@ type TCP struct {
 	// DialAttempts bounds connection retries (exponential backoff, ~15s
 	// total at the default of 10). Set lower to fail fast in tests.
 	DialAttempts int
+
+	// met carries the transport's metric handles. Every handle is nil-safe,
+	// so an uninstrumented transport pays one branch per update. Installed
+	// by ChainBuilder (or Instrument) before any connection exists.
+	met tcpMetrics
+
+	// everConnected tracks nodes a connection was ever established to, so
+	// a later successful dial counts as a reconnect. Guarded by mu.
+	everConnected map[int]bool
+}
+
+// tcpMetrics is the transport's handle set. The zero value (all nil) is a
+// valid no-op.
+type tcpMetrics struct {
+	framesOut, framesIn *metrics.Counter
+	bytesOut, bytesIn   *metrics.Counter
+	stalls              *metrics.Counter // sender blocked on the coalescing buffer cap
+	dials, reconnects   *metrics.Counter
+	batchBytes          *metrics.Histogram // coalesced write sizes
+}
+
+// Instrument registers the transport's series on reg and installs the
+// handles. Call before Listen or the first Send; ChainBuilder does this
+// when built with metrics.
+func (t *TCP) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	node := fmt.Sprint(t.self)
+	l := metrics.L("node", node)
+	t.met = tcpMetrics{
+		framesOut:  reg.Counter("vmi_tcp_frames_out_total", l),
+		framesIn:   reg.Counter("vmi_tcp_frames_in_total", l),
+		bytesOut:   reg.Counter("vmi_tcp_bytes_out_total", l),
+		bytesIn:    reg.Counter("vmi_tcp_bytes_in_total", l),
+		stalls:     reg.Counter("vmi_tcp_backpressure_stalls_total", l),
+		dials:      reg.Counter("vmi_tcp_dials_total", l),
+		reconnects: reg.Counter("vmi_tcp_reconnects_total", l),
+		batchBytes: reg.Histogram("vmi_tcp_write_batch_bytes", metrics.BytesBuckets, l),
+	}
 }
 
 // ControlShutdown is the Dst marker of a coordinator's shutdown
@@ -90,10 +132,12 @@ type tcpConn struct {
 	spare   []byte     // writer's swap buffer, recycled each drain
 	closed  bool
 	err     error // first write error, returned to later senders
+
+	met tcpMetrics // owner transport's handles; zero value is a no-op
 }
 
-func newTCPConn(c net.Conn) *tcpConn {
-	tc := &tcpConn{c: c, pending: GetBuf(0)[:0], spare: GetBuf(0)[:0]}
+func newTCPConn(c net.Conn, met tcpMetrics) *tcpConn {
+	tc := &tcpConn{c: c, met: met, pending: GetBuf(0)[:0], spare: GetBuf(0)[:0]}
 	tc.hasData = sync.NewCond(&tc.mu)
 	tc.drained = sync.NewCond(&tc.mu)
 	return tc
@@ -104,6 +148,9 @@ func newTCPConn(c net.Conn) *tcpConn {
 // caller may reuse them on return.
 func (tc *tcpConn) enqueue(f *Frame) error {
 	tc.mu.Lock()
+	if len(tc.pending) >= maxPendingBytes && !tc.closed {
+		tc.met.stalls.Inc()
+	}
 	for len(tc.pending) >= maxPendingBytes && !tc.closed {
 		tc.drained.Wait()
 	}
@@ -116,7 +163,10 @@ func (tc *tcpConn) enqueue(f *Frame) error {
 		return err
 	}
 	wasIdle := len(tc.pending) == 0
+	before := len(tc.pending)
 	tc.pending = f.AppendEncode(tc.pending)
+	tc.met.framesOut.Inc()
+	tc.met.bytesOut.Add(int64(len(tc.pending) - before))
 	tc.mu.Unlock()
 	if wasIdle {
 		tc.hasData.Signal()
@@ -175,6 +225,7 @@ func (tc *tcpConn) writeLoop(onErr func(error)) {
 		tc.pending = tc.spare[:0]
 		tc.mu.Unlock()
 
+		tc.met.batchBytes.Observe(int64(len(buf)))
 		_, err := tc.c.Write(buf)
 
 		tc.mu.Lock()
@@ -202,14 +253,24 @@ func (tc *tcpConn) writeLoop(onErr func(error)) {
 // receive chain entry for frames arriving from remote nodes.
 func NewTCP(self int, addrs map[int]string, route func(pe int32) int, onRecv RecvFunc) *TCP {
 	return &TCP{
-		self:   self,
-		addrs:  addrs,
-		route:  route,
-		onRecv: onRecv,
-		out:    make(map[int]*tcpConn),
-		aux:    make(map[net.Conn]struct{}),
-		done:   make(chan struct{}),
+		self:          self,
+		addrs:         addrs,
+		route:         route,
+		onRecv:        onRecv,
+		out:           make(map[int]*tcpConn),
+		aux:           make(map[net.Conn]struct{}),
+		done:          make(chan struct{}),
+		everConnected: make(map[int]bool),
 	}
+}
+
+// noteConnected records a (re-)established connection to node. Callers
+// hold t.mu.
+func (t *TCP) noteConnected(node int) {
+	if t.everConnected[node] {
+		t.met.reconnects.Inc()
+	}
+	t.everConnected[node] = true
 }
 
 // SetRecv replaces the terminal receive function for data frames arriving
@@ -306,8 +367,9 @@ func (t *TCP) serveConn(c net.Conn) {
 		return
 	}
 	if _, ok := t.out[peer]; !ok {
-		tc := newTCPConn(c)
+		tc := newTCPConn(c, t.met)
 		t.out[peer] = tc
+		t.noteConnected(peer)
 		t.startWriter(tc)
 	} else {
 		t.aux[c] = struct{}{}
@@ -380,7 +442,10 @@ func (t *TCP) CorruptWire(node int) error {
 func (t *TCP) readLoop(fr *frameReader, c net.Conn) {
 	var f Frame
 	for {
-		if err := fr.Next(&f); err != nil {
+		if err := fr.Next(&f); err == nil {
+			t.met.framesIn.Inc()
+			t.met.bytesIn.Add(int64(f.EncodedLen()))
+		} else {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !t.isClosed() {
 				if h := t.errh(); h != nil {
 					h(fmt.Errorf("vmi: tcp read: %w", err))
@@ -405,9 +470,20 @@ func (t *TCP) readLoop(fr *frameReader, c net.Conn) {
 	}
 }
 
-// SetErrHandler installs the asynchronous error handler; the runtime wires
-// its failure path here at construction.
+// SetErrHandler installs the asynchronous error handler.
+//
+// Deprecated: post-hoc handler installation is a construction-order trap
+// (frames sent before the call report nowhere). Build the transport stack
+// with vmi.NewChainBuilder and let core.NewRuntime bind its failure path
+// through Stack.Bind, or set ReliableConfig.OnFail for a bare reliability
+// layer. Retained for out-of-tree callers; no in-tree caller remains.
 func (t *TCP) SetErrHandler(h func(error)) {
+	t.setErrHandler(h)
+}
+
+// setErrHandler is the in-package installation path (the chain builder and
+// the reliability layer wire handlers at construction).
+func (t *TCP) setErrHandler(h func(error)) {
 	t.errHandler.Store(&h)
 }
 
@@ -449,7 +525,8 @@ func (t *TCP) connTo(node int) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vmi: dial node %d (%s): %w", node, addr, err)
 	}
-	tc := newTCPConn(c)
+	t.met.dials.Inc()
+	tc := newTCPConn(c, t.met)
 	t.startWriter(tc)
 	if err := tc.enqueue(helloFrame(t.self)); err != nil {
 		tc.shutdown()
@@ -464,6 +541,7 @@ func (t *TCP) connTo(node int) (*tcpConn, error) {
 		return prior, nil
 	}
 	t.out[node] = tc
+	t.noteConnected(node)
 	t.mu.Unlock()
 
 	// Frames may flow back on this dialed connection too.
