@@ -30,7 +30,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"gridmdo/internal/core"
@@ -38,6 +42,7 @@ import (
 	"gridmdo/internal/metrics"
 	"gridmdo/internal/stencil"
 	"gridmdo/internal/topology"
+	"gridmdo/internal/trace"
 	"gridmdo/internal/vmi"
 )
 
@@ -52,6 +57,8 @@ type config struct {
 	steps, warmup         int
 	reliable              bool
 	metricsAddr, snapshot string
+	traceOut              string
+	traceCap              int
 
 	// onMetrics, when non-nil, receives the bound metrics address once the
 	// endpoint is listening (tests scrape it during a live run).
@@ -74,6 +81,8 @@ func main() {
 	flag.BoolVar(&cfg.reliable, "reliable", false, "interpose the end-to-end reliability layer over TCP")
 	flag.StringVar(&cfg.metricsAddr, "metrics", "", "serve the metrics registry over HTTP on this address (e.g. 127.0.0.1:9300)")
 	flag.StringVar(&cfg.snapshot, "metrics-out", "", "write a JSON metrics snapshot to this file when the run completes")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write this node's causal trace snapshot (for cmd/gridtrace) to this file")
+	flag.IntVar(&cfg.traceCap, "trace-cap", trace.DefaultCapacity, "per-PE trace ring capacity (events; rounded up to a power of two)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "gridnode: %v\n", err)
@@ -157,7 +166,13 @@ func run(cfg config) error {
 	}
 	defer stack.Close()
 
-	rt, err = core.NewRuntime(topo, prog,
+	art := &artifacts{
+		metricsPath: cfg.snapshot, reg: reg,
+		tracePath: cfg.traceOut,
+		node:      cfg.node, peLo: cfg.node * perNode, peHi: (cfg.node + 1) * perNode,
+		start: time.Now(),
+	}
+	rtOpts := []core.Option{
 		core.WithCluster(core.ClusterConfig{
 			Transport: stack,
 			NodeOf:    nodeOf,
@@ -165,10 +180,28 @@ func run(cfg config) error {
 			PELo:      cfg.node * perNode,
 			PEHi:      (cfg.node + 1) * perNode,
 		}),
-		core.WithMetrics(reg))
+		core.WithMetrics(reg),
+	}
+	if cfg.traceOut != "" {
+		ringCap := cfg.traceCap
+		if ringCap <= 0 {
+			ringCap = trace.DefaultCapacity
+		}
+		art.tr = trace.NewWithCapacity(cfg.procs, ringCap)
+		rtOpts = append(rtOpts, core.WithTrace(art.tr))
+	}
+	rt, err = core.NewRuntime(topo, prog, rtOpts...)
 	if err != nil {
 		return err
 	}
+	// Trace timestamps are relative to the runtime epoch; record it so
+	// gridtrace can re-base snapshots from separately started processes.
+	art.start = rt.Epoch()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	watchSignals(sigCh, art, os.Exit)
 
 	if cfg.metricsAddr != "" {
 		ln, err := net.Listen("tcp", cfg.metricsAddr)
@@ -212,12 +245,82 @@ func run(cfg config) error {
 		time.Sleep(100 * time.Millisecond)
 	}
 
-	if cfg.snapshot != "" {
-		if err := writeSnapshot(cfg.snapshot, reg); err != nil {
-			return fmt.Errorf("metrics snapshot: %w", err)
+	return art.flush()
+}
+
+// artifacts is everything gridnode flushes at the end of a run — the
+// metrics snapshot and the trace snapshot. flush is idempotent so the
+// normal completion path and the signal handler can race safely.
+type artifacts struct {
+	once sync.Once
+	err  error
+
+	metricsPath string
+	reg         *metrics.Registry
+
+	tracePath        string
+	tr               *trace.Tracer
+	node, peLo, peHi int
+	start            time.Time
+}
+
+// flush writes every configured artifact exactly once and remembers the
+// first error for later calls.
+func (a *artifacts) flush() error {
+	a.once.Do(func() {
+		if a.metricsPath != "" && a.reg != nil {
+			if err := writeSnapshot(a.metricsPath, a.reg); err != nil && a.err == nil {
+				a.err = fmt.Errorf("metrics snapshot: %w", err)
+			}
+		}
+		if a.tracePath != "" && a.tr != nil {
+			if err := a.writeTrace(); err != nil && a.err == nil {
+				a.err = fmt.Errorf("trace snapshot: %w", err)
+			}
+		}
+	})
+	return a.err
+}
+
+func (a *artifacts) writeTrace() error {
+	if dir := filepath.Dir(a.tracePath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
 		}
 	}
-	return nil
+	f, err := os.Create(a.tracePath)
+	if err != nil {
+		return err
+	}
+	snap := a.tr.Snapshot(a.node, a.peLo, a.peHi, time.Since(a.start))
+	snap.EpochUnixNs = a.start.UnixNano()
+	if err := snap.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// watchSignals flushes the artifacts and exits with the conventional
+// 128+signal status when a signal arrives, so an interrupted run (SIGINT,
+// SIGTERM from a batch scheduler) still leaves its observability data
+// behind. The channel is injected for tests; exit is os.Exit in main.
+func watchSignals(ch <-chan os.Signal, a *artifacts, exit func(int)) {
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "gridnode: caught %v, flushing artifacts\n", sig)
+		if err := a.flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "gridnode: %v\n", err)
+		}
+		code := 128
+		if s, isSys := sig.(syscall.Signal); isSys {
+			code += int(s)
+		}
+		exit(code)
+	}()
 }
 
 // writeSnapshot dumps the registry as indented JSON, the same structure

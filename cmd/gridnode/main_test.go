@@ -9,10 +9,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
 	"gridmdo/internal/metrics"
+	"gridmdo/internal/trace"
 )
 
 // freePort reserves an ephemeral loopback port and returns its address.
@@ -168,4 +170,93 @@ func scrapeText(addr string) (string, error) {
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	return string(b), err
+}
+
+// TestSignalFlushWritesArtifacts drives the signal path with a fake
+// channel: a SIGTERM must flush the metrics and trace snapshots exactly
+// once and exit with the conventional 128+signal status.
+func TestSignalFlushWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	reg.Counter("test_series").Inc()
+	tr := trace.New(2)
+	tr.Record(trace.Event{PE: 1, Kind: trace.EvBegin, At: time.Millisecond, MsgID: 7})
+
+	art := &artifacts{
+		metricsPath: filepath.Join(dir, "metrics.json"),
+		reg:         reg,
+		tracePath:   filepath.Join(dir, "node1.trace.json"),
+		tr:          tr,
+		node:        1, peLo: 1, peHi: 2,
+		start: time.Now().Add(-time.Second),
+	}
+
+	ch := make(chan os.Signal, 1)
+	codes := make(chan int, 1)
+	watchSignals(ch, art, func(code int) { codes <- code })
+	ch <- syscall.SIGTERM
+
+	select {
+	case code := <-codes:
+		if want := 128 + int(syscall.SIGTERM); code != want {
+			t.Errorf("exit code %d, want %d", code, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("signal watcher never exited")
+	}
+
+	var m metrics.Snapshot
+	data, err := os.ReadFile(art.metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has("test_series") {
+		t.Error("metrics snapshot missing test_series")
+	}
+
+	tf, err := os.Open(art.tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	snap, err := trace.ReadSnapshot(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Node != 1 || snap.PELo != 1 || snap.PEHi != 2 {
+		t.Errorf("snapshot PE range: %+v", snap)
+	}
+	if len(snap.Events) != 1 || snap.Events[0].MsgID != 7 {
+		t.Errorf("snapshot events: %+v", snap.Events)
+	}
+
+	// A second flush (the normal-completion path racing the handler) is a
+	// no-op, not a rewrite.
+	if err := os.Remove(art.metricsPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := art.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(art.metricsPath); !os.IsNotExist(err) {
+		t.Error("second flush rewrote the metrics snapshot")
+	}
+}
+
+// TestWatchSignalsClosedChannel: closing the channel (signal.Stop on the
+// normal path) must end the watcher without flushing or exiting.
+func TestWatchSignalsClosedChannel(t *testing.T) {
+	art := &artifacts{}
+	ch := make(chan os.Signal)
+	exited := make(chan int, 1)
+	watchSignals(ch, art, func(code int) { exited <- code })
+	close(ch)
+	select {
+	case code := <-exited:
+		t.Fatalf("watcher exited with %d on channel close", code)
+	case <-time.After(100 * time.Millisecond):
+	}
 }

@@ -30,6 +30,7 @@ func main() {
 		csvDir       = flag.String("csv", "", "also write CSV files into this directory")
 		svgDir       = flag.String("svg", "", "also write SVG charts (figures only) into this directory")
 		metricsOut   = flag.String("metrics-out", "", "write a JSON metrics snapshot of the real-time runs to this file")
+		traceOut     = flag.String("trace-out", "", "write per-run trace snapshots and overlap reports of the real-time runs into this directory (analyze with gridtrace)")
 		quiet        = flag.Bool("quiet", false, "suppress per-run progress lines")
 	)
 	flag.Parse()
@@ -41,6 +42,7 @@ func main() {
 	if *metricsOut != "" {
 		profile.Metrics = metrics.NewRegistry()
 	}
+	profile.TraceDir = *traceOut
 	progress := os.Stderr
 	if *quiet {
 		progress = nil

@@ -10,9 +10,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"gridmdo/internal/bench"
+	"gridmdo/internal/core"
 	"gridmdo/internal/sim"
 	"gridmdo/internal/stencil"
 	"gridmdo/internal/trace"
@@ -31,6 +33,7 @@ func main() {
 		prio     = flag.Bool("prioritize-wan", false, "deliver cross-cluster messages first (sim only)")
 		bundle   = flag.Bool("bundle", false, "bundle per-handler same-destination messages (sim only)")
 		timeline = flag.Bool("timeline", false, "print a per-PE utilization timeline (sim only)")
+		traceOut = flag.String("trace-out", "", "write a trace snapshot (for gridtrace) to this file")
 	)
 	flag.Parse()
 
@@ -44,16 +47,21 @@ func main() {
 		err error
 		tr  *trace.Tracer
 	)
-	if *timeline {
+	if *timeline || *traceOut != "" {
 		tr = trace.New(*procs)
 	}
+	var rtOpts []core.Option
+	if tr != nil {
+		rtOpts = append(rtOpts, core.WithTrace(tr))
+	}
+	start := time.Now()
 	switch *executor {
 	case "sim":
 		res, err = bench.StencilSim(cfg, *procs, *objects, *latency, sim.Options{PrioritizeWAN: *prio, Bundle: *bundle, Trace: tr})
 	case "realtime":
-		res, err = bench.StencilRealtime(cfg, *procs, *objects, *latency)
+		res, err = bench.StencilRealtime(cfg, *procs, *objects, *latency, rtOpts...)
 	case "tcp":
-		res, err = bench.StencilTCP(cfg, *procs, *objects, *latency)
+		res, err = bench.StencilTCP(cfg, *procs, *objects, *latency, rtOpts...)
 	default:
 		err = fmt.Errorf("unknown executor %q", *executor)
 	}
@@ -66,8 +74,37 @@ func main() {
 	fmt.Printf("  per-step: %v   total: %v (%d steps, %d warmup)\n",
 		res.PerStep, res.Total, res.Steps, res.Warmup)
 	fmt.Printf("  checksum: %.6f\n", res.Checksum)
-	if tr != nil {
+	if *timeline && tr != nil {
 		fmt.Println()
 		tr.RenderTimeline(os.Stdout, res.FinishAt, 100)
 	}
+	if *traceOut != "" {
+		horizon := res.FinishAt
+		if *executor != "sim" {
+			horizon = time.Since(start)
+		}
+		if err := writeTrace(*traceOut, tr, *procs, horizon); err != nil {
+			fmt.Fprintf(os.Stderr, "stencil: trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace snapshots the whole run (every PE; the TCP executor's two
+// runtimes share the tracer) for cmd/gridtrace.
+func writeTrace(path string, tr *trace.Tracer, procs int, horizon time.Duration) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Snapshot(0, 0, procs, horizon).Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"gridmdo/internal/core"
+	"gridmdo/internal/trace"
 )
 
 // Wildcards for Recv. AnyTag matches only application tags (>= 0);
@@ -138,9 +139,14 @@ func (c *Comm) Recv(src, tag int) (any, Status) {
 	// Suspend: hand the PE back to the scheduler until a match arrives.
 	c.waiting = &req
 	c.met.blocked.Add(1)
+	t0 := c.ctx.Time()
+	c.ctx.Record(trace.EvBlock, int64(c.rank), 0)
 	c.yield <- yBlocked
 	p := <-c.resume
 	c.met.blocked.Add(-1)
+	// The entry handler refreshed c.ctx before resuming us, so the wake
+	// event carries the waking message's causal ID.
+	c.ctx.Record(trace.EvWake, int64(c.rank), int64(c.ctx.Time()-t0))
 	return p.Data, Status{Source: p.Src, Tag: p.Tag}
 }
 

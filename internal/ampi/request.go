@@ -6,6 +6,8 @@ package ampi
 // matching criteria complete in posting order only if waited in posting
 // order; disjoint tags are always safe.
 
+import "gridmdo/internal/trace"
+
 // Request is the handle of a nonblocking operation.
 type Request struct {
 	c        *Comm
@@ -96,9 +98,12 @@ func (c *Comm) Probe(src, tag int) Status {
 		// not match the probe.
 		c.waiting = &recvReq{src: AnySource, tag: AnyTag}
 		c.met.blocked.Add(1)
+		t0 := c.ctx.Time()
+		c.ctx.Record(trace.EvBlock, int64(c.rank), 0)
 		c.yield <- yBlocked
 		p := <-c.resume
 		c.met.blocked.Add(-1)
+		c.ctx.Record(trace.EvWake, int64(c.rank), int64(c.ctx.Time()-t0))
 		c.inbox = append(c.inbox, p)
 		c.met.unexpected.Add(1)
 	}

@@ -62,6 +62,12 @@ type Profile struct {
 	// The registry accumulates across runs; gridsim -metrics-out writes
 	// its snapshot next to the CSV results.
 	Metrics *metrics.Registry
+
+	// TraceDir, when non-empty, attaches a fresh causal tracer to every
+	// real-time run (host delay-device and TCP columns) and drops a
+	// trace snapshot plus an overlap report per run into this directory.
+	// Analyze the snapshots with cmd/gridtrace.
+	TraceDir string
 }
 
 // rtOpts are the runtime options every real-time run of this profile

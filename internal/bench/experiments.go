@@ -87,10 +87,12 @@ func Table1(w io.Writer, p Profile, skipRealtime bool) (*Table, error) {
 		Header: []string{"Procs", "Objects", "Sim (Itanium model)", "Host delay-device", "Host TCP", "TCP/delay"},
 	}
 	for _, row := range table1Rows() {
-		simRes, err := StencilSim(p.Stencil, row.Procs, row.Objects, p.RealLatency, sim.Options{})
+		simTr, simFlush := p.traceSimRun(fmt.Sprintf("table1_sim_p%d_v%d", row.Procs, row.Objects), row.Procs)
+		simRes, err := StencilSim(p.Stencil, row.Procs, row.Objects, p.RealLatency, sim.Options{Trace: simTr})
 		if err != nil {
 			return nil, fmt.Errorf("table1 sim P=%d V=%d: %w", row.Procs, row.Objects, err)
 		}
+		simFlush()
 		cells := []string{
 			fmt.Sprintf("%d", row.Procs),
 			fmt.Sprintf("%d", row.Objects),
@@ -99,14 +101,18 @@ func Table1(w io.Writer, p Profile, skipRealtime bool) (*Table, error) {
 		if skipRealtime {
 			cells = append(cells, "-", "-", "-")
 		} else {
-			rtRes, err := StencilRealtime(p.Stencil, row.Procs, row.Objects, p.RealLatency, p.rtOpts()...)
+			rtOpts, rtFlush := p.traceRun(fmt.Sprintf("table1_rt_p%d_v%d", row.Procs, row.Objects), row.Procs)
+			rtRes, err := StencilRealtime(p.Stencil, row.Procs, row.Objects, p.RealLatency, rtOpts...)
 			if err != nil {
 				return nil, fmt.Errorf("table1 realtime P=%d V=%d: %w", row.Procs, row.Objects, err)
 			}
-			tcpRes, err := StencilTCP(p.Stencil, row.Procs, row.Objects, p.RealLatency, p.rtOpts()...)
+			rtFlush()
+			tcpOpts, tcpFlush := p.traceRun(fmt.Sprintf("table1_tcp_p%d_v%d", row.Procs, row.Objects), row.Procs)
+			tcpRes, err := StencilTCP(p.Stencil, row.Procs, row.Objects, p.RealLatency, tcpOpts...)
 			if err != nil {
 				return nil, fmt.Errorf("table1 tcp P=%d V=%d: %w", row.Procs, row.Objects, err)
 			}
+			tcpFlush()
 			ratio := float64(tcpRes.PerStep) / float64(rtRes.PerStep)
 			cells = append(cells,
 				fmt.Sprintf("%.3f", ms(rtRes.PerStep)),
@@ -127,10 +133,12 @@ func Table2(w io.Writer, p Profile, skipRealtime bool) (*Table, error) {
 		Header: []string{"Procs", "Sim (Itanium model)", "Host delay-device", "Host TCP", "TCP/delay"},
 	}
 	for _, procs := range figure4Procs() {
-		simRes, err := LeanMDSim(p.MD, procs, p.RealLatency, sim.Options{})
+		simTr, simFlush := p.traceSimRun(fmt.Sprintf("table2_sim_p%d", procs), procs)
+		simRes, err := LeanMDSim(p.MD, procs, p.RealLatency, sim.Options{Trace: simTr})
 		if err != nil {
 			return nil, fmt.Errorf("table2 sim P=%d: %w", procs, err)
 		}
+		simFlush()
 		cells := []string{
 			fmt.Sprintf("%d", procs),
 			fmt.Sprintf("%.1f", ms(simRes.PerStep)),
@@ -138,14 +146,18 @@ func Table2(w io.Writer, p Profile, skipRealtime bool) (*Table, error) {
 		if skipRealtime {
 			cells = append(cells, "-", "-", "-")
 		} else {
-			rtRes, err := LeanMDRealtime(p.MD, procs, p.RealLatency, p.rtOpts()...)
+			rtOpts, rtFlush := p.traceRun(fmt.Sprintf("table2_rt_p%d", procs), procs)
+			rtRes, err := LeanMDRealtime(p.MD, procs, p.RealLatency, rtOpts...)
 			if err != nil {
 				return nil, fmt.Errorf("table2 realtime P=%d: %w", procs, err)
 			}
-			tcpRes, err := LeanMDTCP(p.MD, procs, p.RealLatency, p.rtOpts()...)
+			rtFlush()
+			tcpOpts, tcpFlush := p.traceRun(fmt.Sprintf("table2_tcp_p%d", procs), procs)
+			tcpRes, err := LeanMDTCP(p.MD, procs, p.RealLatency, tcpOpts...)
 			if err != nil {
 				return nil, fmt.Errorf("table2 tcp P=%d: %w", procs, err)
 			}
+			tcpFlush()
 			ratio := float64(tcpRes.PerStep) / float64(rtRes.PerStep)
 			cells = append(cells,
 				fmt.Sprintf("%.3f", ms(rtRes.PerStep)),

@@ -280,6 +280,12 @@ func runTwoNodeTCP(procs int, lat time.Duration, mkProg func() (*core.Program, e
 		}
 		rts[node] = rt
 	}
+	// One shared epoch: node 1's element construction would otherwise skew
+	// its trace clock behind node 0's by the construction cost, corrupting
+	// cross-node flight times in merged traces.
+	epoch := time.Now()
+	rts[0].SetEpoch(epoch)
+	rts[1].SetEpoch(epoch)
 
 	workerDone := make(chan error, 1)
 	go func() {

@@ -15,8 +15,9 @@ import (
 // TCP transport). In-process messages are never serialized — the paper's
 // intra-cluster fast path.
 //
-// The codec is a hand-rolled binary format: a fixed 41-byte header
-// (magic, version, Kind, To, Entry, Prio, Bytes, SrcPE, DstPE) followed by
+// The codec is a hand-rolled binary format: a fixed 57-byte header
+// (magic, version, Kind, To, Entry, Prio, Bytes, SrcPE, DstPE, and the
+// causal trace context ID/Parent) followed by
 // a tagged payload. A payload codec registry provides allocation-light
 // fast paths for every payload type the runtime itself sends (ints,
 // floats, []float64, strings, byte slices, ReducePartial, quiescence
@@ -45,7 +46,7 @@ import (
 //
 //	off len field
 //	  0   2  magic 0x474D ("GM")
-//	  2   1  version (1)
+//	  2   1  version (2)
 //	  3   1  Kind
 //	  4   4  To.Array (int32)
 //	  8   8  To.Index (int64)
@@ -54,12 +55,17 @@ import (
 //	 24   8  Bytes (int64)
 //	 32   4  SrcPE (int32)
 //	 36   4  DstPE (int32)
-//	 40   1  payload tag
-//	 41   …  payload (tag-specific)
+//	 40   8  ID (uint64, causal trace context)
+//	 48   8  Parent (uint64, causal trace context)
+//	 56   1  payload tag
+//	 57   …  payload (tag-specific)
+//
+// Version 2 added the 16-byte trace context (ID, Parent) so causality
+// survives the TCP hop; version 1 frames are rejected.
 const (
 	wireMagic    uint16 = 0x474D
-	wireVersion  byte   = 1
-	msgHeaderLen        = 41
+	wireVersion  byte   = 2
+	msgHeaderLen        = 57
 )
 
 // Payload tags. Tags 0–63 are reserved for the runtime's built-in fast
@@ -160,6 +166,8 @@ func AppendMessage(dst []byte, m *Message) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.Bytes)))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(m.SrcPE))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(m.DstPE))
+	dst = binary.BigEndian.AppendUint64(dst, m.ID)
+	dst = binary.BigEndian.AppendUint64(dst, m.Parent)
 	dst, err := appendPayload(dst, m.Data)
 	if err != nil {
 		return nil, fmt.Errorf("core: encode message %v: %w", m, err)
@@ -191,15 +199,17 @@ func decodeMessage(b []byte) (*Message, []byte, error) {
 		return nil, b, fmt.Errorf("%w: version %d, want %d", ErrBadWire, b[2], wireVersion)
 	}
 	m := &Message{
-		Kind:  Kind(b[3]),
-		To:    ElemRef{Array: ArrayID(int32(binary.BigEndian.Uint32(b[4:]))), Index: int(int64(binary.BigEndian.Uint64(b[8:])))},
-		Entry: EntryID(int32(binary.BigEndian.Uint32(b[16:]))),
-		Prio:  int32(binary.BigEndian.Uint32(b[20:])),
-		Bytes: int(int64(binary.BigEndian.Uint64(b[24:]))),
-		SrcPE: int32(binary.BigEndian.Uint32(b[32:])),
-		DstPE: int32(binary.BigEndian.Uint32(b[36:])),
+		Kind:   Kind(b[3]),
+		To:     ElemRef{Array: ArrayID(int32(binary.BigEndian.Uint32(b[4:]))), Index: int(int64(binary.BigEndian.Uint64(b[8:])))},
+		Entry:  EntryID(int32(binary.BigEndian.Uint32(b[16:]))),
+		Prio:   int32(binary.BigEndian.Uint32(b[20:])),
+		Bytes:  int(int64(binary.BigEndian.Uint64(b[24:]))),
+		SrcPE:  int32(binary.BigEndian.Uint32(b[32:])),
+		DstPE:  int32(binary.BigEndian.Uint32(b[36:])),
+		ID:     binary.BigEndian.Uint64(b[40:]),
+		Parent: binary.BigEndian.Uint64(b[48:]),
 	}
-	data, rest, err := decodePayload(b[40], b[msgHeaderLen:])
+	data, rest, err := decodePayload(b[56], b[msgHeaderLen:])
 	if err != nil {
 		return nil, b, err
 	}

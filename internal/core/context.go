@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"gridmdo/internal/topology"
+	"gridmdo/internal/trace"
 )
 
 // Backend is the executor-side interface behind a Ctx. The real-time
@@ -36,6 +37,10 @@ type Backend interface {
 	// AtSync marks one element as having reached the load-balancing
 	// barrier on pe.
 	AtSync(from ElemRef, pe int)
+	// Record emits an event into the executor's instrumentation sink
+	// (tracer, metrics adapter). No-op when nothing is configured; must be
+	// cheap enough to call from hot paths.
+	Record(ev trace.Event)
 }
 
 // Ctx is the handle a handler uses to interact with the runtime. A Ctx is
@@ -44,10 +49,11 @@ type Backend interface {
 // rank threads hold the PE's execution slot while they run — see
 // internal/ampi.)
 type Ctx struct {
-	b    Backend
-	pe   int
-	elem ElemRef   // valid for KindApp handlers; {-1, -1} otherwise
-	meta *elemMeta // per-element runtime metadata; nil for non-element handlers
+	b     Backend
+	pe    int
+	elem  ElemRef   // valid for KindApp handlers; {-1, -1} otherwise
+	meta  *elemMeta // per-element runtime metadata; nil for non-element handlers
+	msgID uint64    // causal ID of the message this handler is executing (0 outside app dispatch)
 }
 
 // elemMeta is executor-held per-element state.
@@ -156,3 +162,23 @@ func (c *Ctx) ExitWith(v any) { c.b.ExitWith(v) }
 
 // Exit ends the run with a nil result.
 func (c *Ctx) Exit() { c.b.ExitWith(nil) }
+
+// MsgID reports the causal trace ID of the message this handler is
+// executing (0 when untraced or outside application dispatch). Libraries
+// layered on the scheduler (AMPI) stamp it onto events they emit so their
+// activity joins the message DAG.
+func (c *Ctx) MsgID() uint64 { return c.msgID }
+
+// Mark records a free-form annotation on this PE's trace timeline. The
+// overlap profiler segments steps at Mark("step", n, 0) boundaries;
+// anything else is carried through to the exported views untouched.
+func (c *Ctx) Mark(note string, arg1, arg2 int64) {
+	c.b.Record(trace.Event{PE: c.pe, Kind: trace.EvNote, At: c.b.Now(), Note: note, Arg1: arg1, Arg2: arg2, MsgID: c.msgID})
+}
+
+// Record emits a trace event of the given kind at the current execution
+// point, stamped with this handler's PE and causal message ID. This is the
+// surface runtime libraries (internal/ampi) use to join the causal DAG.
+func (c *Ctx) Record(kind trace.Kind, arg1, arg2 int64) {
+	c.b.Record(trace.Event{PE: c.pe, Kind: kind, At: c.b.Now(), Arg1: arg1, Arg2: arg2, MsgID: c.msgID})
+}

@@ -73,6 +73,7 @@ func (h *PEHost) DeliverApp(m *Message) error {
 	}
 	meta := h.meta[m.To]
 	ctx := newCtx(h.b, h.pe, m.To, meta)
+	ctx.msgID = m.ID
 	h.invoke(ctx, meta, func() { ch.Recv(ctx, m.Entry, m.Data) })
 	return nil
 }

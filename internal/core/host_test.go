@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gridmdo/internal/topology"
+	"gridmdo/internal/trace"
 )
 
 // stubBackend satisfies Backend for host-level unit tests.
@@ -31,6 +32,7 @@ func (s *stubBackend) ArrayN(ArrayID) int                                     { 
 func (s *stubBackend) ExitWith(any)                                           {}
 func (s *stubBackend) Contribute(ElemRef, int, ArrayID, int64, any, ReduceOp) {}
 func (s *stubBackend) AtSync(ElemRef, int)                                    {}
+func (s *stubBackend) Record(trace.Event)                                     {}
 
 func TestPEHostEachDeterministicOrder(t *testing.T) {
 	b := newStubBackend(t)

@@ -39,6 +39,18 @@ type Message struct {
 	SrcPE int32
 	DstPE int32
 
+	// ID identifies the message in the causal trace DAG. The executor
+	// assigns it at routing time (node-unique: the runtime seeds the
+	// counter with the node number in the high 16 bits) and the wire codec
+	// carries it, so a remote enqueue still links to the local send.
+	// Zero means untraced.
+	ID uint64
+
+	// Parent is the ID of the message whose handler sent this one — the
+	// causal edge critical-path analysis walks. Zero at DAG roots (the
+	// start message, sends from outside any handler).
+	Parent uint64
+
 	// EnqueuedAt is the executor time at which the message became
 	// deliverable at the destination (set by executors; used for tracing).
 	EnqueuedAt time.Duration

@@ -43,6 +43,11 @@ type Runtime struct {
 	processedByPE []atomic.Int64
 	qd            qdRoot
 
+	// msgSeq assigns causal trace IDs at routing time. Seeded with the
+	// node number in the high 16 bits so IDs from different gridnode
+	// processes never collide when their snapshots are merged.
+	msgSeq atomic.Uint64
+
 	exitOnce sync.Once
 	exitCh   chan struct{}
 	exitVal  any
@@ -65,6 +70,12 @@ type peState struct {
 	lb      *LBMgr
 	idle    atomic.Bool
 	pending *PendingBundles // owned by this PE's execution context
+
+	// curMsg is the causal ID of the message whose handler is executing on
+	// this PE (0 between dispatches). Routes triggered from the handler
+	// read it as the child's Parent; it is atomic because timer goroutines
+	// (QD waves) route concurrently with the scheduler.
+	curMsg atomic.Uint64
 }
 
 // NewRuntime builds a real-time runtime for prog on topo, configured by
@@ -117,6 +128,7 @@ func NewRuntime(topo *topology.Topology, prog *Program, options ...Option) (*Run
 		sentByPE:      make([]atomic.Int64, topo.NumPE()),
 		processedByPE: make([]atomic.Int64, topo.NumPE()),
 	}
+	rt.msgSeq.Store(uint64(opts.Node) << 48)
 	latencyFor := opts.LatencyFor
 	if latencyFor == nil {
 		latencyFor = func(src, dst int32) time.Duration {
@@ -228,7 +240,18 @@ func (rt *Runtime) Route(m *Message) {
 	if m.Kind != KindQD {
 		rt.sentByPE[m.SrcPE].Add(1)
 	}
-	rt.record(trace.Event{PE: int(m.SrcPE), Kind: trace.EvSend, At: rt.Now(), Arg1: int64(m.DstPE), Arg2: int64(m.Bytes)})
+	// Causal trace context: every routed message gets a node-unique ID;
+	// its parent is whatever message the sending PE is currently
+	// executing (0 for out-of-handler sends — timers, Run itself).
+	if m.ID == 0 {
+		m.ID = rt.msgSeq.Add(1)
+	}
+	if m.Parent == 0 {
+		if src := int(m.SrcPE); src >= rt.opts.PELo && src < rt.opts.PEHi {
+			m.Parent = rt.pes[src-rt.opts.PELo].curMsg.Load()
+		}
+	}
+	rt.record(trace.Event{PE: int(m.SrcPE), Kind: trace.EvSend, At: rt.Now(), MsgID: m.ID, Parent: m.Parent, MsgKind: byte(m.Kind), Arg1: int64(m.DstPE), Arg2: int64(m.Bytes)})
 
 	if rt.opts.Bundle && BundleEligible(m) {
 		if src := int(m.SrcPE); src >= rt.opts.PELo && src < rt.opts.PEHi {
@@ -244,10 +267,11 @@ func (rt *Runtime) Route(m *Message) {
 // transmit hands a resolved message to the delay device.
 func (rt *Runtime) transmit(m *Message) {
 	f := &vmi.Frame{
-		Src:  m.SrcPE,
-		Dst:  m.DstPE,
-		Prio: m.Prio,
-		Obj:  m,
+		Src:   m.SrcPE,
+		Dst:   m.DstPE,
+		Prio:  m.Prio,
+		Trace: m.ID,
+		Obj:   m,
 	}
 	if m.Kind != KindApp {
 		f.Class = vmi.ClassSystem
@@ -314,7 +338,7 @@ func (rt *Runtime) enqueueLocal(m *Message) {
 		return
 	}
 	m.EnqueuedAt = rt.Now()
-	rt.record(trace.Event{PE: int(m.DstPE), Kind: trace.EvEnqueue, At: m.EnqueuedAt, Arg1: int64(m.SrcPE)})
+	rt.record(trace.Event{PE: int(m.DstPE), Kind: trace.EvEnqueue, At: m.EnqueuedAt, MsgID: m.ID, Parent: m.Parent, MsgKind: byte(m.Kind), Arg1: int64(m.SrcPE)})
 	i := int(m.DstPE) - rt.opts.PELo
 	depth := rt.pes[i].q.Push(m)
 	if rt.met != nil {
@@ -329,6 +353,11 @@ func (rt *Runtime) record(ev trace.Event) {
 		rt.sink.Record(ev)
 	}
 }
+
+// Record implements Backend: libraries layered on the scheduler (AMPI
+// block/wake, application step marks via Ctx) emit into the same sink the
+// scheduler uses.
+func (rt *Runtime) Record(ev trace.Event) { rt.record(ev) }
 
 // InjectFrame delivers a frame received from the transport into the local
 // runtime, passing it through the configured wire receive chain first.
@@ -357,6 +386,19 @@ func (rt *Runtime) injectDecoded(f *vmi.Frame) error {
 
 // Now implements Backend: wall time since Run began.
 func (rt *Runtime) Now() time.Duration { return time.Since(rt.start) }
+
+// Epoch reports the wall-clock instant trace timestamps are relative to.
+// Multi-process deployments record it in their trace snapshots so the
+// analyzer can re-base events from different processes onto one axis.
+func (rt *Runtime) Epoch() time.Time { return rt.start }
+
+// SetEpoch re-bases the runtime clock. In-process multi-runtime harnesses
+// call it with one shared instant after constructing every node, so that
+// cross-node trace timestamps share a time base — element construction
+// happens inside NewRuntime and would otherwise skew each node's epoch by
+// its construction cost. Must be called before Run and before any frame
+// is injected.
+func (rt *Runtime) SetEpoch(t time.Time) { rt.start = t }
 
 // Charge implements Backend. The real-time runtime measures handler wall
 // time directly, so modeled charges are a no-op here.
@@ -442,7 +484,7 @@ func (rt *Runtime) Run() (any, error) {
 	}
 	if rt.opts.Node == 0 && rt.opts.PELo == 0 {
 		rt.sentByPE[0].Add(1)
-		rt.enqueueLocal(&Message{Kind: KindStart, SrcPE: 0, DstPE: 0})
+		rt.enqueueLocal(&Message{Kind: KindStart, SrcPE: 0, DstPE: 0, ID: rt.msgSeq.Add(1)})
 		if rt.opts.RunToQuiescence {
 			// Begin probing once the program has had a moment to start.
 			time.AfterFunc(qdWaveInterval, func() {
@@ -472,6 +514,11 @@ func (rt *Runtime) Run() (any, error) {
 // late-arriving prioritized message preempts within one batch.
 const schedBatchSize = 32
 
+// idleRecordMin is the smallest scheduler-idle gap worth a trace event:
+// shorter waits are queue-lock noise, not comm-wait, and recording them
+// would fill the rings with micro-idles.
+const idleRecordMin = 50 * time.Microsecond
+
 func (rt *Runtime) schedule(ps *peState) {
 	defer rt.wg.Done()
 	defer func() {
@@ -481,16 +528,23 @@ func (rt *Runtime) schedule(ps *peState) {
 	}()
 	batch := make([]*Message, 0, schedBatchSize)
 	idleCtr := rt.met.idleCounter(ps.id - rt.opts.PELo) // nil when metrics are off
+	traceIdle := rt.sink != nil
 	for {
 		var idleFrom time.Time
-		if idleCtr != nil {
+		if idleCtr != nil || traceIdle {
 			idleFrom = time.Now()
 		}
 		ps.idle.Store(true)
 		batch = ps.q.PopBatch(batch[:0])
 		ps.idle.Store(false)
-		if idleCtr != nil {
-			idleCtr.Add(time.Since(idleFrom).Nanoseconds())
+		if idleCtr != nil || traceIdle {
+			d := time.Since(idleFrom)
+			if idleCtr != nil {
+				idleCtr.Add(d.Nanoseconds())
+			}
+			if traceIdle && d >= idleRecordMin {
+				rt.record(trace.Event{PE: ps.id, Kind: trace.EvIdle, At: idleFrom.Sub(rt.start), Arg1: d.Nanoseconds()})
+			}
 		}
 		if len(batch) == 0 {
 			return
@@ -499,7 +553,8 @@ func (rt *Runtime) schedule(ps *peState) {
 			if m.Kind == KindStop {
 				return
 			}
-			rt.record(trace.Event{PE: ps.id, Kind: trace.EvBegin, At: rt.Now(), Arg1: int64(m.To.Array), Arg2: int64(m.To.Index)})
+			ps.curMsg.Store(m.ID)
+			rt.record(trace.Event{PE: ps.id, Kind: trace.EvBegin, At: rt.Now(), MsgID: m.ID, MsgKind: byte(m.Kind), Arg1: int64(m.To.Array), Arg2: int64(m.To.Index)})
 			var err error
 			switch m.Kind {
 			case KindApp:
@@ -520,7 +575,8 @@ func (rt *Runtime) schedule(ps *peState) {
 				err = fmt.Errorf("core: PE %d received unknown message kind %d", ps.id, m.Kind)
 			}
 			rt.flushBundles(ps)
-			rt.record(trace.Event{PE: ps.id, Kind: trace.EvEnd, At: rt.Now()})
+			rt.record(trace.Event{PE: ps.id, Kind: trace.EvEnd, At: rt.Now(), MsgID: m.ID, MsgKind: byte(m.Kind)})
+			ps.curMsg.Store(0)
 			if m.Kind != KindQD {
 				rt.processedByPE[ps.id].Add(1)
 			}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gridmdo/internal/topology"
+	"gridmdo/internal/trace"
 	"gridmdo/internal/vmi"
 )
 
@@ -108,5 +109,132 @@ func TestTwoNodeTCPRuntime(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("worker node never stopped")
+	}
+}
+
+// TestTwoNodeTCPCausality runs the same two-node ping-pong with a tracer on
+// each node and checks that causal trace context survives the TCP hop: the
+// enqueue and begin events recorded on the remote node carry the message ID
+// the sending node assigned (node 0 seeds IDs with high bits 0, node 1 with
+// node<<48, so provenance is visible in the ID itself).
+func TestTwoNodeTCPCausality(t *testing.T) {
+	const rounds = 3
+	topo, err := topology.TwoClusters(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterPayload(int(0))
+
+	mkProg := func() *Program {
+		return &Program{
+			Arrays: []ArraySpec{{
+				ID: 0, N: 2,
+				New: func(i int) Chare {
+					return funcChare(func(ctx *Ctx, entry EntryID, data any) {
+						n := data.(int)
+						if n >= 2*rounds {
+							ctx.ExitWith(n)
+							return
+						}
+						ctx.Send(ElemRef{Array: 0, Index: 1 - ctx.Elem().Index}, 0, n+1)
+					})
+				},
+			}},
+			Start: func(ctx *Ctx) { ctx.Send(ElemRef{0, 0}, 0, 0) },
+		}
+	}
+
+	nodeOf := func(pe int) int { return pe }
+	routeFn := func(pe int32) int { return int(pe) }
+
+	var rts [2]*Runtime
+	var tcps [2]*vmi.TCP
+	var trs [2]*trace.Tracer
+	addrs := []map[int]string{
+		{0: "127.0.0.1:0", 1: ""},
+		{0: "", 1: "127.0.0.1:0"},
+	}
+	for node := 0; node < 2; node++ {
+		node := node
+		trs[node] = trace.New(2)
+		tcps[node] = vmi.NewTCP(node, addrs[node], routeFn, func(f *vmi.Frame) error {
+			return rts[node].InjectFrame(f)
+		})
+	}
+	a0, err := tcps[0].Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := tcps[1].Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcps[0].SetAddr(1, a1)
+	tcps[1].SetAddr(0, a0)
+	defer tcps[0].Close()
+	defer tcps[1].Close()
+
+	for node := 0; node < 2; node++ {
+		rt, err := NewRuntime(topo, mkProg(),
+			WithTrace(trs[node]),
+			WithCluster(ClusterConfig{Transport: tcps[node], NodeOf: nodeOf, Node: node, PELo: node, PEHi: node + 1}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rts[node] = rt
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := rts[1].Run()
+		done <- err
+	}()
+	if _, err := rts[0].Run(); err != nil {
+		t.Fatal(err)
+	}
+	rts[1].Stop()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("worker node: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker node never stopped")
+	}
+
+	// IDs assigned on node 0 have high bits 0; on node 1, 1<<48.
+	fromNode := func(id uint64) int { return int(id >> 48) }
+
+	sent0 := map[uint64]bool{}
+	for _, ev := range trs[0].Events() {
+		if ev.Kind == trace.EvSend && ev.MsgID != 0 {
+			sent0[ev.MsgID] = true
+		}
+	}
+	if len(sent0) == 0 {
+		t.Fatal("node 0 recorded no sends")
+	}
+
+	var remoteEnq, remoteBegin int
+	for _, ev := range trs[1].Events() {
+		if ev.MsgID == 0 || fromNode(ev.MsgID) != 0 {
+			continue // locally assigned or untraced
+		}
+		switch ev.Kind {
+		case trace.EvEnqueue:
+			remoteEnq++
+			if !sent0[ev.MsgID] {
+				t.Errorf("remote enqueue carries ID %#x never sent by node 0", ev.MsgID)
+			}
+		case trace.EvBegin:
+			remoteBegin++
+			if !sent0[ev.MsgID] {
+				t.Errorf("remote begin carries ID %#x never sent by node 0", ev.MsgID)
+			}
+		}
+	}
+	if remoteEnq < rounds || remoteBegin < rounds {
+		t.Errorf("node 1 saw %d enqueues / %d begins with node-0 IDs, want >= %d each",
+			remoteEnq, remoteBegin, rounds)
 	}
 }

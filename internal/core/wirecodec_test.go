@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"reflect"
 	"testing"
@@ -34,6 +35,7 @@ func TestWireCodecPayloadKinds(t *testing.T) {
 			in := &Message{
 				Kind: KindApp, To: ElemRef{Array: 2, Index: 1 << 33}, Entry: -1,
 				Prio: -5, Bytes: 4096, SrcPE: 11, DstPE: 13, Data: tc.data,
+				ID: uint64(1)<<48 | 99, Parent: uint64(1)<<48 | 42,
 			}
 			b, err := EncodeMessage(in)
 			if err != nil {
@@ -46,6 +48,9 @@ func TestWireCodecPayloadKinds(t *testing.T) {
 			if out.Kind != in.Kind || out.To != in.To || out.Entry != in.Entry ||
 				out.Prio != in.Prio || out.Bytes != in.Bytes || out.SrcPE != in.SrcPE || out.DstPE != in.DstPE {
 				t.Errorf("header mismatch: %+v", out)
+			}
+			if out.ID != in.ID || out.Parent != in.Parent {
+				t.Errorf("trace context lost: ID %#x Parent %#x", out.ID, out.Parent)
 			}
 			if !reflect.DeepEqual(out.Data, tc.data) {
 				t.Errorf("payload: got %#v (%T), want %#v (%T)", out.Data, out.Data, tc.data, tc.data)
@@ -240,6 +245,7 @@ func FuzzWireCodec(f *testing.F) {
 		in := &Message{
 			Kind: Kind(kind % 7), To: ElemRef{Array: ArrayID(a), Index: int(b)},
 			Entry: EntryID(b), Prio: int32(a), Bytes: int(a % (1 << 30)), SrcPE: int32(b), DstPE: int32(a),
+			ID: uint64(a), Parent: uint64(b),
 			Data: data,
 		}
 		enc1, err := EncodeMessage(in)
@@ -273,6 +279,54 @@ func FuzzWireCodec(f *testing.F) {
 			if got, ok := wout.Data.(fuzzWrapper); !ok || got.S != s {
 				t.Fatalf("fallback payload mismatch: %#v", wout.Data)
 			}
+		}
+	})
+}
+
+// FuzzTraceWire targets the extended trace-context header: the causal ID and
+// Parent fields must survive the wire byte-for-byte (including node-seeded
+// high bits), sit at their fixed offsets, and version-1 frames must be
+// rejected rather than misparsed as trace bytes.
+func FuzzTraceWire(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(1)<<48|1, uint64(1)<<48) // node-seeded IDs (node 1)
+	f.Add(uint64(0xFFFF)<<48|42, uint64(7)<<48|9)
+	f.Add(^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, id, parent uint64) {
+		in := &Message{
+			Kind: KindApp, To: ElemRef{Array: 1, Index: 2}, SrcPE: 3, DstPE: 4,
+			ID: id, Parent: parent, Data: "x",
+		}
+		enc, err := EncodeMessage(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.BigEndian.Uint64(enc[40:]); got != id {
+			t.Fatalf("ID not at offset 40: got %#x, want %#x", got, id)
+		}
+		if got := binary.BigEndian.Uint64(enc[48:]); got != parent {
+			t.Fatalf("Parent not at offset 48: got %#x, want %#x", got, parent)
+		}
+		out, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ID != id || out.Parent != parent {
+			t.Fatalf("trace context mismatch: ID %#x want %#x, Parent %#x want %#x",
+				out.ID, id, out.Parent, parent)
+		}
+		enc2, err := EncodeMessage(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("trace header not byte-stable")
+		}
+		// A version-1 frame (the pre-trace 41-byte header) must be rejected.
+		old := append([]byte(nil), enc...)
+		old[2] = 1
+		if _, err := DecodeMessage(old); err == nil {
+			t.Fatal("version-1 frame accepted")
 		}
 	})
 }

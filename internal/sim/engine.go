@@ -111,6 +111,11 @@ type Engine struct {
 	curPE     int
 	execStart time.Duration
 	charged   time.Duration
+	curMsg    uint64 // causal ID of the message being executed (0 between)
+
+	// msgSeq assigns causal trace IDs at routing time (single-threaded,
+	// so a plain counter suffices; node 0 namespace).
+	msgSeq uint64
 
 	exited  bool
 	exitVal any
@@ -173,7 +178,14 @@ func (e *Engine) Route(m *core.Message) {
 		m.Prio = -1
 	}
 	e.msgCount++
-	e.opts.Trace.Record(trace.Event{PE: int(m.SrcPE), Kind: trace.EvSend, At: e.Now(), Arg1: int64(m.DstPE), Arg2: int64(m.Bytes)})
+	if m.ID == 0 {
+		e.msgSeq++
+		m.ID = e.msgSeq
+	}
+	if m.Parent == 0 && e.inHandler {
+		m.Parent = e.curMsg
+	}
+	e.opts.Trace.Record(trace.Event{PE: int(m.SrcPE), Kind: trace.EvSend, At: e.Now(), MsgID: m.ID, Parent: m.Parent, MsgKind: byte(m.Kind), Arg1: int64(m.DstPE), Arg2: int64(m.Bytes)})
 	if e.opts.Bundle && core.BundleEligible(m) && e.inHandler {
 		// Held until the running handler completes; exec flushes the
 		// per-destination groups as single modeled frames. The sender pays
@@ -255,6 +267,11 @@ func (e *Engine) AtSync(_ core.ElemRef, pe int) {
 	e.pes[pe].lb.ElementAtSync()
 }
 
+// Record implements core.Backend: events from libraries and applications
+// (step marks, AMPI block/wake) land in the same tracer as scheduler
+// events, stamped with virtual time by the caller.
+func (e *Engine) Record(ev trace.Event) { e.opts.Trace.Record(ev) }
+
 // Event loop ----------------------------------------------------------------
 
 func (e *Engine) push(ev event) {
@@ -267,7 +284,8 @@ func (e *Engine) push(ev event) {
 // events remain (natural quiescence). It returns the exit value and the
 // virtual time at which the run ended.
 func (e *Engine) Run() (any, time.Duration, error) {
-	e.push(event{at: 0, kind: evDeliver, pe: 0, m: &core.Message{Kind: core.KindStart}})
+	e.msgSeq++
+	e.push(event{at: 0, kind: evDeliver, pe: 0, m: &core.Message{Kind: core.KindStart, ID: e.msgSeq}})
 	for len(e.events) > 0 && !e.exited && e.err == nil {
 		ev := heap.Pop(&e.events).(event)
 		e.now = ev.at
@@ -305,12 +323,12 @@ func (e *Engine) deliver(ev event) {
 		for _, sub := range core.BundleMessages(ev.m) {
 			sub.EnqueuedAt = e.now
 			ps.q.Push(sub)
-			e.opts.Trace.Record(trace.Event{PE: int(ev.pe), Kind: trace.EvEnqueue, At: e.now, Arg1: int64(sub.SrcPE)})
+			e.opts.Trace.Record(trace.Event{PE: int(ev.pe), Kind: trace.EvEnqueue, At: e.now, MsgID: sub.ID, Parent: sub.Parent, MsgKind: byte(sub.Kind), Arg1: int64(sub.SrcPE)})
 		}
 	} else {
 		ev.m.EnqueuedAt = e.now
 		ps.q.Push(ev.m)
-		e.opts.Trace.Record(trace.Event{PE: int(ev.pe), Kind: trace.EvEnqueue, At: e.now, Arg1: int64(ev.m.SrcPE)})
+		e.opts.Trace.Record(trace.Event{PE: int(ev.pe), Kind: trace.EvEnqueue, At: e.now, MsgID: ev.m.ID, Parent: ev.m.Parent, MsgKind: byte(ev.m.Kind), Arg1: int64(ev.m.SrcPE)})
 	}
 	if !ps.execPending {
 		at := e.now
@@ -333,7 +351,8 @@ func (e *Engine) exec(ev event) {
 	e.curPE = ps.id
 	e.execStart = e.now
 	e.charged = 0
-	e.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvBegin, At: e.now, Arg1: int64(m.To.Array), Arg2: int64(m.To.Index)})
+	e.curMsg = m.ID
+	e.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvBegin, At: e.now, MsgID: m.ID, MsgKind: byte(m.Kind), Arg1: int64(m.To.Array), Arg2: int64(m.To.Index)})
 
 	var err error
 	switch m.Kind {
@@ -355,6 +374,7 @@ func (e *Engine) exec(ev event) {
 
 	cost := e.charged
 	e.inHandler = false
+	e.curMsg = 0
 	if m.Kind == core.KindApp {
 		ps.host.AddLoad(m.To, cost)
 	}
@@ -367,7 +387,7 @@ func (e *Engine) exec(ev event) {
 			e.transmit(core.MakeBundle(group), ps.busyUntil)
 		}
 	}
-	e.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvEnd, At: ps.busyUntil})
+	e.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvEnd, At: ps.busyUntil, MsgID: m.ID, MsgKind: byte(m.Kind)})
 	if err != nil {
 		e.err = err
 		return

@@ -354,6 +354,11 @@ func (b *block) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
 // tryAdvance runs as many steps as buffered data allows.
 func (b *block) tryAdvance(ctx *core.Ctx) {
 	for b.gate.Ready() && !b.done {
+		if b.bx == 0 && b.by == 0 {
+			// One block marks step boundaries so the overlap profiler can
+			// segment the trace into per-step windows.
+			ctx.Mark("step", int64(b.gate.Step()), 0)
+		}
 		b.compute(ctx)
 		pend := b.gate.Advance()
 		step := b.gate.Step()

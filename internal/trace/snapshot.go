@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Snapshot is the on-disk form of one node's trace: gridnode/gridsim write
+// one JSON snapshot per process, and cmd/gridtrace merges them back into a
+// single cross-node event stream (message IDs are node-unique, so merged
+// events still link into one DAG).
+type Snapshot struct {
+	Node    int         `json:"node"`
+	PELo    int         `json:"pe_lo"`
+	PEHi    int         `json:"pe_hi"`
+	Horizon int64       `json:"horizon_ns"`
+	Dropped uint64      `json:"dropped"`
+	Events  []SnapEvent `json:"events"`
+
+	// EpochUnixNs is the wall-clock instant (UnixNano) event times are
+	// relative to. Separate processes have different epochs — each starts
+	// its clock at runtime construction — so Merge uses this, when
+	// present, to re-base every node onto the earliest epoch. Zero means
+	// unknown (pre-epoch snapshots, or an in-process shared clock).
+	EpochUnixNs int64 `json:"epoch_ns,omitempty"`
+}
+
+// SnapEvent is Event with compact JSON keys; zero fields are omitted to
+// keep paper-scale snapshots in the few-MB range.
+type SnapEvent struct {
+	PE      int    `json:"pe"`
+	Kind    Kind   `json:"k"`
+	At      int64  `json:"at"` // ns since run start
+	MsgID   uint64 `json:"m,omitempty"`
+	Parent  uint64 `json:"p,omitempty"`
+	MsgKind byte   `json:"mk,omitempty"`
+	Arg1    int64  `json:"a1,omitempty"`
+	Arg2    int64  `json:"a2,omitempty"`
+	Note    string `json:"n,omitempty"`
+}
+
+// Snapshot captures the tracer's retained events for the PEs this node
+// hosts. Call at quiescence.
+func (t *Tracer) Snapshot(node, peLo, peHi int, horizon time.Duration) *Snapshot {
+	s := &Snapshot{Node: node, PELo: peLo, PEHi: peHi, Horizon: int64(horizon)}
+	if t == nil {
+		return s
+	}
+	s.Dropped = t.Dropped()
+	for _, ev := range t.Events() {
+		s.Events = append(s.Events, SnapEvent{
+			PE: ev.PE, Kind: ev.Kind, At: int64(ev.At),
+			MsgID: ev.MsgID, Parent: ev.Parent, MsgKind: ev.MsgKind,
+			Arg1: ev.Arg1, Arg2: ev.Arg2, Note: ev.Note,
+		})
+	}
+	return s
+}
+
+// Write serializes the snapshot as indented JSON.
+func (s *Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot parses one snapshot file.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("trace snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// Merge combines per-node snapshots into one time-sorted event stream,
+// returning the stream, the number of PEs covered, and the latest horizon.
+// Snapshots that carry an epoch (separate gridnode processes each start
+// their clock at runtime construction) are re-based onto the earliest
+// epoch, so cross-node spans come out in one time base up to OS clock
+// sync; snapshots without an epoch are assumed pre-aligned (the
+// in-process multi-node harness shares one clock).
+func Merge(snaps ...*Snapshot) (evs []Event, numPE int, horizon time.Duration) {
+	var baseEpoch int64
+	for _, s := range snaps {
+		if s != nil && s.EpochUnixNs != 0 && (baseEpoch == 0 || s.EpochUnixNs < baseEpoch) {
+			baseEpoch = s.EpochUnixNs
+		}
+	}
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		var shift time.Duration
+		if s.EpochUnixNs != 0 && baseEpoch != 0 {
+			shift = time.Duration(s.EpochUnixNs - baseEpoch)
+		}
+		if s.PEHi > numPE {
+			numPE = s.PEHi
+		}
+		if h := time.Duration(s.Horizon) + shift; h > horizon {
+			horizon = h
+		}
+		for _, se := range s.Events {
+			evs = append(evs, Event{
+				PE: se.PE, Kind: se.Kind, At: time.Duration(se.At) + shift,
+				MsgID: se.MsgID, Parent: se.Parent, MsgKind: se.MsgKind,
+				Arg1: se.Arg1, Arg2: se.Arg2, Note: se.Note,
+			})
+			if se.PE+1 > numPE {
+				numPE = se.PE + 1
+			}
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs, numPE, horizon
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Span is a half-open time interval [Start, End) on one PE's timeline.
+// The span helpers below form the small interval algebra everything in
+// this package is built on: utilization and timelines use busy−idle,
+// the overlap profiler intersects message flights with busy/idle time.
+type Span struct {
+	Start, End time.Duration
+}
+
+// Dur returns the span length (never negative).
+func (s Span) Dur() time.Duration {
+	if s.End <= s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// busySpans extracts handler-execution spans from time-sorted events:
+// each Begin opens a span closed by the next End, clamped to [0, horizon).
+// An unmatched Begin counts as busy to the horizon; nested Begins are
+// tolerated (the outermost window wins).
+func busySpans(evs []Event, horizon time.Duration) []Span {
+	var spans []Span
+	var openAt time.Duration = -1
+	for _, ev := range evs {
+		switch ev.Kind {
+		case EvBegin:
+			if openAt < 0 {
+				openAt = ev.At
+			}
+		case EvEnd:
+			if openAt >= 0 {
+				spans = append(spans, clampSpan(Span{openAt, ev.At}, horizon))
+				openAt = -1
+			}
+		}
+	}
+	if openAt >= 0 && openAt < horizon {
+		spans = append(spans, Span{openAt, horizon})
+	}
+	return normalizeSpans(spans)
+}
+
+// idleSpans extracts recorded scheduler-idle spans (EvIdle: At = start,
+// Arg1 = duration in nanoseconds), clamped to [0, horizon).
+func idleSpans(evs []Event, horizon time.Duration) []Span {
+	var spans []Span
+	for _, ev := range evs {
+		if ev.Kind != EvIdle {
+			continue
+		}
+		spans = append(spans, clampSpan(Span{ev.At, ev.At + time.Duration(ev.Arg1)}, horizon))
+	}
+	return normalizeSpans(spans)
+}
+
+func clampSpan(s Span, horizon time.Duration) Span {
+	if s.Start < 0 {
+		s.Start = 0
+	}
+	if s.End > horizon {
+		s.End = horizon
+	}
+	return s
+}
+
+// normalizeSpans sorts spans, drops empty ones, and merges overlaps so the
+// result is a disjoint ascending sequence.
+func normalizeSpans(spans []Span) []Span {
+	out := spans[:0]
+	for _, s := range spans {
+		if s.End > s.Start {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	merged := out[:0]
+	for _, s := range out {
+		if n := len(merged); n > 0 && s.Start <= merged[n-1].End {
+			if s.End > merged[n-1].End {
+				merged[n-1].End = s.End
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	return merged
+}
+
+// subtractSpans returns a − b. Both inputs must be normalized (disjoint,
+// ascending); the result is too.
+func subtractSpans(a, b []Span) []Span {
+	var out []Span
+	j := 0
+	for _, s := range a {
+		cur := s
+		for j < len(b) && b[j].End <= cur.Start {
+			j++
+		}
+		k := j
+		for k < len(b) && b[k].Start < cur.End {
+			if b[k].Start > cur.Start {
+				out = append(out, Span{cur.Start, b[k].Start})
+			}
+			if b[k].End >= cur.End {
+				cur.Start = cur.End
+				break
+			}
+			cur.Start = b[k].End
+			k++
+		}
+		if cur.End > cur.Start {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// intersectSpans returns a ∩ b. Both inputs must be normalized; the
+// result is too.
+func intersectSpans(a, b []Span) []Span {
+	var out []Span
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].Start
+		if b[j].Start > lo {
+			lo = b[j].Start
+		}
+		hi := a[i].End
+		if b[j].End < hi {
+			hi = b[j].End
+		}
+		if hi > lo {
+			out = append(out, Span{lo, hi})
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// clipSpans restricts normalized spans to the window [from, to).
+func clipSpans(spans []Span, from, to time.Duration) []Span {
+	var out []Span
+	for _, s := range spans {
+		if s.End <= from || s.Start >= to {
+			continue
+		}
+		c := s
+		if c.Start < from {
+			c.Start = from
+		}
+		if c.End > to {
+			c.End = to
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// totalSpans sums the lengths of normalized spans.
+func totalSpans(spans []Span) time.Duration {
+	var d time.Duration
+	for _, s := range spans {
+		d += s.Dur()
+	}
+	return d
+}

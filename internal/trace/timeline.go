@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 )
@@ -10,7 +11,9 @@ import (
 // RenderTimeline writes an ASCII utilization timeline, one row per PE:
 // each column is one bucket of the horizon, shaded by the fraction of the
 // bucket spent inside handlers (' ' idle, '░' <25%, '▒' <50%, '▓' <75%,
-// '█' busy). It is the textual analog of a Projections utilization view.
+// '█' busy). Recorded idle spans are subtracted, so an AMPI rank blocked
+// in Recv shows as idle even though its handler window is open. It is the
+// textual analog of a Projections utilization view.
 func (t *Tracer) RenderTimeline(w io.Writer, horizon time.Duration, buckets int) {
 	if t == nil || horizon <= 0 || buckets <= 0 {
 		fmt.Fprintln(w, "trace: no data")
@@ -31,6 +34,53 @@ func (t *Tracer) RenderTimeline(w io.Writer, horizon time.Duration, buckets int)
 	}
 }
 
+// busyPerBucket computes the busy fraction (handler time minus recorded
+// idle) of each bucket for one PE.
+func (t *Tracer) busyPerBucket(pe int, horizon time.Duration, buckets int) []float64 {
+	evs := t.shardEvents(pe)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	spans := subtractSpans(busySpans(evs, horizon), idleSpans(evs, horizon))
+	return bucketFractions(spans, horizon, buckets)
+}
+
+// RenderTimelineEvents is RenderTimeline over an already-merged event
+// stream (e.g. several gridnode snapshots), numPE rows.
+func RenderTimelineEvents(w io.Writer, evs []Event, numPE int, horizon time.Duration, buckets int) {
+	if horizon <= 0 || buckets <= 0 || numPE <= 0 {
+		fmt.Fprintln(w, "trace: no data")
+		return
+	}
+	bucket := horizon / time.Duration(buckets)
+	if bucket <= 0 {
+		bucket = time.Nanosecond
+	}
+	fmt.Fprintf(w, "utilization timeline: %v per column, horizon %v\n", bucket, horizon)
+	for pe := 0; pe < numPE; pe++ {
+		writeTimelineRow(w, pe, eventsForPE(evs, pe), horizon, buckets)
+	}
+}
+
+// eventsForPE filters a time-sorted merged stream down to one PE.
+func eventsForPE(evs []Event, pe int) []Event {
+	var out []Event
+	for _, ev := range evs {
+		if ev.PE == pe {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func writeTimelineRow(w io.Writer, pe int, evs []Event, horizon time.Duration, buckets int) {
+	spans := subtractSpans(busySpans(evs, horizon), idleSpans(evs, horizon))
+	busy := bucketFractions(spans, horizon, buckets)
+	var b strings.Builder
+	for _, f := range busy {
+		b.WriteRune(shade(f))
+	}
+	fmt.Fprintf(w, "PE %3d |%s|\n", pe, b.String())
+}
+
 func shade(f float64) rune {
 	switch {
 	case f <= 0.01:
@@ -46,51 +96,27 @@ func shade(f float64) rune {
 	}
 }
 
-// busyPerBucket computes the busy fraction of each bucket for one PE.
-func (t *Tracer) busyPerBucket(pe int, horizon time.Duration, buckets int) []float64 {
-	s := &t.shards[pe]
-	s.mu.Lock()
-	evs := append([]Event(nil), s.events...)
-	s.mu.Unlock()
-
-	type span struct{ a, b time.Duration }
-	var spans []span
-	var openAt time.Duration = -1
-	for _, ev := range evs {
-		switch ev.Kind {
-		case EvBegin:
-			if openAt < 0 {
-				openAt = ev.At
-			}
-		case EvEnd:
-			if openAt >= 0 {
-				spans = append(spans, span{openAt, ev.At})
-				openAt = -1
-			}
-		}
-	}
-	if openAt >= 0 {
-		spans = append(spans, span{openAt, horizon})
-	}
-
+// bucketFractions computes, per bucket of the horizon, the fraction of the
+// bucket covered by the (normalized) spans.
+func bucketFractions(spans []Span, horizon time.Duration, buckets int) []float64 {
 	out := make([]float64, buckets)
 	bw := horizon / time.Duration(buckets)
 	if bw <= 0 {
 		return out
 	}
 	for _, sp := range spans {
-		if sp.b > horizon {
-			sp.b = horizon
+		if sp.End > horizon {
+			sp.End = horizon
 		}
-		if sp.b <= sp.a {
+		if sp.End <= sp.Start {
 			continue
 		}
-		first := int(sp.a / bw)
-		last := int((sp.b - 1) / bw)
+		first := int(sp.Start / bw)
+		last := int((sp.End - 1) / bw)
 		for i := first; i <= last && i < buckets; i++ {
 			lo := time.Duration(i) * bw
 			hi := lo + bw
-			a, b := sp.a, sp.b
+			a, b := sp.Start, sp.End
 			if a < lo {
 				a = lo
 			}

@@ -1,15 +1,18 @@
-// Package trace provides lightweight event tracing for GridMDO executors,
-// in the spirit of Charm++'s Projections logs: per-PE streams of handler
-// begin/end and message send/enqueue events from which utilization
-// timelines are derived. Tracing is optional; a nil *Tracer is a valid
-// no-op everywhere.
+// Package trace provides lightweight causal event tracing for GridMDO
+// executors, in the spirit of Charm++'s Projections logs: per-PE streams
+// of handler begin/end and message send/enqueue events, linked into a
+// cross-node DAG by message IDs, from which utilization timelines, overlap
+// profiles (compute vs. comm-wait vs. masked latency) and critical paths
+// are derived. Tracing is optional; a nil *Tracer is a valid no-op
+// everywhere.
 package trace
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,8 +25,10 @@ const (
 	EvEnd                 // handler execution ended
 	EvSend                // message sent
 	EvEnqueue             // message enqueued at destination PE
-	EvIdle                // scheduler went idle
+	EvIdle                // scheduler went idle (At = start, Arg1 = duration ns)
 	EvNote                // free-form annotation
+	EvBlock               // AMPI rank suspended waiting for a message (Arg1 = rank)
+	EvWake                // AMPI rank resumed by a matching message (Arg1 = rank, Arg2 = blocked ns)
 )
 
 func (k Kind) String() string {
@@ -40,6 +45,10 @@ func (k Kind) String() string {
 		return "idle"
 	case EvNote:
 		return "note"
+	case EvBlock:
+		return "block"
+	case EvWake:
+		return "wake"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -47,13 +56,23 @@ func (k Kind) String() string {
 // Event is one trace record. Arg1/Arg2 carry kind-specific payloads
 // (array/element IDs, message sizes) without coupling this package to the
 // runtime's types.
+//
+// MsgID and Parent carry the causal context. On EvSend/EvEnqueue, MsgID
+// identifies the message in flight and Parent is the ID of the message
+// whose handler sent it (0 when sent outside a handler). On EvBegin/EvEnd,
+// MsgID identifies the message being executed. IDs are node-unique (the
+// runtime seeds them with the node number in the high bits), so events
+// merged from several gridnode snapshots still form one DAG.
 type Event struct {
-	PE   int
-	Kind Kind
-	At   time.Duration // virtual or wall time since run start
-	Arg1 int64
-	Arg2 int64
-	Note string
+	PE      int
+	Kind    Kind
+	MsgKind byte          // runtime message kind (core.Kind) for Send/Enqueue/Begin/End
+	At      time.Duration // virtual or wall time since run start
+	MsgID   uint64
+	Parent  uint64
+	Arg1    int64
+	Arg2    int64
+	Note    string
 }
 
 // Sink receives executor events. It is the one instrumentation surface
@@ -100,105 +119,159 @@ func Tee(sinks ...Sink) Sink {
 	return live
 }
 
-// Tracer collects events, sharded per PE to keep contention low in the
-// real-time runtime. The zero value is unusable; call New. Tracer
-// implements Sink; a nil *Tracer records nothing.
+// DefaultCapacity is the per-PE ring size used by New: large enough for
+// the paper-scale experiments (~10k events/PE) with headroom, small enough
+// (~2.5 MB/PE) that tracing a 64-PE soak run stays bounded.
+const DefaultCapacity = 1 << 15
+
+// Tracer collects events into bounded per-PE ring buffers. Record is
+// lock-free and allocation-free: a shard claims a slot with one atomic add
+// and overwrites the oldest event once the ring wraps, so a tracer left on
+// for a long soak run costs fixed memory and loses only the oldest
+// history. The zero value is unusable; call New or NewWithCapacity.
+// Tracer implements Sink; a nil *Tracer records nothing.
+//
+// Readers (Events, Len, Utilization, ...) are meant for quiescence — after
+// Run returns or between phases. They take consistent snapshots of slots
+// the writers have finished, but a Record racing a read may leave the ring
+// momentarily short one in-flight event.
 type Tracer struct {
-	shards []shard
+	shards []ring
 }
 
-type shard struct {
-	mu     sync.Mutex
-	events []Event
-	_      [40]byte // pad to reduce false sharing between PE shards
+// ring is one PE's bounded event buffer. pos counts events ever recorded;
+// slot i lives at buf[i&mask]. The pad keeps neighboring shards' hot
+// counters on different cache lines.
+type ring struct {
+	pos  atomic.Uint64
+	_    [56]byte
+	buf  []Event
+	mask uint64
 }
 
-// New builds a tracer for numPE processing elements.
+// New builds a tracer for numPE processing elements with DefaultCapacity
+// events per PE.
 func New(numPE int) *Tracer {
-	return &Tracer{shards: make([]shard, numPE)}
+	return NewWithCapacity(numPE, DefaultCapacity)
 }
 
-// Record appends an event. Safe for concurrent use; nil-safe.
+// NewWithCapacity builds a tracer whose per-PE rings hold capacity events
+// (rounded up to a power of two, minimum 1). Older events are overwritten
+// once a ring fills; Dropped reports how many.
+func NewWithCapacity(numPE, capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := 1 << bits.Len(uint(capacity-1)) // next power of two
+	t := &Tracer{shards: make([]ring, numPE)}
+	for i := range t.shards {
+		t.shards[i].buf = make([]Event, c)
+		t.shards[i].mask = uint64(c - 1)
+	}
+	return t
+}
+
+// Record appends an event. Lock-free, allocation-free, safe for
+// concurrent use, nil-safe.
 func (t *Tracer) Record(ev Event) {
 	if t == nil || ev.PE < 0 || ev.PE >= len(t.shards) {
 		return
 	}
 	s := &t.shards[ev.PE]
-	s.mu.Lock()
-	s.events = append(s.events, ev)
-	s.mu.Unlock()
+	i := s.pos.Add(1) - 1
+	s.buf[i&s.mask] = ev
 }
 
-// Events returns a time-sorted copy of all recorded events.
+// shardEvents copies one PE's retained events in recording order.
+func (t *Tracer) shardEvents(pe int) []Event {
+	s := &t.shards[pe]
+	n := s.pos.Load()
+	c := uint64(len(s.buf))
+	if n <= c {
+		return append([]Event(nil), s.buf[:n]...)
+	}
+	// The ring wrapped: the oldest retained event sits at pos&mask.
+	out := make([]Event, 0, c)
+	start := n & s.mask
+	out = append(out, s.buf[start:]...)
+	out = append(out, s.buf[:start]...)
+	return out
+}
+
+// Events returns a time-sorted copy of all retained events. Meant to be
+// called at quiescence (after the run finishes).
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
 	var all []Event
-	for i := range t.shards {
-		s := &t.shards[i]
-		s.mu.Lock()
-		all = append(all, s.events...)
-		s.mu.Unlock()
+	for pe := range t.shards {
+		all = append(all, t.shardEvents(pe)...)
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
 	return all
 }
 
-// Len reports the total number of recorded events.
+// Len reports the total number of retained events (at most capacity per
+// PE; see Dropped for overwritten history).
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
-	n := 0
+	n := uint64(0)
 	for i := range t.shards {
 		s := &t.shards[i]
-		s.mu.Lock()
-		n += len(s.events)
-		s.mu.Unlock()
+		p := s.pos.Load()
+		if c := uint64(len(s.buf)); p > c {
+			p = c
+		}
+		n += p
 	}
-	return n
+	return int(n)
+}
+
+// Dropped reports how many events were overwritten by ring wrap-around
+// across all PEs. Nonzero Dropped means timelines and critical paths are
+// missing their oldest history.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	d := uint64(0)
+	for i := range t.shards {
+		s := &t.shards[i]
+		if p, c := s.pos.Load(), uint64(len(s.buf)); p > c {
+			d += p - c
+		}
+	}
+	return d
+}
+
+// NumPE reports the number of PE shards the tracer was built with.
+func (t *Tracer) NumPE() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.shards)
 }
 
 // Utilization reports, per PE, the fraction of [0, horizon) spent inside
 // handlers, derived from Begin/End pairs. Unpaired events are tolerated
-// (a Begin without End counts as busy until the horizon).
+// (a Begin without End counts as busy until the horizon). Recorded idle
+// spans (EvIdle) are subtracted even when they fall inside an open Begin
+// window — an AMPI rank blocked in Recv holds its handler window open
+// while the PE is genuinely idle, and counting that as busy would hide
+// exactly the latency this tracer exists to measure.
 func (t *Tracer) Utilization(horizon time.Duration) []float64 {
 	if t == nil || horizon <= 0 {
 		return nil
 	}
 	util := make([]float64, len(t.shards))
 	for pe := range t.shards {
-		s := &t.shards[pe]
-		s.mu.Lock()
-		evs := append([]Event(nil), s.events...)
-		s.mu.Unlock()
+		evs := t.shardEvents(pe)
 		sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
-		var busy time.Duration
-		var openAt time.Duration = -1
-		for _, ev := range evs {
-			switch ev.Kind {
-			case EvBegin:
-				if openAt < 0 {
-					openAt = ev.At
-				}
-			case EvEnd:
-				if openAt >= 0 {
-					end := ev.At
-					if end > horizon {
-						end = horizon
-					}
-					if end > openAt {
-						busy += end - openAt
-					}
-					openAt = -1
-				}
-			}
-		}
-		if openAt >= 0 && openAt < horizon {
-			busy += horizon - openAt
-		}
-		util[pe] = float64(busy) / float64(horizon)
+		spans := subtractSpans(busySpans(evs, horizon), idleSpans(evs, horizon))
+		util[pe] = float64(totalSpans(spans)) / float64(horizon)
 	}
 	return util
 }
@@ -210,7 +283,11 @@ func (t *Tracer) Summary(horizon time.Duration) string {
 		return "trace: no data"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "trace: %d events over %v\n", t.Len(), horizon)
+	fmt.Fprintf(&b, "trace: %d events over %v", t.Len(), horizon)
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(&b, " (%d dropped by ring wrap)", d)
+	}
+	b.WriteByte('\n')
 	for pe, f := range u {
 		fmt.Fprintf(&b, "  PE %2d: %5.1f%% busy\n", pe, 100*f)
 	}

@@ -45,6 +45,7 @@ type Frame struct {
 	Class    Class  // app / system / control
 	Flags    uint16 // transform bookkeeping
 	Seq      uint64 // per-source sequence number (FIFO tie-break)
+	Trace    uint64 // causal trace ID of the carried message (0 = untraced)
 
 	// Body is the serialized payload; required for byte-level devices.
 	Body []byte
@@ -54,7 +55,7 @@ type Frame struct {
 
 const (
 	frameMagic   = 0x564d4931 // "VMI1"
-	headerLen    = 32
+	headerLen    = 40
 	maxFrameBody = 64 << 20 // defensive cap for decoding
 )
 
@@ -81,7 +82,8 @@ func (f *Frame) EncodeTo(w io.Writer) error {
 	binary.BigEndian.PutUint32(h[12:], uint32(f.Dst))
 	binary.BigEndian.PutUint32(h[16:], uint32(f.Prio))
 	binary.BigEndian.PutUint64(h[20:], f.Seq)
-	binary.BigEndian.PutUint32(h[28:], uint32(len(f.Body)))
+	binary.BigEndian.PutUint64(h[28:], f.Trace)
+	binary.BigEndian.PutUint32(h[36:], uint32(len(f.Body)))
 	if _, err := w.Write(h[:]); err != nil {
 		return fmt.Errorf("vmi: write header: %w", err)
 	}
@@ -106,7 +108,8 @@ func (f *Frame) AppendEncode(dst []byte) []byte {
 	binary.BigEndian.PutUint32(h[12:], uint32(f.Dst))
 	binary.BigEndian.PutUint32(h[16:], uint32(f.Prio))
 	binary.BigEndian.PutUint64(h[20:], f.Seq)
-	binary.BigEndian.PutUint32(h[28:], uint32(len(f.Body)))
+	binary.BigEndian.PutUint64(h[28:], f.Trace)
+	binary.BigEndian.PutUint32(h[36:], uint32(len(f.Body)))
 	dst = append(dst, h[:]...)
 	return append(dst, f.Body...)
 }
@@ -122,7 +125,7 @@ func (f *Frame) DecodeBytes(b []byte) ([]byte, error) {
 	if binary.BigEndian.Uint32(b[0:]) != frameMagic {
 		return b, ErrBadMagic
 	}
-	n := binary.BigEndian.Uint32(b[28:])
+	n := binary.BigEndian.Uint32(b[36:])
 	if n > maxFrameBody {
 		return b, ErrFrameTooLarge
 	}
@@ -135,6 +138,7 @@ func (f *Frame) DecodeBytes(b []byte) ([]byte, error) {
 	f.Dst = int32(binary.BigEndian.Uint32(b[12:]))
 	f.Prio = int32(binary.BigEndian.Uint32(b[16:]))
 	f.Seq = binary.BigEndian.Uint64(b[20:])
+	f.Trace = binary.BigEndian.Uint64(b[28:])
 	f.Obj = nil
 	if n == 0 {
 		f.Body = nil
@@ -213,7 +217,7 @@ func (fr *frameReader) Next(f *Frame) error {
 	if binary.BigEndian.Uint32(h[0:]) != frameMagic {
 		return ErrBadMagic
 	}
-	n := binary.BigEndian.Uint32(h[28:])
+	n := binary.BigEndian.Uint32(h[36:])
 	if n > maxFrameBody {
 		return ErrFrameTooLarge
 	}
@@ -246,7 +250,8 @@ func (f *Frame) DecodeFrom(r io.Reader) error {
 	f.Dst = int32(binary.BigEndian.Uint32(h[12:]))
 	f.Prio = int32(binary.BigEndian.Uint32(h[16:]))
 	f.Seq = binary.BigEndian.Uint64(h[20:])
-	n := binary.BigEndian.Uint32(h[28:])
+	f.Trace = binary.BigEndian.Uint64(h[28:])
+	n := binary.BigEndian.Uint32(h[36:])
 	if n > maxFrameBody {
 		return ErrFrameTooLarge
 	}

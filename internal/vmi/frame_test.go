@@ -11,7 +11,7 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	in := &Frame{
 		Src: 3, Dst: 17, Prio: -5, Class: ClassSystem, Flags: FlagChecksummed,
-		Seq: 123456789, Body: []byte("hello, grid"),
+		Seq: 123456789, Trace: 0x0001_0000_0000_002a, Body: []byte("hello, grid"),
 	}
 	var buf bytes.Buffer
 	if err := in.EncodeTo(&buf); err != nil {
@@ -51,8 +51,8 @@ func TestFrameRoundTripEmptyBody(t *testing.T) {
 // Property: encode/decode is the identity on header fields and body for
 // arbitrary frames.
 func TestFrameRoundTripProperty(t *testing.T) {
-	f := func(src, dst, prio int32, class uint8, flags uint16, seq uint64, body []byte) bool {
-		in := &Frame{Src: src, Dst: dst, Prio: prio, Class: Class(class), Flags: flags, Seq: seq, Body: body}
+	f := func(src, dst, prio int32, class uint8, flags uint16, seq, tr uint64, body []byte) bool {
+		in := &Frame{Src: src, Dst: dst, Prio: prio, Class: Class(class), Flags: flags, Seq: seq, Trace: tr, Body: body}
 		var buf bytes.Buffer
 		if err := in.EncodeTo(&buf); err != nil {
 			return false
@@ -64,7 +64,8 @@ func TestFrameRoundTripProperty(t *testing.T) {
 		if len(body) == 0 {
 			// nil and empty both decode to nil
 			return out.Src == src && out.Dst == dst && out.Prio == prio &&
-				out.Class == Class(class) && out.Flags == flags && out.Seq == seq && out.Body == nil
+				out.Class == Class(class) && out.Flags == flags && out.Seq == seq &&
+				out.Trace == tr && out.Body == nil
 		}
 		in.Obj = nil
 		return reflect.DeepEqual(*in, out)
@@ -90,7 +91,7 @@ func TestDecodeOversizedBody(t *testing.T) {
 	}
 	b := buf.Bytes()
 	// Corrupt the length field to something enormous.
-	b[28], b[29], b[30], b[31] = 0xFF, 0xFF, 0xFF, 0xFF
+	b[36], b[37], b[38], b[39] = 0xFF, 0xFF, 0xFF, 0xFF
 	var out Frame
 	if err := out.DecodeFrom(bytes.NewReader(b)); err != ErrFrameTooLarge {
 		t.Errorf("got %v, want ErrFrameTooLarge", err)
