@@ -17,6 +17,13 @@
 // node-to-node TCP traffic is the "wide area" path and carries the
 // configured injected latency.
 //
+// Migration and fault tolerance ride the PUP serialization layer: -lb
+// enables AtSync load balancing (migrations between nodes travel as
+// ordinary runtime messages over the same TCP chain), and -checkpoint /
+// -restart snapshot and restore the program across runs — each node
+// writes a partial checkpoint file, and a restart merges them, so the
+// restarted run may use a different PE or node count.
+//
 // Observability: -metrics serves the runtime's registry over HTTP
 // (Prometheus text at /metrics, JSON with ?format=json), and
 // -metrics-out writes a JSON snapshot of the same registry when the run
@@ -37,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"gridmdo/internal/balance"
 	"gridmdo/internal/core"
 	"gridmdo/internal/leanmd"
 	"gridmdo/internal/metrics"
@@ -50,11 +58,14 @@ import (
 type config struct {
 	node                  int
 	addrList, app         string
-	procs                 int
+	procs, split          int
 	latency               time.Duration
 	objects, width        int
 	cells, atoms          int
 	steps, warmup         int
+	lb                    string
+	lbPeriod              int
+	checkpoint, restart   string
 	reliable              bool
 	metricsAddr, snapshot string
 	traceOut              string
@@ -63,6 +74,11 @@ type config struct {
 	// onMetrics, when non-nil, receives the bound metrics address once the
 	// endpoint is listening (tests scrape it during a live run).
 	onMetrics func(addr string)
+	// onRuntime, when non-nil, receives the runtime right after
+	// construction (tests inspect Locations before and after the run).
+	onRuntime func(rt *core.Runtime)
+	// onResult, when non-nil, receives node 0's program result.
+	onResult func(v any)
 }
 
 func main() {
@@ -78,6 +94,11 @@ func main() {
 	flag.IntVar(&cfg.atoms, "atoms", 8, "leanmd: atoms per cell")
 	flag.IntVar(&cfg.steps, "steps", 10, "time steps")
 	flag.IntVar(&cfg.warmup, "warmup", 3, "warmup steps")
+	flag.IntVar(&cfg.split, "split", 0, "PE index where cluster 1 begins (unequal co-allocations; 0 = procs/2)")
+	flag.StringVar(&cfg.lb, "lb", "", "AtSync load balancing: greedy|refine|grid (stencil only)")
+	flag.IntVar(&cfg.lbPeriod, "lb-period", 0, "balance every N steps (0: one round at steps/2)")
+	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "write this node's checkpoint to <prefix>.node<N> when the run completes")
+	flag.StringVar(&cfg.restart, "restart", "", "restore program state from <prefix>.node* (or a single merged file) before running")
 	flag.BoolVar(&cfg.reliable, "reliable", false, "interpose the end-to-end reliability layer over TCP")
 	flag.StringVar(&cfg.metricsAddr, "metrics", "", "serve the metrics registry over HTTP on this address (e.g. 127.0.0.1:9300)")
 	flag.StringVar(&cfg.snapshot, "metrics-out", "", "write a JSON metrics snapshot to this file when the run completes")
@@ -87,6 +108,20 @@ func main() {
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "gridnode: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// strategyByName resolves a -lb flag value to a balancing strategy.
+func strategyByName(name string) (core.Strategy, error) {
+	switch name {
+	case "greedy":
+		return balance.Greedy{}, nil
+	case "refine":
+		return balance.Refine{}, nil
+	case "grid":
+		return balance.Grid{}, nil
+	default:
+		return nil, fmt.Errorf("unknown -lb strategy %q (want greedy, refine, or grid)", name)
 	}
 }
 
@@ -100,11 +135,27 @@ func buildProgram(cfg config) (*core.Program, error) {
 		if v*v != cfg.objects {
 			return nil, fmt.Errorf("objects=%d is not a perfect square", cfg.objects)
 		}
-		return stencil.BuildProgram(&stencil.Params{
+		p := &stencil.Params{
 			Width: cfg.width, Height: cfg.width, VX: v, VY: v,
 			Steps: cfg.steps, Warmup: cfg.warmup,
-		})
+		}
+		if cfg.lb != "" {
+			s, err := strategyByName(cfg.lb)
+			if err != nil {
+				return nil, err
+			}
+			p.LB = s
+			if cfg.lbPeriod > 0 {
+				p.LBEvery = cfg.lbPeriod
+			} else {
+				p.LBAtStep = cfg.steps / 2
+			}
+		}
+		return stencil.BuildProgram(p)
 	case "leanmd":
+		if cfg.lb != "" {
+			return nil, fmt.Errorf("-lb supports -app stencil only")
+		}
 		p := leanmd.DefaultParams()
 		p.NX, p.NY, p.NZ = cfg.cells, cfg.cells, cfg.cells
 		p.AtomsPerCell = cfg.atoms
@@ -130,13 +181,34 @@ func run(cfg config) error {
 	}
 	perNode := cfg.procs / nodes
 
-	topo, err := topology.TwoClusters(cfg.procs, cfg.latency)
+	// The cluster boundary defaults to an even split (the paper's
+	// two-cluster machine) but -split models unequal co-allocations, where
+	// one site contributes more PEs than the other and the wide-area
+	// boundary no longer coincides with a process boundary.
+	split := cfg.split
+	if split == 0 {
+		split = cfg.procs / 2
+	}
+	if split <= 0 || split >= cfg.procs {
+		return fmt.Errorf("split=%d out of range for %d PEs", split, cfg.procs)
+	}
+	topo, err := topology.New([]int{split, cfg.procs - split}, topology.WithInterLatency(cfg.latency))
 	if err != nil {
 		return err
 	}
 	prog, err := buildProgram(cfg)
 	if err != nil {
 		return err
+	}
+	if cfg.restart != "" {
+		ck, err := readCheckpoint(cfg.restart)
+		if err != nil {
+			return err
+		}
+		if err := ck.Install(prog); err != nil {
+			return fmt.Errorf("restart: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "gridnode %d: restored checkpoint %s\n", cfg.node, cfg.restart)
 	}
 
 	addrMap := make(map[int]string, nodes)
@@ -194,6 +266,9 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	if cfg.onRuntime != nil {
+		cfg.onRuntime(rt)
+	}
 	// Trace timestamps are relative to the runtime epoch; record it so
 	// gridtrace can re-base snapshots from separately started processes.
 	art.start = rt.Epoch()
@@ -226,7 +301,21 @@ func run(cfg config) error {
 		return err
 	}
 
+	if cfg.checkpoint != "" {
+		// Each node snapshots the elements it hosts; a restart merges the
+		// per-node partial files back into one complete checkpoint, so the
+		// restarted run may use a different PE or node count.
+		path := fmt.Sprintf("%s.node%d", cfg.checkpoint, cfg.node)
+		if err := writeCheckpoint(path, rt); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "gridnode %d: wrote checkpoint %s\n", cfg.node, path)
+	}
+
 	if cfg.node == 0 {
+		if cfg.onResult != nil {
+			cfg.onResult(v)
+		}
 		switch res := v.(type) {
 		case *stencil.Result:
 			fmt.Printf("stencil: per-step %v, total %v, checksum %.6f\n", res.PerStep, res.Total, res.Checksum)
@@ -299,6 +388,65 @@ func (a *artifacts) writeTrace() error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeCheckpoint snapshots this node's share of the program state (a
+// partial checkpoint on multi-process runs) to path through the PUP layer.
+func writeCheckpoint(path string, rt *core.Runtime) error {
+	ck, err := rt.Checkpoint()
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ck.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readCheckpoint loads a checkpoint for -restart: every <prefix>.node*
+// partial file merged by element index, or — when no per-node files exist
+// — the prefix itself as a single complete checkpoint. The node count of
+// the writing run does not need to match this one; placement is recomputed
+// at install time.
+func readCheckpoint(prefix string) (*core.Checkpoint, error) {
+	paths, err := filepath.Glob(prefix + ".node*")
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		paths = []string{prefix}
+	}
+	parts := make([]*core.Checkpoint, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		ck, err := core.DecodeCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		parts = append(parts, ck)
+	}
+	if len(parts) == 1 && !parts[0].Partial {
+		return parts[0], nil
+	}
+	ck, err := core.MergeCheckpoints(parts...)
+	if err != nil {
+		return nil, fmt.Errorf("merge %d checkpoint files under %s: %w", len(parts), prefix, err)
+	}
+	return ck, nil
 }
 
 // watchSignals flushes the artifacts and exits with the conventional

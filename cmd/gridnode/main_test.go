@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -13,7 +14,9 @@ import (
 	"testing"
 	"time"
 
+	"gridmdo/internal/core"
 	"gridmdo/internal/metrics"
+	"gridmdo/internal/stencil"
 	"gridmdo/internal/trace"
 )
 
@@ -170,6 +173,193 @@ func scrapeText(addr string) (string, error) {
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	return string(b), err
+}
+
+// runPair runs a two-node gridnode in-process (node 1 as worker) and
+// returns node 0's program result. mod, when non-nil, adjusts each node's
+// config before launch.
+func runPair(t *testing.T, base config, mod func(node int, c *config)) any {
+	t.Helper()
+	base.addrList = freePort(t) + "," + freePort(t)
+	resCh := make(chan any, 1)
+	errs := make(chan error, 2)
+	for n := 1; n >= 0; n-- {
+		cfg := base
+		cfg.node = n
+		if n == 0 {
+			cfg.onResult = func(v any) { resCh <- v }
+		}
+		if mod != nil {
+			mod(n, &cfg)
+		}
+		go func() { errs <- run(cfg) }()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(120 * time.Second):
+			t.Fatal("gridnode run never finished")
+		}
+	}
+	select {
+	case v := <-resCh:
+		return v
+	default:
+		t.Fatal("node 0 produced no result")
+		return nil
+	}
+}
+
+// TestGridnodeGridLBMigratesAcrossProcesses is the -lb acceptance run: a
+// two-process stencil with an unequal cluster split (-split 3, so cluster
+// 0 spans both processes) must complete a grid-aware balancing round in
+// which elements migrate across the process boundary, with both nodes'
+// location tables agreeing afterwards. The grid strategy never migrates
+// across the WAN, so every move stays within cluster 0 — and the ones
+// that land on the far side of the node boundary travel the same
+// TCP chain as application messages.
+func TestGridnodeGridLBMigratesAcrossProcesses(t *testing.T) {
+	const (
+		procs   = 4
+		objects = 16
+		perNode = 2
+	)
+	base := config{
+		app:     "stencil",
+		procs:   procs,
+		split:   3, // cluster 0 = PEs {0,1,2}: spans node 0 ({0,1}) and node 1 ({2,3})
+		latency: time.Millisecond,
+		objects: objects, width: 128,
+		steps: 8, warmup: 1,
+		lb: "grid",
+	}
+	snapshot := filepath.Join(t.TempDir(), "metrics.json")
+
+	var rts [2]*core.Runtime
+	var initial [2][]int32
+	v := runPair(t, base, func(node int, c *config) {
+		if node == 0 {
+			c.snapshot = snapshot
+		}
+		c.onRuntime = func(rt *core.Runtime) {
+			rts[node] = rt
+			pes := make([]int32, objects)
+			for i := range pes {
+				pes[i] = rt.Locations().PEOf(core.ElemRef{Array: 0, Index: i})
+			}
+			initial[node] = pes
+		}
+	})
+	res, ok := v.(*stencil.Result)
+	if !ok {
+		t.Fatalf("result = %T, want *stencil.Result", v)
+	}
+	if res.Checksum == 0 {
+		t.Error("run produced a zero checksum")
+	}
+
+	// The balancer ran at least one round with migrations (counters live
+	// on the node hosting PE 0).
+	data, err := os.ReadFile(snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if rounds := snap.Value("core_lb_rounds_total"); rounds < 1 {
+		t.Errorf("core_lb_rounds_total = %d, want >= 1", rounds)
+	}
+	if moves := snap.Value("core_lb_moves_total"); moves < 1 {
+		t.Errorf("core_lb_moves_total = %d, want >= 1", moves)
+	}
+
+	// Location tables: both processes agree, and at least one element
+	// crossed the node boundary.
+	nodeOf := func(pe int32) int { return int(pe) / perNode }
+	crossed := 0
+	for i := 0; i < objects; i++ {
+		ref := core.ElemRef{Array: 0, Index: i}
+		pe0, pe1 := rts[0].Locations().PEOf(ref), rts[1].Locations().PEOf(ref)
+		if pe0 != pe1 {
+			t.Errorf("element %d: node 0 places it on PE %d, node 1 on PE %d", i, pe0, pe1)
+		}
+		if initial[0][i] != initial[1][i] {
+			t.Errorf("element %d: initial placement disagrees across nodes (%d vs %d)", i, initial[0][i], initial[1][i])
+		}
+		if nodeOf(initial[0][i]) != nodeOf(pe0) {
+			crossed++
+		}
+	}
+	if crossed == 0 {
+		t.Error("no element migrated across the process boundary")
+	}
+	t.Logf("%d of %d elements crossed the process boundary", crossed, objects)
+}
+
+// TestGridnodeCheckpointRestartDifferentPEs is the fault-tolerance
+// acceptance run: a 4-PE two-process stencil writes per-node partial
+// checkpoints; a 2-PE two-process restart merges them and must reproduce
+// the verification checksum bit-identically versus a straight 2-PE run.
+// (With two blocks per PE and two nodes, every reduction fold site
+// combines exactly two values, and IEEE-754 addition is commutative, so
+// both 2-PE checksums are bit-deterministic; bitwise equality therefore
+// proves the PUP round-trip preserved the field exactly.)
+func TestGridnodeCheckpointRestartDifferentPEs(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "ck")
+	base := config{
+		app:     "stencil",
+		latency: time.Millisecond,
+		objects: 4, width: 64,
+		steps: 6, warmup: 0,
+	}
+
+	checksum := func(v any) float64 {
+		t.Helper()
+		res, ok := v.(*stencil.Result)
+		if !ok {
+			t.Fatalf("result = %T, want *stencil.Result", v)
+		}
+		return res.Checksum
+	}
+
+	// Run A: 4 PEs across two processes, checkpointing at completion.
+	a := base
+	a.procs = 4
+	a.checkpoint = prefix
+	sumA := checksum(runPair(t, a, nil))
+	for n := 0; n < 2; n++ {
+		if _, err := os.Stat(fmt.Sprintf("%s.node%d", prefix, n)); err != nil {
+			t.Fatalf("missing checkpoint part: %v", err)
+		}
+	}
+
+	// Run B: restart the merged checkpoint on 2 PEs (different PE count,
+	// different placement). Restored blocks have completed all steps, so
+	// the run reports the restored field's checksum.
+	b := base
+	b.procs = 2
+	b.restart = prefix
+	sumB := checksum(runPair(t, b, nil))
+
+	// Run C: the same program straight through on 2 PEs.
+	c := base
+	c.procs = 2
+	sumC := checksum(runPair(t, c, nil))
+
+	if math.Float64bits(sumB) != math.Float64bits(sumC) {
+		t.Errorf("restart checksum %x (%.17g) != straight-run checksum %x (%.17g)",
+			math.Float64bits(sumB), sumB, math.Float64bits(sumC), sumC)
+	}
+	// The 4-PE run folds four root partials in arrival order, so it is
+	// only guaranteed equal up to association of the float64 sums.
+	if diff := math.Abs(sumA - sumB); diff > 1e-9*math.Abs(sumB) {
+		t.Errorf("4-PE checksum %.17g differs from restored checksum %.17g by %g", sumA, sumB, diff)
+	}
 }
 
 // TestSignalFlushWritesArtifacts drives the signal path with a fake

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "figure3|figure4|table1|table2|ablations|classes|sdsc|irregular|all")
+		experiment   = flag.String("experiment", "all", "figure3|figure4|table1|table2|ablations|gridlb-tcp|classes|sdsc|irregular|all")
 		fast         = flag.Bool("fast", false, "use the scaled-down fast profile")
 		skipRealtime = flag.Bool("skip-realtime", false, "skip wall-clock (host) columns in tables 1 and 2")
 		csvDir       = flag.String("csv", "", "also write CSV files into this directory")
@@ -134,6 +134,13 @@ func main() {
 				}
 				return writeCSV(*csvDir, "ablation_virtualization.csv", virt.CSV)
 			}
+		case "gridlb-tcp":
+			tbl, err := bench.GridLBTCP(progress, profile)
+			if err != nil {
+				return err
+			}
+			csvName = "gridlb_tcp.csv"
+			render = func() error { tbl.Render(os.Stdout); return writeCSV(*csvDir, csvName, tbl.CSV) }
 		case "classes":
 			tbl, err := bench.Classes(progress, profile)
 			if err != nil {
@@ -167,7 +174,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"figure3", "table1", "figure4", "table2", "ablations", "classes", "sdsc", "irregular"}
+		names = []string{"figure3", "table1", "figure4", "table2", "ablations", "gridlb-tcp", "classes", "sdsc", "irregular"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

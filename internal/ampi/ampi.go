@@ -73,12 +73,14 @@ type yieldKind uint8
 const (
 	yBlocked yieldKind = iota
 	yDone
+	ySync // parked in Comm.AtSync awaiting the load-balancing round
 )
 
 // Comm is a rank's communicator handle. It is valid only within the
 // rank's main function (and on the rank's goroutine).
 type Comm struct {
 	rank, size int
+	migratable bool // built with BuildMigratableProgram
 
 	ctx     *core.Ctx // valid while this rank holds the execution slot
 	inbox   []*pkt
@@ -87,7 +89,22 @@ type Comm struct {
 	resume chan *pkt
 	yield  chan yieldKind
 
+	resumeSync chan struct{} // local resume after an AtSync round
+	evicted    chan struct{} // closed when the balancer migrates this rank away
+
 	met *ampiMetrics // shared across the program's ranks; never nil
+}
+
+// newComm builds a rank's communicator handle.
+func newComm(rank, size int, met *ampiMetrics) *Comm {
+	return &Comm{
+		rank: rank, size: size,
+		resume:     make(chan *pkt),
+		yield:      make(chan yieldKind),
+		resumeSync: make(chan struct{}),
+		evicted:    make(chan struct{}),
+		met:        met,
+	}
 }
 
 // Rank reports this rank's index.
@@ -160,8 +177,12 @@ func (c *Comm) Sendrecv(dst, sendTag int, data any, src, recvTag int) (any, Stat
 // rankChare is the array element hosting one rank thread.
 type rankChare struct {
 	comm *Comm
-	main func(*Comm)
-	done bool
+	main func(*Comm)     // plain rank body (BuildProgram)
+	mig  *MigratableMain // migratable rank body; nil for plain programs
+	st   core.PUPable    // user rank state (migratable programs only)
+
+	done   bool
+	parked bool // rank goroutine suspended in AtSync on this PE
 }
 
 // Recv implements core.Chare: it runs on the scheduler and trampolines
@@ -171,14 +192,18 @@ func (r *rankChare) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
 	c.ctx = ctx // the Ctx is handler-scoped; refresh it each delivery
 	switch entry {
 	case entryBoot:
-		go func() {
-			r.main(c)
-			// Completion: contribute to the finalize reduction while the
-			// rank still holds the execution slot, then release it.
-			c.ctx.Contribute(1.0, core.OpSum)
-			c.yield <- yDone
-		}()
-		r.wait()
+		r.boot()
+	case core.EntryResumeFromSync:
+		if r.parked {
+			// The rank stayed put: wake the goroutine inside AtSync.
+			r.parked = false
+			c.resumeSync <- struct{}{}
+			r.wait()
+			return
+		}
+		// Freshly migrated in: no goroutine exists on this PE. Re-enter
+		// the rank body from the top with the unpacked state.
+		r.boot()
 	case entryMsg:
 		p := data.(pkt)
 		if r.done {
@@ -197,16 +222,40 @@ func (r *rankChare) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
 	}
 }
 
-// wait parks the scheduler until the rank blocks or finishes.
+// boot launches the rank goroutine and parks the scheduler until it
+// blocks, syncs, or finishes. A migratable rank may boot more than once
+// over the array element's logical lifetime: once at program start and
+// once on each PE it migrates to, re-entering Run with the restored state.
+func (r *rankChare) boot() {
+	c := r.comm
+	go func() {
+		if r.mig != nil {
+			r.mig.Run(c, r.st)
+		} else {
+			r.main(c)
+		}
+		// Completion: contribute to the finalize reduction while the
+		// rank still holds the execution slot, then release it.
+		c.ctx.Contribute(1.0, core.OpSum)
+		c.yield <- yDone
+	}()
+	r.wait()
+}
+
+// wait parks the scheduler until the rank blocks, syncs, or finishes.
 func (r *rankChare) wait() {
-	if <-r.comm.yield == yDone {
+	switch <-r.comm.yield {
+	case yDone:
 		r.done = true
+	case ySync:
+		r.parked = true
 	}
 }
 
 // BuildProgram wraps an MPI-style main into a runnable core.Program with
 // n ranks. The program exits (with nil) when every rank's main returns.
 // Options (e.g. WithMetrics) configure the layer for the whole program.
+// Ranks built this way cannot migrate; see BuildMigratableProgram.
 func BuildProgram(n int, main func(*Comm), opts ...Option) (*core.Program, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("ampi: %d ranks", n)
@@ -214,6 +263,13 @@ func BuildProgram(n int, main func(*Comm), opts ...Option) (*core.Program, error
 	if main == nil {
 		return nil, fmt.Errorf("ampi: nil main")
 	}
+	return buildProgram(n, func(i int, met *ampiMetrics) *rankChare {
+		return &rankChare{main: main, comm: newComm(i, n, met)}
+	}, opts)
+}
+
+// buildProgram assembles the rank array shared by both program builders.
+func buildProgram(n int, newRank func(i int, met *ampiMetrics) *rankChare, opts []Option) (*core.Program, error) {
 	var o options
 	for _, f := range opts {
 		if f != nil {
@@ -224,17 +280,7 @@ func BuildProgram(n int, main func(*Comm), opts ...Option) (*core.Program, error
 	prog := &core.Program{
 		Arrays: []core.ArraySpec{{
 			ID: 0, N: n,
-			New: func(i int) core.Chare {
-				return &rankChare{
-					main: main,
-					comm: &Comm{
-						rank: i, size: n,
-						resume: make(chan *pkt),
-						yield:  make(chan yieldKind),
-						met:    met,
-					},
-				}
-			},
+			New: func(i int) core.Chare { return newRank(i, met) },
 		}},
 		Start: func(ctx *core.Ctx) {
 			for i := 0; i < n; i++ {
@@ -244,6 +290,9 @@ func BuildProgram(n int, main func(*Comm), opts ...Option) (*core.Program, error
 		OnReduction: func(ctx *core.Ctx, a core.ArrayID, seq int64, v any) {
 			ctx.ExitWith(v)
 		},
+	}
+	if o.lb != nil {
+		prog.LB = &core.LBConfig{Arrays: []core.ArrayID{0}, Strategy: o.lb}
 	}
 	return prog, nil
 }

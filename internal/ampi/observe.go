@@ -1,6 +1,9 @@
 package ampi
 
-import "gridmdo/internal/metrics"
+import (
+	"gridmdo/internal/core"
+	"gridmdo/internal/metrics"
+)
 
 // Option configures BuildProgram, mirroring the runtime's functional
 // construction options.
@@ -8,6 +11,7 @@ type Option func(*options)
 
 type options struct {
 	reg *metrics.Registry
+	lb  core.Strategy
 }
 
 // WithMetrics registers the AMPI layer's series on reg: ranks blocked in
@@ -15,6 +19,13 @@ type options struct {
 // sent. All ranks of the program share one handle set.
 func WithMetrics(reg *metrics.Registry) Option {
 	return func(o *options) { o.reg = reg }
+}
+
+// WithLB enables AtSync load balancing of the rank array under the given
+// strategy. Meaningful only with BuildMigratableProgram, whose ranks can
+// reach the barrier (via Comm.AtSync) and be packed for migration.
+func WithLB(s core.Strategy) Option {
+	return func(o *options) { o.lb = s }
 }
 
 // ampiMetrics is the layer's shared handle set. The zero value (all nil

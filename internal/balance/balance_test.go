@@ -310,6 +310,10 @@ type funcChare func(ctx *core.Ctx, entry core.EntryID, data any)
 
 func (f funcChare) Recv(ctx *core.Ctx, entry core.EntryID, data any) { f(ctx, entry, data) }
 
+// PUP implements core.Migratable with no state, so the balancers can
+// migrate funcChare elements in integration tests.
+func (f funcChare) PUP(*core.PUP) {}
+
 // TestGreedyEndToEndImprovesMakespan runs a deliberately imbalanced
 // program through an AtSync round on the virtual-time engine and checks
 // the post-balance phase is faster than the pre-balance phase.

@@ -309,6 +309,38 @@ func TestClassesTaxonomy(t *testing.T) {
 	}
 }
 
+// TestGridLBTCPExperiment exercises the two-process grid-LB experiment:
+// the balancing round (stats, PUP'd evict/arrive payloads, resume) runs
+// over real TCP sockets between the two runtimes, and spreading each
+// cluster's squeezed blocks across its idle PEs should not make steps
+// slower.
+func TestGridLBTCPExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	p := FastProfile()
+	p.Stencil.Width, p.Stencil.Height = 256, 256
+	p.Stencil.Steps, p.Stencil.Warmup = 8, 3
+	tbl, err := GridLBTCP(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("gridlb-tcp rows = %d", len(tbl.Rows))
+	}
+	var none, grid float64
+	fmt.Sscanf(tbl.Rows[0][3], "%f", &none)
+	fmt.Sscanf(tbl.Rows[0][4], "%f", &grid)
+	if none <= 0 || grid <= 0 {
+		t.Fatalf("non-positive per-step times in %v", tbl.Rows[0])
+	}
+	// Wall-clock, so allow slack — but one balancing round onto twice the
+	// PEs must not cost half-again the per-step time.
+	if grid > none*1.5 {
+		t.Errorf("grid LB per-step %.3fms much worse than none %.3fms", grid, none)
+	}
+}
+
 // TestStencilTCPAgreesWithDelayDevice is the miniature Table-1 agreement
 // criterion: the TCP pathway and the in-process delay device should give
 // similar per-step times for the same configuration.

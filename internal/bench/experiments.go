@@ -271,6 +271,68 @@ func AblationGridLB(w io.Writer, p Profile) (*Table, error) {
 	return t, nil
 }
 
+// GridLBTCP is the two-process companion of AblationGridLB: the same
+// half-empty placement (each cluster's blocks squeezed onto half its
+// PEs), but hosted as two runtimes joined by real TCP sockets with the
+// delay device supplying the WAN flight time, wall-clock measured. The
+// balancing round itself runs over the wire — stats, evict/arrive PUP
+// payloads, and resume all ride KindLB messages through the Reliable/TCP
+// chain — so the table shows measurement-based balancing working in the
+// actual N-process deployment, not just the virtual-time model.
+func GridLBTCP(w io.Writer, p Profile) (*Table, error) {
+	t := &Table{
+		Title:  "Grid LB across two processes (stencil over real TCP, ms/step)",
+		Header: []string{"Procs", "Objects", "Latency", "none", "grid"},
+	}
+	const procs, objects = 4, 64
+	lat := 3 * time.Millisecond
+
+	run := func(strategy core.Strategy) (time.Duration, error) {
+		sp, err := p.Stencil.params(objects, false)
+		if err != nil {
+			return 0, err
+		}
+		// Same squeeze as AblationGridLB: locality-preserving columns, but
+		// only every other PE, leaving half of each cluster idle.
+		sp.InitialMap = func(i, numPE int) int {
+			pe := core.BlockMap(i, objects, numPE)
+			half := numPE / 2
+			if pe < half {
+				return pe / 2
+			}
+			return half + (pe-half)/2
+		}
+		if strategy != nil {
+			sp.LB = strategy
+			sp.LBAtStep = 2
+			// Time only the post-balance phase.
+			if sp.Warmup <= 2 {
+				sp.Warmup = 3
+			}
+		}
+		res, err := StencilTCPParams(sp, procs, lat, p.rtOpts()...)
+		if err != nil {
+			return 0, err
+		}
+		return res.PerStep, nil
+	}
+	none, err := run(nil)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := run(balance.Grid{})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("%d", procs), fmt.Sprintf("%d", objects), lat.String(),
+		fmt.Sprintf("%.3f", ms(none)),
+		fmt.Sprintf("%.3f", ms(grid)),
+	})
+	progress(w, "gridlb-tcp done\n")
+	return t, nil
+}
+
 // AblationHetero runs the stencil on a heterogeneous co-allocation —
 // cluster 1's processors at half speed, as when one site's hardware is a
 // generation older — and compares balancing strategies. The grid-aware

@@ -141,6 +141,19 @@ func StencilTCP(cfg StencilConfig, procs, objects int, lat time.Duration, opts .
 	return v.(*stencil.Result), nil
 }
 
+// StencilTCPParams runs the stencil across the two TCP-joined runtimes
+// from explicit stencil parameters — the two-process counterpart of
+// StencilSimParams, used by experiments that tweak placement or load
+// balancing and want real sockets under the migration traffic.
+func StencilTCPParams(p *stencil.Params, procs int, lat time.Duration, opts ...core.Option) (*stencil.Result, error) {
+	mk := func() (*core.Program, error) { return stencil.BuildProgram(p) }
+	v, err := runTwoNodeTCP(procs, lat, mk, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*stencil.Result), nil
+}
+
 func (c MDConfig) params(model bool) *leanmd.Params {
 	p := leanmd.DefaultParams()
 	p.NX, p.NY, p.NZ = c.NX, c.NY, c.NZ

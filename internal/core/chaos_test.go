@@ -398,6 +398,183 @@ func TestChaosPingPongExactlyOnce(t *testing.T) {
 	}
 }
 
+// swapStrategy moves every element to the other PE of a two-PE machine —
+// the smallest plan in which both evict→arrive legs cross the process
+// boundary (and, on TwoClusters(2), the WAN).
+type swapStrategy struct{}
+
+func (swapStrategy) Name() string { return "swap" }
+func (swapStrategy) Plan(stats *core.LBStats) []core.Move {
+	var moves []core.Move
+	for _, e := range stats.Elems {
+		moves = append(moves, core.Move{Ref: e.Ref, ToPE: 1 - e.PE})
+	}
+	return moves
+}
+
+// migPing is a migratable ping-pong element: the counter exchange of
+// pingChare plus an AtSync barrier at syncVal, after which the balancer
+// swaps both elements across the node boundary. Pending — the value to
+// send when the balancing round resumes — is the element's only PUP
+// state; the recorder tracks values and PEs for the test's assertions.
+type migPing struct {
+	rec            *migPingRecorder
+	limit, syncVal int
+	Pending        int // value to send at ResumeFromSync; -1 = none
+}
+
+type migPingRecorder struct {
+	mu   sync.Mutex
+	vals map[int][]int // element index -> values received, in order
+	pes  map[int][]int // element index -> PE that processed each value
+}
+
+func (c *migPing) PUP(p *core.PUP) { p.Int(&c.Pending) }
+
+func (c *migPing) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
+	idx := ctx.Elem().Index
+	if entry == core.EntryResumeFromSync {
+		if c.Pending >= 0 {
+			v := c.Pending
+			c.Pending = -1
+			ctx.Send(core.ElemRef{Array: 0, Index: 1 - idx}, 0, v)
+		}
+		return
+	}
+	n := data.(int)
+	c.rec.mu.Lock()
+	c.rec.vals[idx] = append(c.rec.vals[idx], n)
+	c.rec.pes[idx] = append(c.rec.pes[idx], ctx.PE())
+	c.rec.mu.Unlock()
+	switch {
+	case n >= c.limit:
+		ctx.ExitWith(n)
+	case n == c.syncVal:
+		// Hold the reply across the balancing round; everything sent to
+		// this element has been received, so it is safe to pack.
+		c.Pending = n + 1
+		ctx.AtSync()
+	default:
+		ctx.Send(core.ElemRef{Array: 0, Index: 1 - idx}, 0, n+1)
+		if n+1 == c.syncVal {
+			// This element's part of the exchange is done until the round
+			// completes: enter the barrier with nothing pending.
+			ctx.AtSync()
+		}
+	}
+}
+
+// TestChaosLBMigrationExactlyOnce is the migration acceptance run: a
+// balancing round that swaps both elements across the two-process (and
+// WAN) boundary completes under seeded drops repaired by the reliability
+// layer, every message before and after the swap is delivered exactly
+// once and in order, and both nodes' location tables agree on the new
+// placement.
+func TestChaosLBMigrationExactlyOnce(t *testing.T) {
+	seed := coreChaosSeed(t)
+	core.RegisterPayload(int(0))
+	topo, err := topology.TwoClusters(2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// limit odd: the final value lands on element 1, which the swap moved
+	// to PE 0, so the exchange ends on the coordinator node. syncVal odd
+	// for the same reason — element 1 receives it and holds the reply.
+	const limit, syncVal = 41, 21
+	rec := &migPingRecorder{vals: make(map[int][]int), pes: make(map[int][]int)}
+	mkProg := func() *core.Program {
+		return &core.Program{
+			Arrays: []core.ArraySpec{{
+				ID: 0, N: 2,
+				New: func(i int) core.Chare {
+					return &migPing{rec: rec, limit: limit, syncVal: syncVal, Pending: -1}
+				},
+			}},
+			Start: func(ctx *core.Ctx) { ctx.Send(core.ElemRef{Array: 0, Index: 0}, 0, 0) },
+			LB:    &core.LBConfig{Arrays: []core.ArrayID{0}, Strategy: swapStrategy{}},
+		}
+	}
+	fd0 := vmi.NewFaultDevice(seed, vmi.FaultPlan{Drop: 0.1})
+	fd1 := vmi.NewFaultDevice(seed+1, vmi.FaultPlan{Drop: 0.1})
+	defer fd0.Close()
+	defer fd1.Close()
+	cfg := [2]vmi.ReliableConfig{
+		{RTO: 5 * time.Millisecond},
+		{RTO: 5 * time.Millisecond},
+	}
+	h := buildTwoNodes(t, topo, mkProg, &cfg, [2][]vmi.SendDevice{{fd0}, {fd1}})
+	v, err := h.run(t, 60*time.Second)
+	if err != nil {
+		t.Fatalf("chaos LB migration run failed (seed %d): %v", seed, err)
+	}
+	if v.(int) != limit {
+		t.Errorf("final value = %v, want %d", v, limit)
+	}
+
+	// Exactly-once, in-order delivery around the migration: element 0 saw
+	// exactly 0,2,...,40, element 1 exactly 1,3,...,41, and each element's
+	// processing PE flipped exactly once, at the balancing round.
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for idx, first := range map[int]int{0: 0, 1: 1} {
+		var want []int
+		for v := first; v <= limit; v += 2 {
+			want = append(want, v)
+		}
+		got := rec.vals[idx]
+		if len(got) != len(want) {
+			t.Fatalf("element %d received %d values, want %d (seed %d): %v", idx, len(got), len(want), seed, got)
+		}
+		flips := 0
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("element %d value %d = %d, want %d (seed %d)", idx, i, got[i], want[i], seed)
+			}
+			if got[i] <= syncVal && rec.pes[idx][i] != idx {
+				t.Errorf("element %d processed pre-sync value %d on PE %d, want %d", idx, got[i], rec.pes[idx][i], idx)
+			}
+			if got[i] > syncVal+1 && rec.pes[idx][i] != 1-idx {
+				t.Errorf("element %d processed post-sync value %d on PE %d, want %d", idx, got[i], rec.pes[idx][i], 1-idx)
+			}
+			if i > 0 && rec.pes[idx][i] != rec.pes[idx][i-1] {
+				flips++
+			}
+		}
+		if flips != 1 {
+			t.Errorf("element %d changed PE %d times, want exactly once: %v", idx, flips, rec.pes[idx])
+		}
+	}
+
+	// Both processes agree the elements swapped.
+	for i := 0; i < 2; i++ {
+		ref := core.ElemRef{Array: 0, Index: i}
+		pe0, pe1 := h.rts[0].Locations().PEOf(ref), h.rts[1].Locations().PEOf(ref)
+		if pe0 != pe1 {
+			t.Errorf("element %d: node 0 places it on PE %d, node 1 on PE %d", i, pe0, pe1)
+		}
+		if int(pe0) != 1-i {
+			t.Errorf("element %d on PE %d after the swap, want PE %d", i, pe0, 1-i)
+		}
+	}
+
+	// The counters prove one round with two migrations, repaired drops
+	// underneath.
+	if v := h.regs[0].Snapshot().Value("core_lb_rounds_total"); v != 1 {
+		t.Errorf("core_lb_rounds_total = %d, want 1", v)
+	}
+	if v := h.regs[0].Snapshot().Value("core_lb_moves_total"); v != 2 {
+		t.Errorf("core_lb_moves_total = %d, want 2", v)
+	}
+	if fd0.Stats().Dropped+fd1.Stats().Dropped == 0 {
+		t.Error("chaos schedule dropped nothing; the run proved nothing")
+	}
+	rel := [2]vmi.ReliableStats{h.stacks[0].Reliable().Stats(), h.stacks[1].Reliable().Stats()}
+	if rel[0].Retransmits+rel[1].Retransmits == 0 {
+		t.Error("drops produced zero retransmits; the reliability layer never repaired anything")
+	}
+	t.Logf("faults 0→1: %+v, 1→0: %+v; repairs: %+v / %+v", fd0.Stats(), fd1.Stats(), rel[0], rel[1])
+}
+
 // sinkChare counts one-directional deliveries for the metrics
 // consistency run.
 type sinkChare struct{ got *atomic.Int64 }

@@ -13,8 +13,10 @@ import (
 // set of processors used by a parallel job", §2.1 of the paper; element
 // placement is recomputed from the array's Map for the new machine).
 //
-// Elements of checkpointed arrays must implement Migratable, and their
-// ArraySpec must provide Restore.
+// Elements of checkpointed arrays must implement Migratable — the same
+// PUP method that serves load-balancer migration. A multi-process runtime
+// produces a partial checkpoint covering its local PEs; the per-node
+// parts are merged by element index with MergeCheckpoints before Install.
 
 // ElemState is one element's serialized state.
 type ElemState struct {
@@ -29,28 +31,37 @@ type ArrayState struct {
 	Elems []ElemState
 }
 
-// Checkpoint is a whole-program snapshot.
+// Checkpoint is a program snapshot. Partial marks a single node's share
+// of a multi-process run; partial checkpoints must be merged with
+// MergeCheckpoints before they can be installed.
 type Checkpoint struct {
-	Arrays []ArrayState
+	Arrays  []ArrayState
+	Partial bool
 }
 
 // Checkpoint snapshots all elements hosted by this runtime. It must be
-// called after Run has returned (the quiescent point); a multi-process
-// runtime would capture only the local PEs and is rejected.
+// called after Run has returned (the quiescent point). On a multi-process
+// runtime it returns this node's partial checkpoint — each node writes
+// its own part, and the parts are joined with MergeCheckpoints.
 func (rt *Runtime) Checkpoint() (*Checkpoint, error) {
-	if rt.opts.Transport != nil {
-		return nil, fmt.Errorf("core: checkpoint of a multi-process runtime is not supported")
-	}
 	hosts := make([]*PEHost, len(rt.pes))
 	for i, ps := range rt.pes {
 		hosts[i] = ps.host
 	}
+	if rt.opts.Transport != nil {
+		return buildCheckpoint(rt.prog, hosts, true)
+	}
 	return BuildCheckpoint(rt.prog, hosts)
 }
 
-// BuildCheckpoint assembles a checkpoint from the hosts of an executor at
-// a quiescent point. It is exported for executor implementations.
+// BuildCheckpoint assembles a complete checkpoint from the hosts of an
+// executor at a quiescent point. It is exported for executor
+// implementations; every element of every array must be present.
 func BuildCheckpoint(prog *Program, hosts []*PEHost) (*Checkpoint, error) {
+	return buildCheckpoint(prog, hosts, false)
+}
+
+func buildCheckpoint(prog *Program, hosts []*PEHost, partial bool) (*Checkpoint, error) {
 	byArray := make(map[ArrayID]map[int][]byte)
 	for _, h := range hosts {
 		var err error
@@ -60,10 +71,10 @@ func BuildCheckpoint(prog *Program, hosts []*PEHost) (*Checkpoint, error) {
 			}
 			m, ok := ch.(Migratable)
 			if !ok {
-				err = fmt.Errorf("core: element %v does not implement Migratable", ref)
+				err = fmt.Errorf("core: element %v of type %T does not implement Migratable", ref, ch)
 				return
 			}
-			data, perr := m.Pack()
+			data, perr := PUPPackCheckpoint(m)
 			if perr != nil {
 				err = fmt.Errorf("core: pack %v: %w", ref, perr)
 				return
@@ -77,21 +88,79 @@ func BuildCheckpoint(prog *Program, hosts []*PEHost) (*Checkpoint, error) {
 			return nil, err
 		}
 	}
-	ck := &Checkpoint{}
+	ck := &Checkpoint{Partial: partial}
 	for ai := range prog.Arrays {
 		spec := &prog.Arrays[ai]
 		elems := byArray[spec.ID]
-		if len(elems) != spec.N {
+		if !partial && len(elems) != spec.N {
 			return nil, fmt.Errorf("core: array %d checkpointed %d of %d elements", spec.ID, len(elems), spec.N)
 		}
-		st := ArrayState{ID: spec.ID, N: spec.N, Elems: make([]ElemState, 0, spec.N)}
-		idxs := make([]int, 0, spec.N)
+		st := ArrayState{ID: spec.ID, N: spec.N, Elems: make([]ElemState, 0, len(elems))}
+		idxs := make([]int, 0, len(elems))
 		for i := range elems {
 			idxs = append(idxs, i)
 		}
 		sort.Ints(idxs)
 		for _, i := range idxs {
 			st.Elems = append(st.Elems, ElemState{Index: i, Data: elems[i]})
+		}
+		ck.Arrays = append(ck.Arrays, st)
+	}
+	return ck, nil
+}
+
+// MergeCheckpoints joins per-node partial checkpoints (one per gridnode
+// process) into one complete checkpoint. Arrays are merged by ID and
+// elements by index; every element must appear exactly once across the
+// parts, and each array must end up complete.
+func MergeCheckpoints(parts ...*Checkpoint) (*Checkpoint, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("core: merge of zero checkpoints")
+	}
+	type arr struct {
+		n     int
+		elems map[int][]byte
+	}
+	arrays := make(map[ArrayID]*arr)
+	var order []ArrayID
+	for pi, part := range parts {
+		if part == nil {
+			return nil, fmt.Errorf("core: merge: part %d is nil", pi)
+		}
+		for i := range part.Arrays {
+			st := &part.Arrays[i]
+			a, ok := arrays[st.ID]
+			if !ok {
+				a = &arr{n: st.N, elems: make(map[int][]byte)}
+				arrays[st.ID] = a
+				order = append(order, st.ID)
+			}
+			if a.n != st.N {
+				return nil, fmt.Errorf("core: merge: array %d declared with %d and %d elements", st.ID, a.n, st.N)
+			}
+			for _, e := range st.Elems {
+				if _, dup := a.elems[e.Index]; dup {
+					return nil, fmt.Errorf("core: merge: element %d of array %d appears in more than one part", e.Index, st.ID)
+				}
+				a.elems[e.Index] = e.Data
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	ck := &Checkpoint{}
+	for _, id := range order {
+		a := arrays[id]
+		if len(a.elems) != a.n {
+			return nil, fmt.Errorf("core: merge: array %d has %d of %d elements across parts", id, len(a.elems), a.n)
+		}
+		st := ArrayState{ID: id, N: a.n, Elems: make([]ElemState, 0, a.n)}
+		idxs := make([]int, 0, a.n)
+		for i := range a.elems {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			st.Elems = append(st.Elems, ElemState{Index: i, Data: a.elems[i]})
 		}
 		ck.Arrays = append(ck.Arrays, st)
 	}
@@ -116,10 +185,15 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 }
 
 // Install rewires prog so each array's elements are constructed from this
-// checkpoint (via ArraySpec.Restore) instead of ArraySpec.New. The
-// program may then be run on any topology. Arrays absent from the
-// checkpoint keep their constructors.
+// checkpoint instead of ArraySpec.New. If the array provides a Restore
+// constructor it is used; otherwise the element is built with New and its
+// state is restored through its PUP method (the common case — validation
+// lives in PUP's unpacking branch). The program may then be run on any
+// topology. Arrays absent from the checkpoint keep their constructors.
 func (c *Checkpoint) Install(prog *Program) error {
+	if c.Partial {
+		return fmt.Errorf("core: cannot install a partial checkpoint; merge the per-node parts first")
+	}
 	states := make(map[ArrayID]*ArrayState, len(c.Arrays))
 	for i := range c.Arrays {
 		states[c.Arrays[i].ID] = &c.Arrays[i]
@@ -133,18 +207,31 @@ func (c *Checkpoint) Install(prog *Program) error {
 		if st.N != spec.N {
 			return fmt.Errorf("core: checkpoint has %d elements for array %d, program declares %d", st.N, spec.ID, spec.N)
 		}
-		if spec.Restore == nil {
-			return fmt.Errorf("core: array %d has no Restore constructor", spec.ID)
-		}
 		data := make(map[int][]byte, len(st.Elems))
 		for _, e := range st.Elems {
 			data[e.Index] = e.Data
 		}
-		restore := spec.Restore
+		id := spec.ID
+		if spec.Restore != nil {
+			restore := spec.Restore
+			spec.New = func(i int) Chare {
+				ch, err := restore(i, data[i])
+				if err != nil {
+					panic(fmt.Sprintf("core: restore element %d of array %d: %v", i, id, err))
+				}
+				return ch
+			}
+			continue
+		}
+		construct := spec.New
 		spec.New = func(i int) Chare {
-			ch, err := restore(i, data[i])
-			if err != nil {
-				panic(fmt.Sprintf("core: restore element %d of array %d: %v", i, spec.ID, err))
+			ch := construct(i)
+			pu, ok := ch.(PUPable)
+			if !ok {
+				panic(fmt.Sprintf("core: restore element %d of array %d: type %T implements neither PUPable nor a Restore constructor", i, id, ch))
+			}
+			if err := PUPUnpackCheckpoint(pu, data[i]); err != nil {
+				panic(fmt.Sprintf("core: restore element %d of array %d: %v", i, id, err))
 			}
 			return ch
 		}

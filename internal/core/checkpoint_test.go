@@ -2,15 +2,15 @@ package core
 
 import (
 	"bytes"
-	"encoding/binary"
-	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 
 	"gridmdo/internal/topology"
 )
 
-// counterChare is a minimal migratable chare for checkpoint tests.
+// counterChare is a minimal migratable chare for checkpoint tests. Its
+// state restores through the PUP auto-restore path (no Restore needed).
 type counterChare struct{ n int64 }
 
 func (c *counterChare) Recv(ctx *Ctx, entry EntryID, data any) {
@@ -18,25 +18,13 @@ func (c *counterChare) Recv(ctx *Ctx, entry EntryID, data any) {
 	ctx.Contribute(float64(c.n), OpSum)
 }
 
-func (c *counterChare) Pack() ([]byte, error) {
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], uint64(c.n))
-	return buf[:], nil
-}
-
-func restoreCounter(data []byte) (Chare, error) {
-	if len(data) != 8 {
-		return nil, fmt.Errorf("bad counter state")
-	}
-	return &counterChare{n: int64(binary.BigEndian.Uint64(data))}, nil
-}
+func (c *counterChare) PUP(p *PUP) { p.Int64(&c.n) }
 
 func counterProgram(n int) *Program {
 	return &Program{
 		Arrays: []ArraySpec{{
 			ID: 0, N: n,
-			New:     func(int) Chare { return &counterChare{} },
-			Restore: func(i int, data []byte) (Chare, error) { return restoreCounter(data) },
+			New: func(int) Chare { return &counterChare{} },
 		}},
 		Start: func(ctx *Ctx) {
 			for i := 0; i < n; i++ {
@@ -119,16 +107,25 @@ func TestCheckpointInstallValidation(t *testing.T) {
 	if err := ck.Install(wrongSize); err == nil {
 		t.Error("size mismatch accepted")
 	}
-	noRestore := counterProgram(3)
-	noRestore.Arrays[0].Restore = nil
-	if err := ck.Install(noRestore); err == nil {
-		t.Error("missing Restore accepted")
+	// With no Restore constructor the fallback is PUP auto-restore; a
+	// chare type with neither surfaces as a construction error.
+	hopeless := &Program{
+		Arrays: []ArraySpec{{ID: 0, N: 3, New: func(int) Chare { return funcChare(func(*Ctx, EntryID, any) {}) }}},
+		Start:  func(*Ctx) {},
+	}
+	ckFull := &Checkpoint{Arrays: []ArrayState{{ID: 0, N: 3, Elems: []ElemState{
+		{Index: 0}, {Index: 1}, {Index: 2},
+	}}}}
+	if err := ckFull.Install(hopeless); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if _, err := NewRuntime(mustTopo(t, 2, 0), hopeless); err == nil {
+		t.Error("restore of non-PUPable, Restore-less elements constructed")
 	}
 	// Arrays absent from the checkpoint keep their constructors.
 	extra := &Program{
 		Arrays: []ArraySpec{
-			{ID: 0, N: 3, New: func(int) Chare { return &counterChare{} },
-				Restore: func(i int, data []byte) (Chare, error) { return restoreCounter(data) }},
+			{ID: 0, N: 3, New: func(int) Chare { return &counterChare{} }},
 			{ID: 1, N: 2, New: func(int) Chare { return &counterChare{} }},
 		},
 		Start: func(*Ctx) {},
@@ -143,6 +140,51 @@ func TestCheckpointInstallValidation(t *testing.T) {
 	}
 	if _, err := DecodeCheckpoint(bytes.NewReader([]byte("garbage"))); err == nil {
 		t.Error("garbage checkpoint decoded")
+	}
+}
+
+func TestMergeCheckpoints(t *testing.T) {
+	part := func(n int, idxs ...int) *Checkpoint {
+		st := ArrayState{ID: 0, N: n}
+		for _, i := range idxs {
+			st.Elems = append(st.Elems, ElemState{Index: i, Data: []byte{byte(i)}})
+		}
+		return &Checkpoint{Arrays: []ArrayState{st}, Partial: true}
+	}
+
+	ck, err := MergeCheckpoints(part(4, 1, 3), part(4, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Partial {
+		t.Error("merged checkpoint still marked partial")
+	}
+	if len(ck.Arrays) != 1 || len(ck.Arrays[0].Elems) != 4 {
+		t.Fatalf("merged shape: %+v", ck)
+	}
+	for i, e := range ck.Arrays[0].Elems {
+		if e.Index != i || e.Data[0] != byte(i) {
+			t.Errorf("element %d merged as index %d data %v", i, e.Index, e.Data)
+		}
+	}
+
+	if _, err := MergeCheckpoints(part(4, 0, 1), part(4, 1, 2)); err == nil {
+		t.Error("duplicate element accepted")
+	}
+	if _, err := MergeCheckpoints(part(4, 0, 1), part(4, 2)); err == nil {
+		t.Error("incomplete merge accepted")
+	}
+	if _, err := MergeCheckpoints(part(4, 0, 1), part(5, 2, 3)); err == nil {
+		t.Error("conflicting array sizes accepted")
+	}
+	if _, err := MergeCheckpoints(); err == nil {
+		t.Error("empty merge accepted")
+	}
+
+	// A partial checkpoint must not install.
+	err = part(4, 0).Install(counterProgram(4))
+	if err == nil || !strings.Contains(err.Error(), "partial") {
+		t.Errorf("partial install: %v", err)
 	}
 }
 

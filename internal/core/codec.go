@@ -9,6 +9,7 @@ import (
 	"math"
 	"reflect"
 	"sync"
+	"time"
 )
 
 // Wire serialization for messages that cross OS-process boundaries (the
@@ -83,6 +84,7 @@ const (
 	tagReduce   byte = 8
 	tagQD       byte = 9
 	tagBundle   byte = 10
+	tagLB       byte = 11
 
 	minAppTag byte = 64
 	tagGob    byte = 255
@@ -268,6 +270,8 @@ func appendPayload(dst []byte, v any) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint64(dst, uint64(x.Wave))
 		dst = binary.BigEndian.AppendUint64(dst, uint64(x.Sent))
 		return binary.BigEndian.AppendUint64(dst, uint64(x.Processed)), nil
+	case lbMsg:
+		return appendLBMsg(append(dst, tagLB), x), nil
 	case []*Message:
 		dst = append(dst, tagBundle)
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(x)))
@@ -378,6 +382,8 @@ func decodePayload(tag byte, b []byte) (any, []byte, error) {
 			Sent:      int64(binary.BigEndian.Uint64(b[9:])),
 			Processed: int64(binary.BigEndian.Uint64(b[17:])),
 		}, b[25:], nil
+	case tagLB:
+		return decodeLBMsg(b)
 	case tagBundle:
 		if len(b) < 4 {
 			return nil, b, truncErr("bundle")
@@ -412,6 +418,129 @@ func decodePayload(tag byte, b []byte) (any, []byte, error) {
 
 func truncErr(what string) error {
 	return fmt.Errorf("%w: truncated %s payload", ErrBadWire, what)
+}
+
+// appendLBMsg is the built-in fast path for KindLB payloads. Having it in
+// the runtime (rather than the app-tag registry) guarantees that every
+// phase of the load-balancing protocol — including an evicted element's
+// PUP-packed state — crosses process boundaries without touching gob, so
+// there is no per-app RegisterPayload obligation for migrations.
+//
+// Layout after the tag byte (big-endian): phase (1) · stats count (4) +
+// 40 bytes each (Array 4, Index 8, PE 4, Load 8, Msgs 8, WanMsgs 8) ·
+// moves count (4) + 16 bytes each (Array 4, Index 8, ToPE 4) · Elem
+// (Array 4, Index 8) · state length (4) + bytes · meta presence (1) and,
+// if present, lbMetaBytes of elemMeta (redSeq 8, load 8, wanMsg 8,
+// msgs 8, atSync 1).
+func appendLBMsg(dst []byte, m lbMsg) []byte {
+	dst = append(dst, byte(m.Phase))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Stats)))
+	for _, s := range m.Stats {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(s.Ref.Array))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(int64(s.Ref.Index)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(s.PE))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(int64(s.Load)))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(int64(s.Msgs)))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(int64(s.WanMsgs)))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Moves)))
+	for _, mv := range m.Moves {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(mv.Ref.Array))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(int64(mv.Ref.Index)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(mv.ToPE))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Elem.Array))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.Elem.Index)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.State)))
+	dst = append(dst, m.State...)
+	if m.Meta == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Meta.redSeq))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.Meta.load)))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.Meta.wanMsg)))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.Meta.msgs)))
+	a := byte(0)
+	if m.Meta.atSync {
+		a = 1
+	}
+	return append(dst, a)
+}
+
+func decodeLBMsg(b []byte) (any, []byte, error) {
+	if len(b) < 5 {
+		return nil, b, truncErr("lbMsg")
+	}
+	m := lbMsg{Phase: lbPhase(b[0])}
+	n := int(binary.BigEndian.Uint32(b[1:]))
+	b = b[5:]
+	if n > len(b)/40 {
+		return nil, b, truncErr("lbMsg stats")
+	}
+	if n > 0 {
+		m.Stats = make([]ElemLoad, n)
+		for i := range m.Stats {
+			m.Stats[i] = ElemLoad{
+				Ref:     ElemRef{Array: ArrayID(int32(binary.BigEndian.Uint32(b))), Index: int(int64(binary.BigEndian.Uint64(b[4:])))},
+				PE:      int(int32(binary.BigEndian.Uint32(b[12:]))),
+				Load:    time.Duration(int64(binary.BigEndian.Uint64(b[16:]))),
+				Msgs:    int(int64(binary.BigEndian.Uint64(b[24:]))),
+				WanMsgs: int(int64(binary.BigEndian.Uint64(b[32:]))),
+			}
+			b = b[40:]
+		}
+	}
+	if len(b) < 4 {
+		return nil, b, truncErr("lbMsg")
+	}
+	n = int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if n > len(b)/16 {
+		return nil, b, truncErr("lbMsg moves")
+	}
+	if n > 0 {
+		m.Moves = make([]Move, n)
+		for i := range m.Moves {
+			m.Moves[i] = Move{
+				Ref:  ElemRef{Array: ArrayID(int32(binary.BigEndian.Uint32(b))), Index: int(int64(binary.BigEndian.Uint64(b[4:])))},
+				ToPE: int(int32(binary.BigEndian.Uint32(b[12:]))),
+			}
+			b = b[16:]
+		}
+	}
+	if len(b) < 16 {
+		return nil, b, truncErr("lbMsg")
+	}
+	m.Elem = ElemRef{Array: ArrayID(int32(binary.BigEndian.Uint32(b))), Index: int(int64(binary.BigEndian.Uint64(b[4:])))}
+	n = int(binary.BigEndian.Uint32(b[12:]))
+	b = b[16:]
+	if n > len(b) {
+		return nil, b, truncErr("lbMsg state")
+	}
+	if n > 0 {
+		m.State = append([]byte(nil), b[:n]...)
+	}
+	b = b[n:]
+	if len(b) < 1 {
+		return nil, b, truncErr("lbMsg")
+	}
+	present := b[0]
+	b = b[1:]
+	if present != 0 {
+		if len(b) < lbMetaBytes {
+			return nil, b, truncErr("lbMsg meta")
+		}
+		m.Meta = &elemMeta{
+			redSeq: int64(binary.BigEndian.Uint64(b)),
+			load:   time.Duration(int64(binary.BigEndian.Uint64(b[8:]))),
+			wanMsg: int(int64(binary.BigEndian.Uint64(b[16:]))),
+			msgs:   int(int64(binary.BigEndian.Uint64(b[24:]))),
+			atSync: b[32] != 0,
+		}
+		b = b[lbMetaBytes:]
+	}
+	return m, b, nil
 }
 
 // reducePartialHeaderLen documents the fixed prefix decoded above: Array

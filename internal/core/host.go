@@ -16,6 +16,14 @@ type PEHost struct {
 	elems map[ElemRef]Chare
 	meta  map[ElemRef]*elemMeta
 
+	// parked buffers application messages addressed to an element that is
+	// at a load-balancing sync. Without this, an element whose neighbors
+	// resume earlier (resume broadcasts race application traffic once
+	// migration messages carry real payloads) can be driven past the sync
+	// point before its own resume arrives, deadlocking the exchange.
+	// Buffered messages replay in arrival order on ResumeFromSync.
+	parked map[ElemRef][]*Message
+
 	// MeasureWall, when set (real-time runtime), adds the wall-clock
 	// duration of each handler to the element's measured load, in addition
 	// to any explicitly charged time.
@@ -25,10 +33,11 @@ type PEHost struct {
 // NewPEHost builds an empty host for pe.
 func NewPEHost(b Backend, pe int) *PEHost {
 	return &PEHost{
-		b:     b,
-		pe:    pe,
-		elems: make(map[ElemRef]Chare),
-		meta:  make(map[ElemRef]*elemMeta),
+		b:      b,
+		pe:     pe,
+		elems:  make(map[ElemRef]Chare),
+		meta:   make(map[ElemRef]*elemMeta),
+		parked: make(map[ElemRef][]*Message),
 	}
 }
 
@@ -53,6 +62,7 @@ func (h *PEHost) removeElement(ref ElemRef) (Chare, *elemMeta, bool) {
 	m := h.meta[ref]
 	delete(h.elems, ref)
 	delete(h.meta, ref)
+	delete(h.parked, ref)
 	return ch, m, true
 }
 
@@ -65,18 +75,28 @@ func (h *PEHost) Has(ref ElemRef) bool {
 	return ok
 }
 
-// DeliverApp dispatches an application message to its target element.
+// DeliverApp dispatches an application message to its target element. A
+// message for an element parked at a load-balancing sync is buffered and
+// replays after the element resumes.
 func (h *PEHost) DeliverApp(m *Message) error {
 	ch, ok := h.elems[m.To]
 	if !ok {
 		return fmt.Errorf("core: PE %d has no element %v (message %v)", h.pe, m.To, m)
 	}
 	meta := h.meta[m.To]
+	if meta.atSync {
+		h.parked[m.To] = append(h.parked[m.To], m)
+		return nil
+	}
 	ctx := newCtx(h.b, h.pe, m.To, meta)
 	ctx.msgID = m.ID
 	h.invoke(ctx, meta, func() { ch.Recv(ctx, m.Entry, m.Data) })
 	return nil
 }
+
+// ParkedMessages reports how many application messages are buffered for
+// an element parked at sync.
+func (h *PEHost) ParkedMessages(ref ElemRef) int { return len(h.parked[ref]) }
 
 // RunStart executes the program's Start handler (PE 0).
 func (h *PEHost) RunStart(prog *Program) {
@@ -93,8 +113,10 @@ func (h *PEHost) RunReduction(prog *Program, a ArrayID, seq int64, v any) {
 	prog.OnReduction(ctx, a, seq, v)
 }
 
-// ResumeFromSync clears an element's at-sync mark and delivers the
-// EntryResumeFromSync entry to it.
+// ResumeFromSync clears an element's at-sync mark, delivers the
+// EntryResumeFromSync entry, and then replays any application messages
+// that were buffered while the element was parked, in arrival order. If
+// the element re-enters sync during replay, the remainder stays parked.
 func (h *PEHost) ResumeFromSync(ref ElemRef) error {
 	ch, ok := h.elems[ref]
 	if !ok {
@@ -104,6 +126,16 @@ func (h *PEHost) ResumeFromSync(ref ElemRef) error {
 	meta.atSync = false
 	ctx := newCtx(h.b, h.pe, ref, meta)
 	h.invoke(ctx, meta, func() { ch.Recv(ctx, EntryResumeFromSync, nil) })
+	for len(h.parked[ref]) > 0 && !meta.atSync {
+		m := h.parked[ref][0]
+		h.parked[ref] = h.parked[ref][1:]
+		if err := h.DeliverApp(m); err != nil {
+			return err
+		}
+	}
+	if len(h.parked[ref]) == 0 {
+		delete(h.parked, ref)
+	}
 	return nil
 }
 

@@ -46,14 +46,6 @@ type Chare interface {
 	Recv(ctx *Ctx, entry EntryID, data any)
 }
 
-// Migratable is implemented by chares that can move between PEs during
-// load balancing. Pack serializes the element's state; ArraySpec.Restore
-// rebuilds it on the destination PE.
-type Migratable interface {
-	Chare
-	Pack() ([]byte, error)
-}
-
 // Sizer lets a payload declare its modeled wire size in bytes. Executors
 // use it for bandwidth modeling and (in the real-time runtime) to decide
 // buffer sizes; payloads without it are modeled at DefaultPayloadBytes.

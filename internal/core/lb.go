@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"gridmdo/internal/topology"
@@ -15,6 +17,13 @@ import (
 // reports measured per-element loads to PE 0; PE 0 runs a pluggable
 // Strategy over the gathered statistics, orchestrates the migrations, and
 // resumes every element via EntryResumeFromSync.
+//
+// Element state crosses the evict→arrive leg as PUP-packed bytes, so a
+// migration between gridnode processes is just another KindLB message
+// over the Reliable/TCP chain. The resume broadcast carries the round's
+// validated moves; every PE applies them (idempotently) to its node's
+// location table before resuming, so all nodes agree on ownership before
+// application traffic restarts.
 //
 // Strategies themselves (greedy, refine, and the paper's grid-aware
 // balancer) live in internal/balance.
@@ -56,6 +65,14 @@ type Strategy interface {
 	Plan(stats *LBStats) []Move
 }
 
+// Evictable lets a chare release local resources (for AMPI, the parked
+// rank goroutine) when the load balancer migrates it away. Evicted runs
+// on the source PE after the element's state has been packed and the
+// element removed from its host.
+type Evictable interface {
+	Evicted()
+}
+
 // lbPhase tags KindLB protocol messages.
 type lbPhase uint8
 
@@ -64,21 +81,33 @@ const (
 	lbEvict                 // root -> source PE: migrate listed elements
 	lbArrive                // source PE -> dest PE: element in flight
 	lbAck                   // dest PE -> root: element installed
-	lbResume                // root -> all PEs: deliver ResumeFromSync
+	lbResume                // root -> all PEs: apply moves, deliver ResumeFromSync
 )
 
-// lbMsg is the KindLB payload.
+// lbMsg is the KindLB payload. It has a built-in binary wire codec
+// (tagLB in codec.go), so no phase of the protocol falls back to gob.
 type lbMsg struct {
 	Phase lbPhase
 	Stats []ElemLoad // lbStats
-	Moves []Move     // lbEvict
+	Moves []Move     // lbEvict; lbResume (the round's validated moves)
 	Elem  ElemRef    // lbArrive
-	State Chare      // lbArrive (in-process transfer)
+	State []byte     // lbArrive: PUP-packed element state
 	Meta  *elemMeta  // lbArrive
 }
 
-// PayloadBytes implements Sizer.
-func (m lbMsg) PayloadBytes() int { return 32 + 48*len(m.Stats) + 16*len(m.Moves) }
+// lbMetaBytes is the wire size of a serialized elemMeta.
+const lbMetaBytes = 33
+
+// PayloadBytes implements Sizer. Unlike the old fixed formula, it counts
+// the serialized element state, so the delay device, bandwidth model, and
+// per-flow metrics see honest migration traffic.
+func (m lbMsg) PayloadBytes() int {
+	n := 32 + 48*len(m.Stats) + 16*len(m.Moves) + len(m.State)
+	if m.Meta != nil {
+		n += lbMetaBytes
+	}
+	return n
+}
 
 // LBMgr drives the protocol on one PE. All methods run on the PE's
 // scheduler. The root-side state lives only on PE 0.
@@ -88,6 +117,7 @@ type LBMgr struct {
 	topo *topology.Topology
 	loc  *Locations
 	host *PEHost
+	prog *Program
 	emit func(m *Message)
 
 	// root state
@@ -95,17 +125,27 @@ type LBMgr struct {
 	reported  map[int]bool
 	expected  int
 	pendAcks  int
-	rounds    int
+	pendMoves []Move
 	lastMoves int
+
+	// counters read by metrics scrapers on other goroutines
+	rounds     atomic.Int64
+	totalMoves atomic.Int64
 }
 
-// NewLBMgr builds a load-balancing manager for pe.
-func NewLBMgr(pe int, cfg *LBConfig, topo *topology.Topology, loc *Locations, host *PEHost, emit func(*Message)) *LBMgr {
-	return &LBMgr{pe: pe, cfg: cfg, topo: topo, loc: loc, host: host, emit: emit, reported: make(map[int]bool)}
+// NewLBMgr builds a load-balancing manager for pe. prog is needed to
+// construct arriving elements before unpacking their migrated state.
+func NewLBMgr(pe int, cfg *LBConfig, topo *topology.Topology, loc *Locations, host *PEHost, prog *Program, emit func(*Message)) *LBMgr {
+	return &LBMgr{pe: pe, cfg: cfg, topo: topo, loc: loc, host: host, prog: prog, emit: emit, reported: make(map[int]bool)}
 }
 
 // Rounds reports how many balancing rounds have completed (root only).
-func (l *LBMgr) Rounds() int { return l.rounds }
+// Safe to call from any goroutine.
+func (l *LBMgr) Rounds() int { return int(l.rounds.Load()) }
+
+// TotalMoves reports how many migrations all rounds performed in total
+// (root only). Safe to call from any goroutine.
+func (l *LBMgr) TotalMoves() int { return int(l.totalMoves.Load()) }
 
 // LastMoves reports how many migrations the most recent round performed
 // (root only).
@@ -150,7 +190,7 @@ func (l *LBMgr) Handle(m *Message) error {
 	case lbAck:
 		return l.rootAck()
 	case lbResume:
-		return l.resumeAll()
+		return l.resumeAll(p.Moves)
 	}
 	return fmt.Errorf("core: unknown LB phase %d", p.Phase)
 }
@@ -193,7 +233,7 @@ func (l *LBMgr) rootCollect(fromPE int, stats []ElemLoad) error {
 	})
 	moves := l.cfg.Strategy.Plan(&LBStats{NumPE: l.topo.NumPE(), Topo: l.topo, Elems: l.reports})
 	l.reports, l.reported = nil, make(map[int]bool)
-	l.rounds++
+	l.rounds.Add(1)
 
 	// Drop no-op and invalid moves.
 	valid := moves[:0]
@@ -208,11 +248,13 @@ func (l *LBMgr) rootCollect(fromPE int, stats []ElemLoad) error {
 	}
 	moves = valid
 	l.lastMoves = len(moves)
+	l.totalMoves.Add(int64(len(moves)))
 
 	if len(moves) == 0 {
-		return l.broadcastResume()
+		return l.broadcastResume(nil)
 	}
 	l.pendAcks = len(moves)
+	l.pendMoves = append([]Move(nil), moves...)
 	// Group by source PE and dispatch evictions.
 	bySrc := make(map[int32][]Move)
 	var srcs []int32
@@ -234,26 +276,81 @@ func (l *LBMgr) rootCollect(fromPE int, stats []ElemLoad) error {
 	return nil
 }
 
+// evict packs and ships the listed elements. It validates and packs every
+// move before mutating anything, so a bad plan (missing element,
+// unpackable state, out-of-range destination) leaves the host and the
+// location table untouched and returns one aggregated error.
 func (l *LBMgr) evict(moves []Move) error {
-	for _, mv := range moves {
-		ch, meta, ok := l.host.removeElement(mv.Ref)
+	states := make([][]byte, len(moves))
+	var errs []error
+	for i, mv := range moves {
+		ch, ok := l.host.elems[mv.Ref]
 		if !ok {
-			return fmt.Errorf("core: PE %d told to evict missing element %v", l.pe, mv.Ref)
+			errs = append(errs, fmt.Errorf("missing element %v", mv.Ref))
+			continue
+		}
+		if mv.ToPE < 0 || mv.ToPE >= l.topo.NumPE() {
+			errs = append(errs, fmt.Errorf("element %v bound for out-of-range PE %d", mv.Ref, mv.ToPE))
+			continue
+		}
+		m, ok := ch.(Migratable)
+		if !ok {
+			errs = append(errs, fmt.Errorf("element %v of type %T is not Migratable", mv.Ref, ch))
+			continue
+		}
+		if n := l.host.ParkedMessages(mv.Ref); n > 0 {
+			errs = append(errs, fmt.Errorf("element %v has %d undelivered buffered messages", mv.Ref, n))
+			continue
+		}
+		state, err := PUPPack(m)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("pack %v: %w", mv.Ref, err))
+			continue
+		}
+		states[i] = state
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("core: PE %d evict aborted, no elements migrated: %w", l.pe, errors.Join(errs...))
+	}
+	for i, mv := range moves {
+		ch, meta, _ := l.host.removeElement(mv.Ref)
+		if ev, ok := ch.(Evictable); ok {
+			ev.Evicted()
 		}
 		if _, err := l.loc.Move(mv.Ref, mv.ToPE); err != nil {
 			return err
 		}
+		msg := lbMsg{Phase: lbArrive, Elem: mv.Ref, State: states[i], Meta: meta}
 		l.emit(&Message{
 			Kind: KindLB, SrcPE: int32(l.pe), DstPE: int32(mv.ToPE),
-			Data:  lbMsg{Phase: lbArrive, Elem: mv.Ref, State: ch, Meta: meta},
-			Bytes: 256,
+			Data: msg, Bytes: msg.PayloadBytes(),
 		})
 	}
 	return nil
 }
 
+// arrive rebuilds a migrated element from its PUP-packed state: the
+// array's constructor makes a fresh element for the index, then the
+// packed bytes are unpacked into it.
 func (l *LBMgr) arrive(p lbMsg) error {
-	l.host.addElementWithMeta(p.Elem, p.State, p.Meta)
+	a := int(p.Elem.Array)
+	if a < 0 || a >= len(l.prog.Arrays) {
+		return fmt.Errorf("core: arriving element %v names unknown array", p.Elem)
+	}
+	ch := l.prog.Arrays[a].New(p.Elem.Index)
+	m, ok := ch.(Migratable)
+	if !ok {
+		return fmt.Errorf("core: arriving element %v constructed as non-Migratable %T", p.Elem, ch)
+	}
+	if err := PUPUnpack(m, p.State); err != nil {
+		return fmt.Errorf("core: unpack arriving element %v: %w", p.Elem, err)
+	}
+	// Record the new owner in this node's table now; the resume broadcast
+	// re-applies the same move idempotently on every other node.
+	if _, err := l.loc.Move(p.Elem, l.pe); err != nil {
+		return err
+	}
+	l.host.addElementWithMeta(p.Elem, ch, p.Meta)
 	l.emit(&Message{
 		Kind: KindLB, SrcPE: int32(l.pe), DstPE: 0,
 		Data:  lbMsg{Phase: lbAck},
@@ -267,21 +364,33 @@ func (l *LBMgr) rootAck() error {
 	if l.pendAcks > 0 {
 		return nil
 	}
-	return l.broadcastResume()
+	moves := l.pendMoves
+	l.pendMoves = nil
+	return l.broadcastResume(moves)
 }
 
-func (l *LBMgr) broadcastResume() error {
+func (l *LBMgr) broadcastResume(moves []Move) error {
 	for pe := 0; pe < l.topo.NumPE(); pe++ {
+		msg := lbMsg{Phase: lbResume, Moves: moves}
 		l.emit(&Message{
 			Kind: KindLB, SrcPE: 0, DstPE: int32(pe),
-			Data:  lbMsg{Phase: lbResume},
-			Bytes: 16,
+			Data: msg, Bytes: msg.PayloadBytes(),
 		})
 	}
 	return nil
 }
 
-func (l *LBMgr) resumeAll() error {
+// resumeAll applies the round's moves to this node's location table —
+// idempotent where the evict/arrive legs already did — then delivers
+// ResumeFromSync to every local element. Applying moves before resuming
+// means no PE restarts application traffic with a stale view of where
+// the migrated elements live.
+func (l *LBMgr) resumeAll(moves []Move) error {
+	for _, mv := range moves {
+		if _, err := l.loc.Move(mv.Ref, mv.ToPE); err != nil {
+			return err
+		}
+	}
 	for _, a := range l.cfg.Arrays {
 		for _, ref := range l.loc.ElementsOn(a, l.pe) {
 			if err := l.host.ResumeFromSync(ref); err != nil {

@@ -68,6 +68,13 @@ func (rt *Runtime) instrument(reg *metrics.Registry) trace.Sink {
 		m.qDepthHW[i] = reg.Gauge("core_queue_depth_high_water", pe)
 		m.handlerNs[i] = reg.Histogram("core_handler_nanos", metrics.DurationBuckets, pe)
 	}
+	// Load-balancing progress, exported from the protocol root (PE 0).
+	// Meaningful only on the node hosting PE 0, but registered wherever an
+	// LBMgr exists so snapshots stay uniform across nodes.
+	if lb := rt.pes[0].lb; lb != nil {
+		reg.CounterFunc("core_lb_rounds_total", func() int64 { return int64(lb.Rounds()) })
+		reg.CounterFunc("core_lb_moves_total", func() int64 { return int64(lb.TotalMoves()) })
+	}
 	rt.dly.Instrument(reg, metrics.L("node", strconv.Itoa(rt.opts.Node)))
 	rt.met = m
 	return &metricsSink{m: m, lo: rt.opts.PELo}

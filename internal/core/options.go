@@ -34,7 +34,8 @@ type Options struct {
 	FailureHook func(error)
 
 	// LB overrides the program's load-balancing configuration for this
-	// runtime (nil keeps prog.LB). Single-process runtimes only.
+	// runtime (nil keeps prog.LB). Works on single- and multi-process
+	// runtimes; balanced elements must implement Migratable (PUP).
 	LB *LBConfig
 
 	// PrioritizeWAN implements the paper's §6 proposal: messages that

@@ -109,11 +109,6 @@ func NewRuntime(topo *topology.Topology, prog *Program, options ...Option) (*Run
 		if opts.PELo < 0 || opts.PEHi > topo.NumPE() || opts.PELo >= opts.PEHi {
 			return nil, fmt.Errorf("core: bad local PE range [%d,%d)", opts.PELo, opts.PEHi)
 		}
-		if lbCfg != nil {
-			// Migrations hand the live element across PEs by reference;
-			// that transfer is meaningful only within one address space.
-			return nil, fmt.Errorf("core: load balancing is not supported on multi-process runtimes")
-		}
 	}
 	rt := &Runtime{
 		topo:   topo,
@@ -152,7 +147,7 @@ func NewRuntime(topo *topology.Topology, prog *Program, options ...Option) (*Run
 			func(a ArrayID, seq int64, v any) { ps.host.RunReduction(rt.prog, a, seq, v) },
 		)
 		if lbCfg != nil {
-			ps.lb = NewLBMgr(pe, lbCfg, topo, rt.loc, ps.host, rt.Route)
+			ps.lb = NewLBMgr(pe, lbCfg, topo, rt.loc, ps.host, prog, rt.Route)
 		}
 		rt.pes[i] = ps
 	}
@@ -161,6 +156,17 @@ func NewRuntime(topo *topology.Topology, prog *Program, options ...Option) (*Run
 		return rt.pes[pe-opts.PELo].host
 	}); err != nil {
 		return nil, err
+	}
+	if lbCfg != nil {
+		// Fail fast: every element of a balanced array must be able to
+		// serialize through PUP, or a mid-run eviction (possibly bound for
+		// another process over the wire) would fail long after start. The
+		// error names the offending concrete type.
+		if err := auditMigratable(lbCfg, rt.loc, opts.PELo, opts.PEHi, func(pe int) *PEHost {
+			return rt.pes[pe-opts.PELo].host
+		}); err != nil {
+			return nil, err
+		}
 	}
 	// Instrumentation before transport wiring: a bound transport may start
 	// delivering frames (and hence emitting events) immediately.
@@ -198,6 +204,27 @@ func validateLB(cfg *LBConfig, numArrays int) error {
 	for _, id := range cfg.Arrays {
 		if int(id) < 0 || int(id) >= numArrays {
 			return fmt.Errorf("core: LB config references unknown array %d", id)
+		}
+	}
+	return nil
+}
+
+// auditMigratable checks that every locally hosted element of every
+// load-balanced array implements Migratable (i.e. has a PUP method), so
+// migration failures surface at construction instead of mid-run. It is
+// used by NewRuntime and exported executors via AuditMigratable.
+func auditMigratable(cfg *LBConfig, loc *Locations, peLo, peHi int, hostOf func(pe int) *PEHost) error {
+	for _, a := range cfg.Arrays {
+		for pe := peLo; pe < peHi; pe++ {
+			for _, ref := range loc.ElementsOn(a, pe) {
+				ch, ok := hostOf(pe).elems[ref]
+				if !ok {
+					continue
+				}
+				if _, ok := ch.(Migratable); !ok {
+					return fmt.Errorf("core: load-balanced element %v has type %T, which does not implement core.Migratable — add a PUP method so its state can be serialized for migration", ref, ch)
+				}
+			}
 		}
 	}
 	return nil
@@ -412,6 +439,12 @@ func (rt *Runtime) Topo() *topology.Topology { return rt.topo }
 
 // ArrayN implements Backend.
 func (rt *Runtime) ArrayN(a ArrayID) int { return rt.prog.Arrays[a].N }
+
+// Locations exposes the runtime's location table. Every node of a
+// multi-process run maintains a full copy (load-balancing rounds update
+// all of them), so tests and tools can check where an element ended up —
+// and that separate processes agree — after the run completes.
+func (rt *Runtime) Locations() *Locations { return rt.loc }
 
 // ExitWith implements Backend.
 func (rt *Runtime) ExitWith(v any) {

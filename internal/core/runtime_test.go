@@ -323,7 +323,7 @@ func TestLoadBalancingProtocol(t *testing.T) {
 		Arrays: []ArraySpec{{
 			ID: 0, N: n,
 			New: func(i int) Chare {
-				return funcChare(func(ctx *Ctx, entry EntryID, data any) {
+				return &migChare{fn: func(ctx *Ctx, entry EntryID, data any) {
 					switch entry {
 					case 0:
 						ctx.AtSync()
@@ -331,7 +331,7 @@ func TestLoadBalancingProtocol(t *testing.T) {
 						// Report the PE we resumed on.
 						ctx.Contribute(float64(ctx.PE()), OpSum)
 					}
-				})
+				}}
 			},
 		}},
 		Start: func(ctx *Ctx) {
@@ -417,14 +417,24 @@ func TestNewRuntimeValidation(t *testing.T) {
 	if _, err := NewRuntime(topo, prog, WithCluster(ClusterConfig{Transport: fakeTransport{}, NodeOf: func(int) int { return 0 }, PELo: 0, PEHi: 1}), WithQuiescence()); err != nil {
 		t.Errorf("multi-process quiescence rejected: %v", err)
 	}
-	// Load balancing migrates elements by reference: single-process only.
+	// Load-balanced elements must serialize through PUP; a non-Migratable
+	// chare type is rejected up front, single- or multi-process.
 	lbProg := &Program{
 		Arrays: []ArraySpec{{ID: 0, N: 1, New: func(int) Chare { return funcChare(func(*Ctx, EntryID, any) {}) }}},
 		Start:  func(*Ctx) {},
 		LB:     &LBConfig{Arrays: []ArrayID{0}, Strategy: moveAllTo(0)},
 	}
 	if _, err := NewRuntime(topo, lbProg, WithCluster(ClusterConfig{Transport: fakeTransport{}, NodeOf: func(int) int { return 0 }, PELo: 0, PEHi: 1})); err == nil {
-		t.Error("multi-process load balancing accepted")
+		t.Error("multi-process load balancing of non-Migratable elements accepted")
+	}
+	// With Migratable elements, multi-process load balancing is supported.
+	lbOK := &Program{
+		Arrays: []ArraySpec{{ID: 0, N: 1, New: func(int) Chare { return &migChare{fn: func(*Ctx, EntryID, any) {}} }}},
+		Start:  func(*Ctx) {},
+		LB:     &LBConfig{Arrays: []ArrayID{0}, Strategy: moveAllTo(0)},
+	}
+	if _, err := NewRuntime(topo, lbOK, WithCluster(ClusterConfig{Transport: fakeTransport{}, NodeOf: func(int) int { return 0 }, PELo: 0, PEHi: 1})); err != nil {
+		t.Errorf("multi-process load balancing rejected: %v", err)
 	}
 }
 

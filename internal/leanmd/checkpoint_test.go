@@ -107,28 +107,30 @@ func TestLeanMDCheckpointRestart(t *testing.T) {
 	}
 }
 
-// TestLeanMDWithLoadBalancing runs LeanMD through a mid-run AtSync round
-// driven by a pair-array rebalance... cells and pairs are migratable, so
-// a strategy can move them; this exercises migration of real MD state.
+// TestLeanMDPackUnpackRoundTrip pins the migration invariant for both
+// chare kinds: pack→unpack→pack is byte-identical, freshly constructed
+// elements adopt the packed state, and unsafe points refuse to pack.
 func TestLeanMDPackUnpackRoundTrip(t *testing.T) {
 	p := DefaultParams()
 	p.NX, p.NY, p.NZ = 2, 2, 2
 	p.AtomsPerCell = 8
+	p.Warmup = 0
 	g, err := NewGeometry(2, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	c := newCell(p, g, 3)
 	c.gate.JumpTo(2)
-	data, err := c.Pack()
+	data, err := core.PUPPack(c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch, err := restoreCell(p, g, 3, data)
-	if err != nil {
+	rc := newCell(p, g, 3)
+	// Perturb so the test proves the packed state wins over InitAtoms.
+	rc.pos[0].X += 1
+	if err := core.PUPUnpack(rc, data); err != nil {
 		t.Fatal(err)
 	}
-	rc := ch.(*cell)
 	if rc.gate.Step() != 2 || len(rc.pos) != 8 {
 		t.Errorf("restored cell state: step=%d atoms=%d", rc.gate.Step(), len(rc.pos))
 	}
@@ -137,32 +139,48 @@ func TestLeanMDPackUnpackRoundTrip(t *testing.T) {
 			t.Fatal("positions corrupted")
 		}
 	}
+	data2, err := core.PUPPack(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("cell pack→unpack→pack not byte-identical")
+	}
 
 	ff := p.Field()
 	o := newPair(p, g, ff, 5)
 	o.gate.JumpTo(4)
-	pd, err := o.Pack()
+	pd, err := core.PUPPack(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	po, err := restorePair(p, g, ff, 5, pd)
-	if err != nil {
+	po := newPair(p, g, ff, 5)
+	if err := core.PUPUnpack(po, pd); err != nil {
 		t.Fatal(err)
 	}
-	if po.(*pairObj).gate.Step() != 4 {
+	if po.gate.Step() != 4 {
 		t.Error("pair step lost")
 	}
 
 	// A pair holding in-flight coordinates refuses to pack.
 	o2 := newPair(p, g, ff, 6)
 	o2.posA = []Vec3{{}}
-	if _, err := o2.Pack(); err == nil {
+	if _, err := core.PUPPack(o2); err == nil {
 		t.Error("pair with in-flight coordinates packed")
 	}
-	if _, err := restoreCell(p, g, 1, []byte("junk")); err == nil {
+	if err := core.PUPUnpack(newCell(p, g, 1), []byte("junk")); err == nil {
 		t.Error("junk cell restored")
 	}
-	if _, err := restorePair(p, g, ff, 1, []byte("junk")); err == nil {
+	if err := core.PUPUnpack(newPair(p, g, ff, 1), []byte("junk")); err == nil {
 		t.Error("junk pair restored")
+	}
+
+	// A cell from a program with a different atom count refuses the state.
+	pOther := DefaultParams()
+	pOther.NX, pOther.NY, pOther.NZ = 2, 2, 2
+	pOther.AtomsPerCell = 27
+	pOther.Warmup = 0
+	if err := core.PUPUnpack(newCell(pOther, g, 3), data); err == nil {
+		t.Error("atom-count mismatch accepted")
 	}
 }

@@ -439,13 +439,12 @@ func BuildProgram(p *Params) (*core.Program, *Geometry, error) {
 		Arrays: []core.ArraySpec{
 			{
 				ID: ArrayCells, N: g.NumCells,
-				New:     func(i int) core.Chare { return newCell(p, g, i) },
-				Restore: func(i int, data []byte) (core.Chare, error) { return restoreCell(p, g, i, data) },
+				// No Restore: checkpointed cells rebuild through New + PUP.
+				New: func(i int) core.Chare { return newCell(p, g, i) },
 			},
 			{
 				ID: ArrayPairs, N: g.NumPairs(),
-				New:     func(i int) core.Chare { return newPair(p, g, ff, i) },
-				Restore: func(i int, data []byte) (core.Chare, error) { return restorePair(p, g, ff, i, data) },
+				New: func(i int) core.Chare { return newPair(p, g, ff, i) },
 				// Pairs are placed with their lower cell's PE so that a
 				// pair is local to at least one of its cells' clusters,
 				// matching the paper's subset-A/subset-B structure.

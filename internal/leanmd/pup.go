@@ -1,0 +1,89 @@
+package leanmd
+
+import (
+	"gridmdo/internal/core"
+)
+
+// Serialization of cells and cell-pairs through the core PUP layer,
+// enabling load balancing (elements migrate between PEs, including
+// across gridnode processes) and checkpoint/restart.
+
+// pupVec3s packs a []Vec3 as a flat float64 vector so the length checks
+// and bit-exact float handling of core.PUP apply unchanged.
+func pupVec3s(p *core.PUP, v *[]Vec3) {
+	var flat []float64
+	if !p.Unpacking() {
+		flat = make([]float64, 0, 3*len(*v))
+		for _, w := range *v {
+			flat = append(flat, w.X, w.Y, w.Z)
+		}
+	}
+	p.Float64s(&flat)
+	if p.Unpacking() {
+		if len(flat)%3 != 0 {
+			p.Errorf("leanmd: vector payload of %d floats is not a multiple of 3", len(flat))
+			return
+		}
+		out := make([]Vec3, len(flat)/3)
+		for i := range out {
+			out[i] = Vec3{flat[3*i], flat[3*i+1], flat[3*i+2]}
+		}
+		*v = out
+	}
+}
+
+// PUP implements core.Migratable. Positions, the two velocity views of
+// the leapfrog, and the step counter travel; geometry, charges, and
+// section wiring rebuild from Params on the destination.
+func (c *cell) PUP(p *core.PUP) {
+	if !p.Unpacking() && c.gate.PendingFuture() > 0 {
+		p.Errorf("leanmd: pack cell %d with %d buffered future forces", c.id, c.gate.PendingFuture())
+		return
+	}
+	step, started := c.gate.Step(), c.started
+	p.Int(&step)
+	p.Bool(&started)
+	pupVec3s(p, &c.pos)
+	pupVec3s(p, &c.vHalf)
+	pupVec3s(p, &c.vel)
+	if p.Unpacking() {
+		if len(c.pos) != c.p.AtomsPerCell {
+			p.Errorf("leanmd: restore cell %d: %d atoms, program wants %d", c.id, len(c.pos), c.p.AtomsPerCell)
+			return
+		}
+		if len(c.vHalf) != len(c.pos) || len(c.vel) != len(c.pos) {
+			p.Errorf("leanmd: restore cell %d: velocity lengths %d/%d do not match %d atoms",
+				c.id, len(c.vHalf), len(c.vel), len(c.pos))
+			return
+		}
+		// Checkpoint restores only: a migrating cell carries its reduction
+		// history, so being past the warmup round is fine mid-run.
+		if p.Checkpointing() && c.p.Warmup > 0 && c.p.Warmup <= step {
+			p.Errorf("leanmd: restore cell %d: warmup %d not after restored step %d", c.id, c.p.Warmup, step)
+			return
+		}
+		c.gate.JumpTo(step)
+		c.started = started
+		c.done = step >= c.p.Steps
+	}
+}
+
+// PUP implements core.Migratable. A pair's only durable state is its
+// step counter; in-flight coordinates are never present at a sync or
+// checkpoint quiescent point, and packing with any buffered is refused.
+func (o *pairObj) PUP(p *core.PUP) {
+	if !p.Unpacking() && (o.posA != nil || o.posB != nil || o.gate.PendingFuture() > 0) {
+		p.Errorf("leanmd: pack pair %d with coordinates in flight", o.idx)
+		return
+	}
+	step := o.gate.Step()
+	p.Int(&step)
+	if p.Unpacking() {
+		o.gate.JumpTo(step)
+	}
+}
+
+var (
+	_ core.Migratable = (*cell)(nil)
+	_ core.Migratable = (*pairObj)(nil)
+)

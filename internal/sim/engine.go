@@ -152,7 +152,7 @@ func New(topo *topology.Topology, prog *core.Program, opts Options) (*Engine, er
 			func(a core.ArrayID, seq int64, v any) { ps.host.RunReduction(e.prog, a, seq, v) },
 		)
 		if prog.LB != nil {
-			ps.lb = core.NewLBMgr(pe, prog.LB, topo, e.loc, ps.host, e.Route)
+			ps.lb = core.NewLBMgr(pe, prog.LB, topo, e.loc, ps.host, prog, e.Route)
 		}
 		e.pes[pe] = ps
 	}

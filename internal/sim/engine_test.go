@@ -13,6 +13,10 @@ type funcChare func(ctx *core.Ctx, entry core.EntryID, data any)
 
 func (f funcChare) Recv(ctx *core.Ctx, entry core.EntryID, data any) { f(ctx, entry, data) }
 
+// PUP implements core.Migratable with no state, so LB tests can migrate
+// funcChare elements (the handler itself rebuilds from the constructor).
+func (f funcChare) PUP(*core.PUP) {}
+
 // cleanTopo builds a two-cluster topology with exactly-L inter-cluster
 // latency and no overhead/bandwidth terms, so tests can assert exact
 // virtual times.

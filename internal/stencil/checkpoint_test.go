@@ -2,6 +2,7 @@ package stencil
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"time"
 
@@ -10,8 +11,8 @@ import (
 	"gridmdo/internal/topology"
 )
 
-// runWithCheckpoint runs a stencil on the virtual-time engine and returns
-// the engine for checkpointing.
+// runEngine runs a stencil on the virtual-time engine and returns the
+// engine for checkpointing.
 func runEngine(t *testing.T, p *Params, procs int, lat time.Duration) *sim.Engine {
 	t.Helper()
 	prog, err := BuildProgram(p)
@@ -137,7 +138,7 @@ func TestRestoreValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Mismatched decomposition is rejected at restore time.
+	// Mismatched decomposition is rejected at install time (element count).
 	pBad := &Params{Width: 16, Height: 16, VX: 4, VY: 4, Steps: 6}
 	progBad, err := BuildProgram(pBad)
 	if err != nil {
@@ -147,7 +148,8 @@ func TestRestoreValidation(t *testing.T) {
 		t.Error("mismatched element count accepted")
 	}
 
-	// A warmup inside the restored step range is rejected.
+	// A warmup inside the restored step range is rejected when the block
+	// unpacks during element construction.
 	pWarm := &Params{Width: 16, Height: 16, VX: 2, VY: 2, Steps: 6, Warmup: 2}
 	progWarm, err := BuildProgram(pWarm)
 	if err != nil {
@@ -160,35 +162,69 @@ func TestRestoreValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The restore wrapper panics during element construction; executors
-	// convert that into a constructor error.
+	// The PUP auto-restore wrapper panics during element construction;
+	// executors convert that into a constructor error.
 	if _, err := sim.New(topo, progWarm, sim.Options{}); err == nil {
 		t.Error("warmup inside restored step range accepted")
 	}
 }
 
-func TestPackRestoreRoundTrip(t *testing.T) {
+// TestBlockPUPRoundTrip pins the migration invariant directly:
+// pack→unpack→pack is byte-identical, and a freshly constructed block
+// adopts the packed step and grid.
+func TestBlockPUPRoundTrip(t *testing.T) {
 	p := &Params{Width: 24, Height: 24, VX: 3, VY: 3, Steps: 4}
 	b := newBlock(p, 4)
 	b.gate.JumpTo(2)
-	data, err := b.Pack()
+	for i := range b.cur {
+		b.cur[i] = float64(i) * 0.5
+	}
+	data, err := core.PUPPack(b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch, err := restoreBlock(p, 4, data)
-	if err != nil {
+	rb := newBlock(p, 4)
+	if err := core.PUPUnpack(rb, data); err != nil {
 		t.Fatal(err)
 	}
-	rb := ch.(*block)
 	if rb.gate.Step() != 2 || rb.w != b.w || rb.h != b.h {
-		t.Errorf("restored shape/step mismatch: %+v", rb)
+		t.Errorf("restored shape/step mismatch: step=%d w=%d h=%d", rb.gate.Step(), rb.w, rb.h)
 	}
 	for i := range b.cur {
 		if rb.cur[i] != b.cur[i] {
 			t.Fatalf("grid mismatch at %d", i)
 		}
 	}
-	if _, err := restoreBlock(p, 4, []byte("junk")); err == nil {
+	data2, err := core.PUPPack(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("pack→unpack→pack not byte-identical")
+	}
+	if err := core.PUPUnpack(newBlock(p, 4), []byte("junk")); err == nil {
 		t.Error("junk restored")
+	}
+
+	// A block from a different decomposition refuses the state.
+	pOther := &Params{Width: 24, Height: 24, VX: 3, VY: 6, Steps: 4}
+	err = core.PUPUnpack(newBlock(pOther, 4), data)
+	if err == nil || !strings.Contains(err.Error(), "checkpoint is") {
+		t.Errorf("shape mismatch: %v", err)
+	}
+}
+
+// TestBlockPUPRefusesMidStep ensures a block holding buffered future
+// ghosts cannot be packed: that is not a safe migration point.
+func TestBlockPUPRefusesMidStep(t *testing.T) {
+	p := &Params{Width: 16, Height: 16, VX: 2, VY: 2, Steps: 4}
+	b := newBlock(p, 0)
+	b.gate.Deliver(1, ghostMsg{Dir: 0, Step: 1, Vals: make([]float64, b.h)})
+	if b.gate.PendingFuture() == 0 {
+		t.Fatal("test setup: no buffered future ghost")
+	}
+	_, err := core.PUPPack(b)
+	if err == nil || !strings.Contains(err.Error(), "future ghosts") {
+		t.Errorf("mid-step pack: %v", err)
 	}
 }

@@ -1,0 +1,58 @@
+package stencil
+
+import (
+	"gridmdo/internal/core"
+)
+
+// PUP implements core.Migratable: one visitor serves load-balancer
+// migration, checkpoint/restart (including restart on a different PE
+// count), and the pack→unpack→pack byte-identity the fuzz tests pin.
+//
+// Only the step counter, the block shape, and the current grid travel;
+// everything else (neighbor topology, gate need, next buffer) is derived
+// from Params by newBlock on the destination, and the unpacking branch
+// validates the packed shape against that target program.
+func (b *block) PUP(p *core.PUP) {
+	if !p.Unpacking() && b.gate.PendingFuture() > 0 {
+		// A block parked at AtSync or a post-run quiescent point owns no
+		// buffered future ghosts; anything else is not a safe point to move.
+		p.Errorf("stencil: pack block (%d,%d) with %d buffered future ghosts", b.bx, b.by, b.gate.PendingFuture())
+		return
+	}
+	step, w, h := b.gate.Step(), b.w, b.h
+	p.Int(&step)
+	p.Int(&w)
+	p.Int(&h)
+	if p.Unpacking() {
+		if w != b.w || h != b.h {
+			p.Errorf("stencil: restore block (%d,%d): checkpoint is %dx%d, program wants %dx%d",
+				b.bx, b.by, w, h, b.w, b.h)
+			return
+		}
+		if p.Checkpointing() && b.p.Warmup > 0 && b.p.Warmup <= step {
+			// On a checkpoint restore the warmup reduction round would never
+			// fire, desynchronizing the reduction sequence; continued runs
+			// must time from scratch. A live migration is different: the
+			// element's reduction history moved with it, so a block past its
+			// warmup step is fine.
+			p.Errorf("stencil: restore block (%d,%d): warmup %d not after restored step %d (use Warmup=0 or > %d)",
+				b.bx, b.by, b.p.Warmup, step, step)
+			return
+		}
+	}
+	p.Float64s(&b.cur)
+	if p.Unpacking() {
+		if len(b.cur) != (b.w+2)*(b.h+2) {
+			p.Errorf("stencil: restore block (%d,%d): grid length %d, want %d",
+				b.bx, b.by, len(b.cur), (b.w+2)*(b.h+2))
+			return
+		}
+		copy(b.next, b.cur)
+		b.gate.JumpTo(step)
+		b.done = step >= b.p.Steps
+	}
+}
+
+// interface check: blocks are migratable (needed by the load balancers
+// and checkpointing).
+var _ core.Migratable = (*block)(nil)

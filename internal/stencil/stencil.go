@@ -54,12 +54,15 @@ type Params struct {
 	// use under the real-time runtime).
 	Collect func(bx, by, x0, y0, w, h int, vals []float64)
 
-	// LB, if non-nil, enables one AtSync load-balancing round after step
-	// LBAtStep. The sync point — immediately after a step's compute,
-	// before its borders are sent — is application-quiescent: no ghost
-	// message can be in flight, so blocks migrate safely.
+	// LB, if non-nil, enables AtSync load-balancing: one round after step
+	// LBAtStep, or — when LBEvery is set — a round every LBEvery steps
+	// (the gridnode -lb-period flag). The sync point — immediately after
+	// a step's compute, before its borders are sent — is
+	// application-quiescent: no ghost message can be in flight, so blocks
+	// migrate safely.
 	LB       core.Strategy
 	LBAtStep int
+	LBEvery  int
 
 	// InitialMap optionally overrides the default block placement
 	// (contiguous column strips); used by the load-balancing ablation to
@@ -84,10 +87,24 @@ func (p *Params) Validate() error {
 	if p.Warmup < 0 || p.Warmup >= p.Steps {
 		return fmt.Errorf("stencil: warmup %d must be in [0, steps=%d)", p.Warmup, p.Steps)
 	}
-	if p.LB != nil && (p.LBAtStep <= 0 || p.LBAtStep >= p.Steps) {
+	if p.LBEvery < 0 {
+		return fmt.Errorf("stencil: LBEvery %d must be >= 0", p.LBEvery)
+	}
+	if p.LB != nil && p.LBEvery == 0 && (p.LBAtStep <= 0 || p.LBAtStep >= p.Steps) {
 		return fmt.Errorf("stencil: LBAtStep %d must be in (0, steps=%d)", p.LBAtStep, p.Steps)
 	}
 	return nil
+}
+
+// syncAt reports whether a balancing round runs after the given step.
+func (p *Params) syncAt(step int) bool {
+	if p.LB == nil || step <= 0 || step >= p.Steps {
+		return false
+	}
+	if p.LBEvery > 0 {
+		return step%p.LBEvery == 0
+	}
+	return step == p.LBAtStep
 }
 
 // NumObjects reports the virtualization degree VX*VY.
@@ -345,6 +362,7 @@ func (b *block) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
 		if _, ok := b.gate.Deliver(g.Step, g); ok {
 			b.applyGhost(g)
 			b.tryAdvance(ctx)
+		} else {
 		}
 	default:
 		panic(fmt.Sprintf("stencil: unknown entry %d", entry))
@@ -380,7 +398,7 @@ func (b *block) tryAdvance(ctx *core.Ctx) {
 			ctx.Contribute(b.checksum(), core.OpSum)
 			return
 		}
-		if b.p.LB != nil && step == b.p.LBAtStep {
+		if b.p.syncAt(step) {
 			// Application-quiescent point: every ghost this block is owed
 			// has been consumed and none for this step have been sent.
 			ctx.AtSync()
@@ -409,9 +427,9 @@ func BuildProgram(p *Params) (*core.Program, error) {
 	prog := &core.Program{
 		Arrays: []core.ArraySpec{{
 			ID: 0, N: p.NumObjects(),
-			New:     func(i int) core.Chare { return newBlock(p, i) },
-			Restore: func(i int, data []byte) (core.Chare, error) { return restoreBlock(p, i, data) },
-			Map:     p.InitialMap,
+			// No Restore: checkpointed blocks rebuild through New + PUP.
+			New: func(i int) core.Chare { return newBlock(p, i) },
+			Map: p.InitialMap,
 		}},
 		Start: func(ctx *core.Ctx) {
 			startAt = ctx.Time()

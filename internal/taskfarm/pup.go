@@ -1,0 +1,36 @@
+package taskfarm
+
+import (
+	"gridmdo/internal/core"
+)
+
+// PUP implements core.Migratable. The farm's bookkeeping is plain
+// scalars plus the per-worker tally; Params travel with the program, not
+// the checkpoint.
+func (m *master) PUP(p *core.PUP) {
+	workers := m.workers
+	p.Int(&workers)
+	p.Int(&m.next)
+	p.Int(&m.done)
+	p.Float64(&m.sum)
+	p.Ints(&m.perW)
+	p.Duration(&m.started)
+	if p.Unpacking() {
+		if workers != m.workers {
+			p.Errorf("taskfarm: restore master: checkpoint has %d workers, program wants %d", workers, m.workers)
+			return
+		}
+		if m.perW != nil && len(m.perW) != m.workers {
+			p.Errorf("taskfarm: restore master: per-worker tally has %d entries, want %d", len(m.perW), m.workers)
+		}
+	}
+}
+
+// PUP implements core.Migratable. Workers are stateless between tasks —
+// identity and parameters rebuild from the program — so nothing travels.
+func (w *worker) PUP(p *core.PUP) {}
+
+var (
+	_ core.Migratable = (*master)(nil)
+	_ core.Migratable = (*worker)(nil)
+)

@@ -1,0 +1,54 @@
+package unstruct
+
+import (
+	"gridmdo/internal/core"
+)
+
+// PUP implements core.Migratable. The step counter and the vertex-value
+// map (owned plus halo) travel as sorted (key, value) columns so packing
+// is deterministic and pack→unpack→pack is byte-identical; mesh,
+// partition, and gate wiring rebuild from Params on the destination.
+func (c *chunk) PUP(p *core.PUP) {
+	if !p.Unpacking() && c.gate.PendingFuture() > 0 {
+		p.Errorf("unstruct: pack chunk %d with %d buffered future halos", c.id, c.gate.PendingFuture())
+		return
+	}
+	step := c.gate.Step()
+	p.Int(&step)
+	var keys []int32
+	var vals []float64
+	if !p.Unpacking() {
+		keys = make([]int32, 0, len(c.val))
+		for v := range c.val {
+			keys = append(keys, v)
+		}
+		sortInt32s(keys)
+		vals = make([]float64, len(keys))
+		for i, v := range keys {
+			vals[i] = c.val[v]
+		}
+	}
+	p.Int32s(&keys)
+	p.Float64s(&vals)
+	if p.Unpacking() {
+		if len(keys) != len(vals) {
+			p.Errorf("unstruct: restore chunk %d: %d keys but %d values", c.id, len(keys), len(vals))
+			return
+		}
+		if len(keys) != len(c.val) {
+			p.Errorf("unstruct: restore chunk %d: %d vertex values, partition wants %d", c.id, len(keys), len(c.val))
+			return
+		}
+		for i, v := range keys {
+			if _, ok := c.val[v]; !ok {
+				p.Errorf("unstruct: restore chunk %d: vertex %d is not owned or haloed here", c.id, v)
+				return
+			}
+			c.val[v] = vals[i]
+		}
+		c.gate.JumpTo(step)
+		c.done = step >= c.p.Steps
+	}
+}
+
+var _ core.Migratable = (*chunk)(nil)
