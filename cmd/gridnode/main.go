@@ -49,6 +49,7 @@ import (
 	"gridmdo/internal/leanmd"
 	"gridmdo/internal/metrics"
 	"gridmdo/internal/stencil"
+	"gridmdo/internal/taskfarm"
 	"gridmdo/internal/topology"
 	"gridmdo/internal/trace"
 	"gridmdo/internal/vmi"
@@ -63,6 +64,10 @@ type config struct {
 	objects, width        int
 	cells, atoms          int
 	steps, warmup         int
+	tasks, shards, batch  int
+	prefetch, spin        int
+	steal                 bool
+	skew                  float64
 	lb                    string
 	lbPeriod              int
 	checkpoint, restart   string
@@ -85,7 +90,7 @@ func main() {
 	var cfg config
 	flag.IntVar(&cfg.node, "node", 0, "this process's node index")
 	flag.StringVar(&cfg.addrList, "addrs", "", "comma-separated listen addresses, one per node")
-	flag.StringVar(&cfg.app, "app", "stencil", "stencil|leanmd")
+	flag.StringVar(&cfg.app, "app", "stencil", "stencil|leanmd|taskfarm")
 	flag.IntVar(&cfg.procs, "procs", 4, "total PEs across all nodes")
 	flag.DurationVar(&cfg.latency, "latency", 1725*time.Microsecond, "one-way inter-cluster latency")
 	flag.IntVar(&cfg.objects, "objects", 64, "stencil: virtualization degree (perfect square)")
@@ -95,6 +100,13 @@ func main() {
 	flag.IntVar(&cfg.steps, "steps", 10, "time steps")
 	flag.IntVar(&cfg.warmup, "warmup", 3, "warmup steps")
 	flag.IntVar(&cfg.split, "split", 0, "PE index where cluster 1 begins (unequal co-allocations; 0 = procs/2)")
+	flag.IntVar(&cfg.tasks, "tasks", 2000, "taskfarm: task count")
+	flag.IntVar(&cfg.shards, "shards", 1, "taskfarm: dispatcher shard count (1 = single master)")
+	flag.IntVar(&cfg.batch, "batch", 16, "taskfarm: grant batch cap (sharded only)")
+	flag.BoolVar(&cfg.steal, "steal", false, "taskfarm: enable randomized work stealing between shards")
+	flag.IntVar(&cfg.prefetch, "prefetch", 2, "taskfarm: per-worker prefetch depth")
+	flag.IntVar(&cfg.spin, "spin", 20000, "taskfarm: wall-clock spin iterations per task")
+	flag.Float64Var(&cfg.skew, "skew", 1, "taskfarm: per-task cost ramp 1x..skew-x across the task space")
 	flag.StringVar(&cfg.lb, "lb", "", "AtSync load balancing: greedy|refine|grid (stencil only)")
 	flag.IntVar(&cfg.lbPeriod, "lb-period", 0, "balance every N steps (0: one round at steps/2)")
 	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "write this node's checkpoint to <prefix>.node<N> when the run completes")
@@ -125,7 +137,7 @@ func strategyByName(name string) (core.Strategy, error) {
 	}
 }
 
-func buildProgram(cfg config) (*core.Program, error) {
+func buildProgram(cfg config, reg *metrics.Registry) (*core.Program, error) {
 	switch cfg.app {
 	case "stencil":
 		v := 1
@@ -162,6 +174,18 @@ func buildProgram(cfg config) (*core.Program, error) {
 		p.Steps, p.Warmup = cfg.steps, cfg.warmup
 		prog, _, err := leanmd.BuildProgram(p)
 		return prog, err
+	case "taskfarm":
+		if cfg.lb != "" {
+			return nil, fmt.Errorf("-lb supports -app stencil only")
+		}
+		p := &taskfarm.Params{
+			Tasks: cfg.tasks, Workers: cfg.procs,
+			Prefetch: cfg.prefetch, Spin: cfg.spin,
+			Shards: cfg.shards, Batch: cfg.batch, Steal: cfg.steal,
+			CostSkew: cfg.skew, Seed: 1,
+			Metrics: reg,
+		}
+		return taskfarm.BuildProgram(p)
 	default:
 		return nil, fmt.Errorf("unknown app %q", cfg.app)
 	}
@@ -196,7 +220,11 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
-	prog, err := buildProgram(cfg)
+	// The registry is created before the program so applications that
+	// publish their own series (taskfarm) can hold handles into it; the
+	// same registry later instruments the runtime and the VMI stack.
+	reg := metrics.NewRegistry()
+	prog, err := buildProgram(cfg, reg)
 	if err != nil {
 		return err
 	}
@@ -217,7 +245,6 @@ func run(cfg config) error {
 	}
 	nodeOf := func(pe int) int { return pe / perNode }
 
-	reg := metrics.NewRegistry()
 	var rt *core.Runtime
 	builder := vmi.NewChainBuilder(cfg.node, addrMap, func(pe int32) int { return nodeOf(int(pe)) }).
 		Metrics(reg).
@@ -321,6 +348,9 @@ func run(cfg config) error {
 			fmt.Printf("stencil: per-step %v, total %v, checksum %.6f\n", res.PerStep, res.Total, res.Checksum)
 		case *leanmd.Result:
 			fmt.Printf("leanmd: per-step %v, total %v, drift %.4f%%\n", res.PerStep, res.Total, 100*res.Drift())
+		case *taskfarm.Result:
+			fmt.Printf("taskfarm: tasks %d, makespan %v, checksum %#x, shards %d, steals %d, stolen %d\n",
+				res.Tasks, res.Makespan, res.Checksum, res.Shards, res.Steals, res.StolenTask)
 		default:
 			fmt.Printf("result: %v\n", v)
 		}

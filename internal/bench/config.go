@@ -57,6 +57,9 @@ type Profile struct {
 	// IrregularVertices sizes the irregular-mesh generality experiment.
 	IrregularVertices int
 
+	// Farm sizes the taskfarm-at-scale experiment (taskfarm-scale).
+	Farm FarmConfig
+
 	// Metrics, when non-nil, instruments every real-time runtime and TCP
 	// stack the harness constructs (the Table 1/2 host and TCP columns).
 	// The registry accumulates across runs; gridsim -metrics-out writes
@@ -100,6 +103,17 @@ func PaperProfile() Profile {
 		Fig4Latencies:     msList(1, 2, 4, 8, 16, 32, 64, 128, 256),
 		RealLatency:       1725 * time.Microsecond,
 		IrregularVertices: 60000,
+		// One million 10ms tasks at 10µs assignment time: the single
+		// master saturates at JT/AT = 1000 workers, the sweep runs two
+		// decades past it. ~500 workers per dispatcher shard keeps each
+		// shard at half its own knee.
+		Farm: FarmConfig{
+			Tasks: 1_000_000, TaskCost: 10 * time.Millisecond, AssignCost: 10 * time.Microsecond,
+			Prefetch: 2, Batch: 64, CostSkew: 4,
+			Workers:         []int{250, 500, 1000, 2000, 10000, 50000, 100000},
+			WorkersPerShard: 500,
+			Latency:         1725 * time.Microsecond,
+		},
 	}
 }
 
@@ -123,6 +137,15 @@ func FastProfile() Profile {
 		Fig4Latencies:     msList(1, 8, 64, 256),
 		RealLatency:       1725 * time.Microsecond,
 		IrregularVertices: 6000,
+		// Same knee structure as the paper profile at 1/16 the task count
+		// and a 100-worker knee (JT/AT = 10ms/100µs).
+		Farm: FarmConfig{
+			Tasks: 60_000, TaskCost: 10 * time.Millisecond, AssignCost: 100 * time.Microsecond,
+			Prefetch: 2, Batch: 32, CostSkew: 4,
+			Workers:         []int{50, 100, 200, 400, 1600},
+			WorkersPerShard: 50,
+			Latency:         time.Millisecond,
+		},
 	}
 }
 

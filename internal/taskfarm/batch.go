@@ -1,0 +1,386 @@
+package taskfarm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gridmdo/internal/core"
+)
+
+// The sharded farm's wire protocol. Batched grants and results amortize
+// per-message framing the way core.Queue's PopBatch amortizes the queue
+// lock: one message carries Batch tasks, so the dispatcher's per-task
+// cost degrades from (assign + frame) to (assign + frame/Batch). Every
+// protocol type below registers a compact varint payload codec in the
+// wire-codec registry, so none of them ever touches the gob fallback —
+// at millions of tasks the codec *is* the hot path.
+
+// taskRange is a contiguous run of task sequence numbers [Lo, Lo+N).
+// Shards track and transfer the task space as range lists, so a grant of
+// 64 consecutive tasks costs a handful of varint bytes, not 64 integers.
+type taskRange struct {
+	Lo int64
+	N  int64
+}
+
+// taskBatchMsg grants a batch of tasks to one worker.
+type taskBatchMsg struct {
+	Shard  int32       // granting shard; results return to it
+	Ranges []taskRange // tasks in execution order
+	bytes  int         // modeled payload size (TaskBytes × task count)
+}
+
+// PayloadBytes implements core.Sizer.
+func (t taskBatchMsg) PayloadBytes() int {
+	if t.bytes > 0 {
+		return t.bytes
+	}
+	return core.DefaultPayloadBytes
+}
+
+// count is the number of tasks granted.
+func (t taskBatchMsg) count() int64 {
+	var n int64
+	for _, r := range t.Ranges {
+		n += r.N
+	}
+	return n
+}
+
+// resultBatchMsg returns one grant's aggregated results. Values are
+// pre-reduced by the worker: the float sum (verification, tolerance
+// compare) and the wrapping bit-pattern checksum (bit-exact compare,
+// order-independent by construction).
+type resultBatchMsg struct {
+	Worker int32
+	Done   int32
+	Sum    float64
+	Check  uint64
+	bytes  int
+}
+
+// PayloadBytes implements core.Sizer.
+func (r resultBatchMsg) PayloadBytes() int {
+	if r.bytes > 0 {
+		return r.bytes
+	}
+	return core.DefaultPayloadBytes
+}
+
+// stealReqMsg asks a victim shard for work.
+type stealReqMsg struct {
+	Thief int32
+}
+
+// stealRspMsg answers a steal request; empty Ranges means the victim had
+// nothing to spare.
+type stealRspMsg struct {
+	Victim int32
+	Ranges []taskRange
+}
+
+// progressMsg reports a completion delta from a shard to the root
+// collector — one per result batch, so the root's message load is 1/Batch
+// of the task count and its per-message work is a few adds.
+type progressMsg struct {
+	Shard int32
+	Done  int32
+	Sum   float64
+	Check uint64
+}
+
+// shardReportMsg is a shard's final tally, sent when the root announces
+// global completion.
+type shardReportMsg struct {
+	Shard      int32
+	PerW       []int32 // completed per owned worker, wLo-relative
+	Granted    int64
+	Steals     int64
+	StealFails int64
+	Stolen     int64
+	Victimized int64
+}
+
+// Payload codec tags (application range starts at 64).
+const (
+	tagTaskBatch   byte = 64
+	tagResultBatch byte = 65
+	tagStealReq    byte = 66
+	tagStealRsp    byte = 67
+	tagProgress    byte = 68
+	tagShardReport byte = 69
+	tagTask        byte = 70
+	tagResult      byte = 71
+)
+
+// appendRanges encodes a range list: uvarint count, then per range a
+// signed-varint delta from the previous range's end (the first is
+// absolute) and a uvarint length. Grants usually carry one or two
+// near-adjacent ranges, so the whole list is a few bytes.
+func appendRanges(dst []byte, rs []taskRange) []byte {
+	dst = core.AppendUvarint(dst, uint64(len(rs)))
+	prevEnd := int64(0)
+	for _, r := range rs {
+		dst = core.AppendVarint(dst, r.Lo-prevEnd)
+		dst = core.AppendUvarint(dst, uint64(r.N))
+		prevEnd = r.Lo + r.N
+	}
+	return dst
+}
+
+func consumeRanges(b []byte) ([]taskRange, []byte, error) {
+	n, b, err := core.ConsumeUvarint(b)
+	if err != nil {
+		return nil, b, err
+	}
+	// Each range costs at least two bytes; reject counts the remaining
+	// input cannot satisfy before allocating.
+	if n > uint64(len(b)) {
+		return nil, b, fmt.Errorf("%w: range list count %d exceeds input", core.ErrBadWire, n)
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	rs := make([]taskRange, n)
+	prevEnd := int64(0)
+	for i := range rs {
+		var d int64
+		var c uint64
+		if d, b, err = core.ConsumeVarint(b); err != nil {
+			return nil, b, err
+		}
+		if c, b, err = core.ConsumeUvarint(b); err != nil {
+			return nil, b, err
+		}
+		rs[i] = taskRange{Lo: prevEnd + d, N: int64(c)}
+		prevEnd = rs[i].Lo + rs[i].N
+	}
+	return rs, b, nil
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func consumeF64(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, b, fmt.Errorf("%w: truncated float64", core.ErrBadWire)
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b)), b[8:], nil
+}
+
+func init() {
+	core.RegisterPayloadCodec(tagTaskBatch, taskBatchMsg{}, core.PayloadCodec{
+		Append: func(dst []byte, v any) ([]byte, error) {
+			m := v.(taskBatchMsg)
+			dst = core.AppendVarint(dst, int64(m.Shard))
+			dst = core.AppendUvarint(dst, uint64(m.bytes))
+			return appendRanges(dst, m.Ranges), nil
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			var m taskBatchMsg
+			s, b, err := core.ConsumeVarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			by, b, err := core.ConsumeUvarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			rs, b, err := consumeRanges(b)
+			if err != nil {
+				return nil, b, err
+			}
+			m.Shard, m.bytes, m.Ranges = int32(s), int(by), rs
+			return m, b, nil
+		},
+	})
+	core.RegisterPayloadCodec(tagResultBatch, resultBatchMsg{}, core.PayloadCodec{
+		Append: func(dst []byte, v any) ([]byte, error) {
+			m := v.(resultBatchMsg)
+			dst = core.AppendVarint(dst, int64(m.Worker))
+			dst = core.AppendVarint(dst, int64(m.Done))
+			dst = core.AppendUvarint(dst, uint64(m.bytes))
+			dst = appendF64(dst, m.Sum)
+			return binary.BigEndian.AppendUint64(dst, m.Check), nil
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			var m resultBatchMsg
+			w, b, err := core.ConsumeVarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			d, b, err := core.ConsumeVarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			by, b, err := core.ConsumeUvarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			sum, b, err := consumeF64(b)
+			if err != nil {
+				return nil, b, err
+			}
+			if len(b) < 8 {
+				return nil, b, fmt.Errorf("%w: truncated checksum", core.ErrBadWire)
+			}
+			m.Worker, m.Done, m.bytes = int32(w), int32(d), int(by)
+			m.Sum, m.Check = sum, binary.BigEndian.Uint64(b)
+			return m, b[8:], nil
+		},
+	})
+	core.RegisterPayloadCodec(tagStealReq, stealReqMsg{}, core.PayloadCodec{
+		Append: func(dst []byte, v any) ([]byte, error) {
+			return core.AppendVarint(dst, int64(v.(stealReqMsg).Thief)), nil
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			t, b, err := core.ConsumeVarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			return stealReqMsg{Thief: int32(t)}, b, nil
+		},
+	})
+	core.RegisterPayloadCodec(tagStealRsp, stealRspMsg{}, core.PayloadCodec{
+		Append: func(dst []byte, v any) ([]byte, error) {
+			m := v.(stealRspMsg)
+			dst = core.AppendVarint(dst, int64(m.Victim))
+			return appendRanges(dst, m.Ranges), nil
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			vi, b, err := core.ConsumeVarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			rs, b, err := consumeRanges(b)
+			if err != nil {
+				return nil, b, err
+			}
+			return stealRspMsg{Victim: int32(vi), Ranges: rs}, b, nil
+		},
+	})
+	core.RegisterPayloadCodec(tagProgress, progressMsg{}, core.PayloadCodec{
+		Append: func(dst []byte, v any) ([]byte, error) {
+			m := v.(progressMsg)
+			dst = core.AppendVarint(dst, int64(m.Shard))
+			dst = core.AppendVarint(dst, int64(m.Done))
+			dst = appendF64(dst, m.Sum)
+			return binary.BigEndian.AppendUint64(dst, m.Check), nil
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			s, b, err := core.ConsumeVarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			d, b, err := core.ConsumeVarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			sum, b, err := consumeF64(b)
+			if err != nil {
+				return nil, b, err
+			}
+			if len(b) < 8 {
+				return nil, b, fmt.Errorf("%w: truncated checksum", core.ErrBadWire)
+			}
+			return progressMsg{Shard: int32(s), Done: int32(d), Sum: sum, Check: binary.BigEndian.Uint64(b)}, b[8:], nil
+		},
+	})
+	core.RegisterPayloadCodec(tagShardReport, shardReportMsg{}, core.PayloadCodec{
+		Append: func(dst []byte, v any) ([]byte, error) {
+			m := v.(shardReportMsg)
+			dst = core.AppendVarint(dst, int64(m.Shard))
+			dst = core.AppendUvarint(dst, uint64(len(m.PerW)))
+			for _, n := range m.PerW {
+				dst = core.AppendUvarint(dst, uint64(n))
+			}
+			dst = core.AppendVarint(dst, m.Granted)
+			dst = core.AppendVarint(dst, m.Steals)
+			dst = core.AppendVarint(dst, m.StealFails)
+			dst = core.AppendVarint(dst, m.Stolen)
+			return core.AppendVarint(dst, m.Victimized), nil
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			var m shardReportMsg
+			s, b, err := core.ConsumeVarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			m.Shard = int32(s)
+			n, b, err := core.ConsumeUvarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			if n > uint64(len(b)) {
+				return nil, b, fmt.Errorf("%w: per-worker tally count %d exceeds input", core.ErrBadWire, n)
+			}
+			if n > 0 {
+				m.PerW = make([]int32, n)
+				for i := range m.PerW {
+					var c uint64
+					if c, b, err = core.ConsumeUvarint(b); err != nil {
+						return nil, b, err
+					}
+					m.PerW[i] = int32(c)
+				}
+			}
+			for _, dst := range []*int64{&m.Granted, &m.Steals, &m.StealFails, &m.Stolen, &m.Victimized} {
+				if *dst, b, err = core.ConsumeVarint(b); err != nil {
+					return nil, b, err
+				}
+			}
+			return m, b, nil
+		},
+	})
+	// The single-master protocol rides the same registry: taskMsg and
+	// resultMsg predate the batch layer but there is no reason for them
+	// to pay the gob fallback on TCP deployments.
+	core.RegisterPayloadCodec(tagTask, taskMsg{}, core.PayloadCodec{
+		Append: func(dst []byte, v any) ([]byte, error) {
+			m := v.(taskMsg)
+			dst = core.AppendVarint(dst, int64(m.Seq))
+			return core.AppendUvarint(dst, uint64(m.bytes)), nil
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			s, b, err := core.ConsumeVarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			by, b, err := core.ConsumeUvarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			return taskMsg{Seq: int(s), bytes: int(by)}, b, nil
+		},
+	})
+	core.RegisterPayloadCodec(tagResult, resultMsg{}, core.PayloadCodec{
+		Append: func(dst []byte, v any) ([]byte, error) {
+			m := v.(resultMsg)
+			dst = core.AppendVarint(dst, int64(m.Seq))
+			dst = core.AppendVarint(dst, int64(m.Worker))
+			dst = core.AppendUvarint(dst, uint64(m.bytes))
+			return appendF64(dst, m.Value), nil
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			s, b, err := core.ConsumeVarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			w, b, err := core.ConsumeVarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			by, b, err := core.ConsumeUvarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			val, b, err := consumeF64(b)
+			if err != nil {
+				return nil, b, err
+			}
+			return resultMsg{Seq: int(s), Worker: int(w), Value: val, bytes: int(by)}, b, nil
+		},
+	})
+}

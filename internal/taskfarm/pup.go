@@ -26,11 +26,85 @@ func (m *master) PUP(p *core.PUP) {
 	}
 }
 
-// PUP implements core.Migratable. Workers are stateless between tasks —
-// identity and parameters rebuild from the program — so nothing travels.
-func (w *worker) PUP(p *core.PUP) {}
+// PUP implements core.Migratable. Workers rebuild identity and parameters
+// from the program; only the batch-boundary clock travels (it feeds the
+// assignment-wait histogram, and a migrated worker must not report its
+// migration gap as dispatcher starvation).
+func (w *worker) PUP(p *core.PUP) {
+	p.Duration(&w.lastDone)
+}
+
+// PUP implements core.Migratable. The shard's whole scheduling state
+// travels: the pending deque, per-worker grant/completion tallies, steal
+// counters, and the PRNG state (so a restored shard continues the same
+// victim sequence — checkpoint/restore never forks the random stream).
+func (s *shard) PUP(p *core.PUP) {
+	n := len(s.pending)
+	p.Int(&n)
+	if p.Unpacking() {
+		if n < 0 || n > s.p.Tasks {
+			p.Errorf("taskfarm: restore shard %d: %d pending ranges for a %d-task farm", s.id, n, s.p.Tasks)
+			return
+		}
+		s.pending = make([]taskRange, n)
+	}
+	for i := range s.pending {
+		p.Int64(&s.pending[i].Lo)
+		p.Int64(&s.pending[i].N)
+	}
+	p.Int64(&s.avail)
+	p.Ints(&s.out)
+	p.Int32s(&s.perW)
+	p.Int64(&s.granted)
+	p.Int64(&s.grants)
+	p.Int64(&s.steals)
+	p.Int64(&s.stealFails)
+	p.Int64(&s.stolenIn)
+	p.Int64(&s.victimized)
+	p.Uint64(&s.rng)
+	p.Int(&s.fails)
+	p.Bool(&s.stealing)
+	if p.Unpacking() {
+		owned := (s.id+1)*s.p.Workers/s.p.Shards - s.id*s.p.Workers/s.p.Shards
+		if len(s.out) != owned || len(s.perW) != owned {
+			p.Errorf("taskfarm: restore shard %d: tallies sized %d/%d, shard owns %d workers",
+				s.id, len(s.out), len(s.perW), owned)
+		}
+	}
+}
+
+// PUP implements core.Migratable. The root is plain aggregation state.
+func (r *root) PUP(p *core.PUP) {
+	shards := r.shards
+	p.Int(&shards)
+	p.Duration(&r.started)
+	p.Duration(&r.makespan)
+	p.Int(&r.done)
+	p.Float64(&r.sum)
+	p.Uint64(&r.check)
+	p.Int(&r.reports)
+	p.Ints(&r.perW)
+	p.Ints(&r.perShard)
+	p.Int(&r.steals)
+	p.Int(&r.stealFails)
+	p.Int(&r.stolen)
+	if p.Unpacking() {
+		if shards != r.shards {
+			p.Errorf("taskfarm: restore root: checkpoint has %d shards, program wants %d", shards, r.shards)
+			return
+		}
+		if r.perW != nil && len(r.perW) != r.workers {
+			p.Errorf("taskfarm: restore root: per-worker tally has %d entries, want %d", len(r.perW), r.workers)
+		}
+		if r.perShard != nil && len(r.perShard) != r.shards {
+			p.Errorf("taskfarm: restore root: per-shard tally has %d entries, want %d", len(r.perShard), r.shards)
+		}
+	}
+}
 
 var (
 	_ core.Migratable = (*master)(nil)
 	_ core.Migratable = (*worker)(nil)
+	_ core.Migratable = (*shard)(nil)
+	_ core.Migratable = (*root)(nil)
 )

@@ -1,0 +1,472 @@
+package taskfarm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"gridmdo/internal/core"
+	"gridmdo/internal/metrics"
+)
+
+// The sharded farm replaces the single dispatcher with a chare array of
+// dispatcher shards. The WRONJ analysis (SNIPPETS.md §2) caps a single
+// master's useful worker count at JT/AT — job time over per-assignment
+// dispatcher time; past that knee extra workers just queue at the master.
+// Sharding multiplies the aggregate assignment rate by the shard count
+// (each shard owns a contiguous slice of the task space and of the worker
+// array, so the slices never contend), batching divides the per-task
+// framing cost by Batch, and randomized work stealing keeps the static
+// partition from stranding cycles when per-task cost is skewed.
+//
+// Topology of a sharded run:
+//
+//	root (ArrayMaster/0, PE 0)      — aggregates progress, owns the exit
+//	shards (ArrayShard/s)           — own tasks [s·T/S, (s+1)·T/S) and
+//	                                  workers [s·W/S, (s+1)·W/S); placed
+//	                                  on the PE of their first worker
+//	workers (ArrayWorker/w)         — block-mapped over all PEs
+//
+// Steady state per worker: the owning shard keeps Prefetch grants in
+// flight; each resultBatchMsg triggers one new grant, and forwards a
+// progressMsg delta to the root. When a shard's pending deque drains it
+// asks a uniformly random other shard for half its pending work, bounded
+// by StealTries consecutive refusals (an exhausted thief stays out of the
+// steal market — stealing is an optimization, every task has an owner
+// whose workers will run it regardless).
+
+// farmMetrics bundles the farm's metrics handles. Handles are nil-safe,
+// so a farm built without a registry carries no-op handles rather than
+// branching at every observation site.
+type farmMetrics struct {
+	assignWait *metrics.Histogram // worker-observed gap between batches
+	grants     *metrics.Counter   // grant messages sent
+	granted    *metrics.Counter   // tasks granted
+	steals     *metrics.Counter   // successful steal acquisitions
+	stealFails *metrics.Counter   // steal requests answered empty
+	stolen     *metrics.Counter   // tasks moved between shards
+
+	shardTasks []*metrics.Counter // completed per shard (sharded farms)
+}
+
+func newFarmMetrics(p *Params) *farmMetrics {
+	r := p.Metrics // nil is a valid "metrics off" registry
+	fm := &farmMetrics{
+		assignWait: r.Histogram("taskfarm_assign_wait_ns", metrics.DurationBuckets),
+		grants:     r.Counter("taskfarm_grants_total"),
+		granted:    r.Counter("taskfarm_tasks_granted_total"),
+		steals:     r.Counter("taskfarm_steals_total"),
+		stealFails: r.Counter("taskfarm_steal_fails_total"),
+		stolen:     r.Counter("taskfarm_stolen_tasks_total"),
+	}
+	if p.Shards > 1 {
+		fm.shardTasks = make([]*metrics.Counter, p.Shards)
+		for i := range fm.shardTasks {
+			fm.shardTasks[i] = r.Counter("taskfarm_shard_tasks_total",
+				metrics.L("shard", strconv.Itoa(i)))
+		}
+	}
+	return fm
+}
+
+func (fm *farmMetrics) shardDone(id int, n int64) {
+	if id < len(fm.shardTasks) {
+		fm.shardTasks[id].Add(n)
+	}
+}
+
+// stealTries is the effective consecutive-failure bound.
+func (p *Params) stealTries() int {
+	if p.StealTries <= 0 {
+		return 4
+	}
+	return p.StealTries
+}
+
+// recvBatch executes one grant and replies with pre-reduced results. The
+// gap between finishing the previous batch and this one arriving is the
+// worker-observed assignment wait — the WRONJ "rest" time that grows
+// past the knee.
+func (w *worker) recvBatch(ctx *core.Ctx, t taskBatchMsg) {
+	w.fm.assignWait.Observe(int64(ctx.Time() - w.lastDone))
+	var (
+		sum   float64
+		check uint64
+		done  int32
+	)
+	for _, r := range t.Ranges {
+		for seq := r.Lo; seq < r.Lo+r.N; seq++ {
+			v := runTask(ctx, w.p, int(seq))
+			sum += v
+			check += math.Float64bits(v)
+			done++
+		}
+	}
+	w.lastDone = ctx.Time()
+	ctx.Send(core.ElemRef{Array: ArrayShard, Index: int(t.Shard)}, entryResultBatch,
+		resultBatchMsg{Worker: int32(w.id), Done: done, Sum: sum, Check: check,
+			bytes: w.p.TaskBytes * int(done)})
+}
+
+// shard is one dispatcher in the sharded farm.
+type shard struct {
+	p   *Params
+	id  int
+	fm  *farmMetrics
+	wLo int // first owned worker (absolute index)
+
+	// pending is the undispatched task deque as ranges: grants pop the
+	// front (preserving sequential order for cache-friendly victims),
+	// steals pop the back (the work the owner would reach last).
+	pending []taskRange
+	avail   int64 // total tasks across pending
+
+	out  []int   // outstanding grants per owned worker (wLo-relative)
+	perW []int32 // completed per owned worker (wLo-relative)
+
+	granted    int64 // tasks granted
+	grants     int64 // grant messages
+	steals     int64 // successful acquisitions as thief
+	stealFails int64 // refused requests as thief
+	stolenIn   int64 // tasks acquired by stealing
+	victimized int64 // tasks given away
+
+	rng      uint64 // splitmix64 state for victim selection
+	fails    int    // consecutive refusals this drain episode
+	stealing bool   // a steal request is in flight
+}
+
+// newShard builds shard id with its statically owned task and worker
+// slices. The pending deque is populated at construction, not at
+// entryShardStart, so a steal request that races ahead of the start
+// broadcast still sees the victim's real inventory.
+func newShard(p *Params, id int, fm *farmMetrics) *shard {
+	ns, nw := p.Shards, p.Workers
+	wLo, wHi := id*nw/ns, (id+1)*nw/ns
+	tLo, tHi := id*p.Tasks/ns, (id+1)*p.Tasks/ns
+	s := &shard{
+		p: p, id: id, fm: fm, wLo: wLo,
+		out:  make([]int, wHi-wLo),
+		perW: make([]int32, wHi-wLo),
+		rng:  p.Seed ^ (uint64(id+1) * 0xd1342543de82ef95),
+	}
+	if tHi > tLo {
+		s.pending = []taskRange{{Lo: int64(tLo), N: int64(tHi - tLo)}}
+		s.avail = int64(tHi - tLo)
+	}
+	return s
+}
+
+// nextRand steps the splitmix64 generator — deterministic, per-shard, and
+// PUPable, unlike math/rand's hidden global state.
+func (s *shard) nextRand() uint64 {
+	s.rng += 0x9e3779b97f4a7c15
+	z := s.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *shard) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
+	switch entry {
+	case entryShardStart:
+		s.fill(ctx)
+		s.maybeSteal(ctx) // a zero-task shard can start thieving at once
+	case entryResultBatch:
+		rb := data.(resultBatchMsg)
+		wi := int(rb.Worker) - s.wLo
+		s.out[wi]--
+		s.perW[wi] += rb.Done
+		s.fm.shardDone(s.id, int64(rb.Done))
+		ctx.Send(core.ElemRef{Array: ArrayMaster, Index: 0}, entryProgress,
+			progressMsg{Shard: int32(s.id), Done: rb.Done, Sum: rb.Sum, Check: rb.Check})
+		if s.avail > 0 {
+			s.grantTo(ctx, wi)
+		} else {
+			s.maybeSteal(ctx)
+		}
+	case entryStealReq:
+		rq := data.(stealReqMsg)
+		var give []taskRange
+		// Hand over half of pending, but never break a final batch: a
+		// victim with one batch or less refuses, which is what lets the
+		// endgame converge (all-refused thieves retire after StealTries).
+		if s.avail > int64(s.p.batch()) {
+			give = s.popBack(s.avail / 2)
+			var n int64
+			for _, r := range give {
+				n += r.N
+			}
+			s.victimized += n
+			s.fm.stolen.Add(n)
+		}
+		ctx.Send(core.ElemRef{Array: ArrayShard, Index: int(rq.Thief)}, entryStealRsp,
+			stealRspMsg{Victim: int32(s.id), Ranges: give})
+	case entryStealRsp:
+		rsp := data.(stealRspMsg)
+		s.stealing = false
+		var got int64
+		for _, r := range rsp.Ranges {
+			got += r.N
+		}
+		if got > 0 {
+			s.steals++
+			s.stolenIn += got
+			s.fails = 0
+			s.fm.steals.Inc()
+			s.pending = append(s.pending, rsp.Ranges...)
+			s.avail += got
+			s.fill(ctx)
+		} else {
+			s.fails++
+			s.stealFails++
+			s.fm.stealFails.Inc()
+		}
+		s.maybeSteal(ctx)
+	case entryReportReq:
+		ctx.Send(core.ElemRef{Array: ArrayMaster, Index: 0}, entryReport,
+			shardReportMsg{
+				Shard: int32(s.id), PerW: s.perW,
+				Granted: s.granted, Steals: s.steals, StealFails: s.stealFails,
+				Stolen: s.stolenIn, Victimized: s.victimized,
+			})
+	default:
+		panic(fmt.Sprintf("taskfarm: shard got entry %d", entry))
+	}
+}
+
+// chunk is the guided-self-scheduling grant size: Batch while inventory
+// is deep, shrinking with the remaining pool (divided across the up-to
+// 2 x Prefetch x workers grants the pipeline keeps in flight) so the tail
+// is granted in slivers. Without the taper a large Batch x Prefetch x
+// workers product pre-grants the shard's whole slice into worker queues
+// at start, where neither stealing nor self-scheduling can rebalance it.
+func (s *shard) chunk() int64 {
+	c := s.avail / int64(2*s.p.Prefetch*len(s.out))
+	if c < 1 {
+		c = 1
+	}
+	if b := int64(s.p.batch()); c > b {
+		c = b
+	}
+	return c
+}
+
+// grantTo pops one chunk and sends it to owned worker wi. The per-task
+// AssignCost charge is what makes the dispatcher a modeled bottleneck —
+// batching amortizes framing, not assignment work.
+func (s *shard) grantTo(ctx *core.Ctx, wi int) {
+	rs := s.popFront(s.chunk())
+	if len(rs) == 0 {
+		return
+	}
+	var n int64
+	for _, r := range rs {
+		n += r.N
+	}
+	if s.p.AssignCost > 0 {
+		ctx.Charge(time.Duration(n) * s.p.AssignCost)
+	}
+	s.grants++
+	s.granted += n
+	s.out[wi]++
+	s.fm.grants.Inc()
+	s.fm.granted.Add(n)
+	ctx.Send(core.ElemRef{Array: ArrayWorker, Index: s.wLo + wi}, entryTaskBatch,
+		taskBatchMsg{Shard: int32(s.id), Ranges: rs, bytes: s.p.TaskBytes * int(n)})
+}
+
+// fill tops every owned worker up to Prefetch outstanding grants,
+// round-robin so a short supply seeds workers evenly.
+func (s *shard) fill(ctx *core.Ctx) {
+	for more := true; more && s.avail > 0; {
+		more = false
+		for wi := range s.out {
+			if s.avail == 0 {
+				break
+			}
+			if s.out[wi] < s.p.Prefetch {
+				s.grantTo(ctx, wi)
+				more = true
+			}
+		}
+	}
+}
+
+// maybeSteal fires one steal request at a uniformly random other shard if
+// this shard is drained, no request is already in flight, and the drain
+// episode hasn't exhausted its tries.
+func (s *shard) maybeSteal(ctx *core.Ctx) {
+	ns := s.p.Shards
+	if !s.p.Steal || ns < 2 || s.stealing || s.avail > 0 || s.fails >= s.p.stealTries() {
+		return
+	}
+	v := int(s.nextRand() % uint64(ns-1))
+	if v >= s.id {
+		v++
+	}
+	s.stealing = true
+	ctx.Send(core.ElemRef{Array: ArrayShard, Index: v}, entryStealReq,
+		stealReqMsg{Thief: int32(s.id)})
+}
+
+// popFront removes up to n tasks from the front of the deque.
+func (s *shard) popFront(n int64) []taskRange {
+	var out []taskRange
+	for n > 0 && len(s.pending) > 0 {
+		r := &s.pending[0]
+		take := r.N
+		if take > n {
+			take = n
+		}
+		out = append(out, taskRange{Lo: r.Lo, N: take})
+		r.Lo += take
+		r.N -= take
+		n -= take
+		s.avail -= take
+		if r.N == 0 {
+			s.pending = s.pending[1:]
+		}
+	}
+	return out
+}
+
+// popBack removes up to n tasks from the back of the deque.
+func (s *shard) popBack(n int64) []taskRange {
+	var out []taskRange
+	for n > 0 && len(s.pending) > 0 {
+		r := &s.pending[len(s.pending)-1]
+		take := r.N
+		if take > n {
+			take = n
+		}
+		out = append(out, taskRange{Lo: r.Lo + r.N - take, N: take})
+		r.N -= take
+		n -= take
+		s.avail -= take
+		if r.N == 0 {
+			s.pending = s.pending[:len(s.pending)-1]
+		}
+	}
+	return out
+}
+
+// root aggregates shard progress and owns the run's exit. It never
+// touches individual tasks: its message load is one progressMsg per
+// result batch plus one report per shard, so it is not a WRONJ
+// bottleneck at any modeled scale.
+type root struct {
+	p       *Params
+	shards  int
+	workers int
+
+	started  time.Duration
+	makespan time.Duration
+	done     int
+	sum      float64
+	check    uint64
+
+	reports    int
+	perW       []int
+	perShard   []int
+	steals     int
+	stealFails int
+	stolen     int
+}
+
+func (r *root) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
+	switch entry {
+	case entryStart:
+		r.started = ctx.Time()
+		r.perW = make([]int, r.workers)
+		r.perShard = make([]int, r.shards)
+		ctx.Broadcast(ArrayShard, entryShardStart, nil)
+	case entryProgress:
+		pm := data.(progressMsg)
+		r.done += int(pm.Done)
+		r.sum += pm.Sum
+		r.check += pm.Check
+		if r.done == r.p.Tasks {
+			// Makespan is pinned here; the report round-trip below is
+			// accounting, not farm time.
+			r.makespan = ctx.Time() - r.started
+			ctx.Broadcast(ArrayShard, entryReportReq, nil)
+		}
+	case entryReport:
+		rm := data.(shardReportMsg)
+		s := int(rm.Shard)
+		wLo := s * r.workers / r.shards
+		total := 0
+		for i, c := range rm.PerW {
+			r.perW[wLo+i] = int(c)
+			total += int(c)
+		}
+		r.perShard[s] = total
+		r.steals += int(rm.Steals)
+		r.stealFails += int(rm.StealFails)
+		r.stolen += int(rm.Stolen)
+		r.reports++
+		if r.reports == r.shards {
+			ctx.ExitWith(&Result{
+				Makespan:   r.makespan,
+				PerTask:    r.makespan / time.Duration(r.p.Tasks),
+				Tasks:      r.p.Tasks,
+				Workers:    r.workers,
+				Sum:        r.sum,
+				Checksum:   r.check,
+				PerWorker:  r.perW,
+				Shards:     r.shards,
+				PerShard:   r.perShard,
+				Steals:     r.steals,
+				StealFails: r.stealFails,
+				StolenTask: r.stolen,
+			})
+		}
+	default:
+		panic(fmt.Sprintf("taskfarm: root got entry %d", entry))
+	}
+}
+
+// buildSharded assembles the sharded farm program. Shard s is placed on
+// the PE of its first owned worker, so grant/result traffic is intra-PE
+// or at worst intra-cluster; only steal and progress traffic crosses the
+// machine.
+func buildSharded(p *Params) (*core.Program, error) {
+	if p.Workers < p.Shards {
+		return nil, fmt.Errorf("taskfarm: %d shards need at least that many workers (have %d)", p.Shards, p.Workers)
+	}
+	nw, ns := p.Workers, p.Shards
+	fm := newFarmMetrics(p)
+	workerPE := func(i, numPE int) int {
+		if p.DedicatedMaster {
+			if numPE == 1 {
+				return 0
+			}
+			return 1 + core.BlockMap(i, nw, numPE-1)
+		}
+		return core.BlockMap(i, nw, numPE)
+	}
+	return &core.Program{
+		Arrays: []core.ArraySpec{
+			{
+				ID: ArrayMaster, N: 1,
+				Map: func(int, int) int { return 0 },
+				New: func(int) core.Chare { return &root{p: p, shards: ns, workers: nw} },
+			},
+			{
+				ID: ArrayWorker, N: nw,
+				Map: workerPE,
+				New: func(i int) core.Chare { return &worker{p: p, id: i, fm: fm} },
+			},
+			{
+				ID: ArrayShard, N: ns,
+				Map: func(s, numPE int) int { return workerPE(s*nw/ns, numPE) },
+				New: func(s int) core.Chare { return newShard(p, s, fm) },
+			},
+		},
+		Start: func(ctx *core.Ctx) {
+			ctx.Send(core.ElemRef{Array: ArrayMaster, Index: 0}, entryStart, nil)
+		},
+	}, nil
+}

@@ -15,22 +15,34 @@ package taskfarm
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"gridmdo/internal/core"
+	"gridmdo/internal/metrics"
 )
 
-// Arrays.
+// Arrays. The sharded farm (shard.go) adds ArrayShard; the single-master
+// program uses only the first two.
 const (
 	ArrayMaster core.ArrayID = 0
 	ArrayWorker core.ArrayID = 1
+	ArrayShard  core.ArrayID = 2
 )
 
 // Entry methods.
 const (
-	entryStart  core.EntryID = 0 // master: begin farming
-	entryTask   core.EntryID = 1 // worker: one task
-	entryResult core.EntryID = 2 // master: a worker's result
+	entryStart       core.EntryID = 0  // master/root: begin farming
+	entryTask        core.EntryID = 1  // worker: one task
+	entryResult      core.EntryID = 2  // master: a worker's result
+	entryTaskBatch   core.EntryID = 3  // worker: a batch of tasks from a shard
+	entryResultBatch core.EntryID = 4  // shard: a worker's batched results
+	entryStealReq    core.EntryID = 5  // shard: another shard asks for work
+	entryStealRsp    core.EntryID = 6  // shard: a victim's reply (possibly empty)
+	entryProgress    core.EntryID = 7  // root: completion delta from a shard
+	entryShardStart  core.EntryID = 8  // shard: begin dispatching
+	entryReportReq   core.EntryID = 9  // shard: root asks for the final tally
+	entryReport      core.EntryID = 10 // root: a shard's final tally
 )
 
 // Params configures a farm run.
@@ -53,6 +65,49 @@ type Params struct {
 	// worker's compute never delays task resupply. Requires at least two
 	// PEs when used with BuildProgramFor.
 	DedicatedMaster bool
+
+	// AssignCost is the modeled dispatcher CPU per task assignment — the
+	// WRONJ "AT". The master (or shard) charges it for every task it
+	// grants, so a single dispatcher's throughput caps at 1/AssignCost
+	// and the knee at Workers ~= TaskCost/AssignCost is reproducible in
+	// virtual time.
+	AssignCost time.Duration
+
+	// Shards > 1 replaces the single master with a chare array of
+	// dispatcher shards (shard.go), each owning a contiguous slice of the
+	// task space and of the worker array. 0 or 1 keeps the single master.
+	Shards int
+
+	// Batch is the number of tasks per grant message in the sharded farm
+	// (results return batched the same way). 0 means 1: one task per
+	// message, the single-master wire behavior.
+	Batch int
+
+	// Steal lets a drained shard take pending tasks from a randomly
+	// chosen victim shard. Only meaningful with Shards > 1.
+	Steal bool
+
+	// StealTries bounds consecutive failed steal attempts per drain
+	// episode (0 means a default of 4). The counter resets whenever the
+	// shard acquires tasks.
+	StealTries int
+
+	// Seed seeds the per-shard victim-selection PRNG, keeping randomized
+	// stealing deterministic under the virtual-time engine.
+	Seed uint64
+
+	// CostSkew, when > 1, ramps the modeled per-task cost (and Spin
+	// iterations) linearly from 1x at task 0 to CostSkew-x at the last
+	// task. Task *values* are unchanged, so skewed and uniform runs
+	// produce identical checksums; the skew exists to drain low-index
+	// shards early and exercise stealing.
+	CostSkew float64
+
+	// Metrics, when non-nil, publishes farm series into this registry:
+	// the worker-observed assignment-wait histogram (the WRONJ "rest"
+	// time), grant/steal counters, and a per-shard completed-task
+	// counter. Works under both executors — handles are plain atomics.
+	Metrics *metrics.Registry
 }
 
 // Validate checks parameter consistency.
@@ -66,7 +121,36 @@ func (p *Params) Validate() error {
 	if p.TaskCost < 0 {
 		return fmt.Errorf("taskfarm: negative task cost")
 	}
+	if p.AssignCost < 0 {
+		return fmt.Errorf("taskfarm: negative assign cost")
+	}
+	if p.Shards < 0 {
+		return fmt.Errorf("taskfarm: %d shards", p.Shards)
+	}
+	if p.Batch < 0 {
+		return fmt.Errorf("taskfarm: negative batch size")
+	}
+	if p.CostSkew != 0 && p.CostSkew < 1 {
+		return fmt.Errorf("taskfarm: cost skew %v < 1", p.CostSkew)
+	}
 	return nil
+}
+
+// batch reports the effective grant batch size.
+func (p *Params) batch() int {
+	if p.Batch <= 0 {
+		return 1
+	}
+	return p.Batch
+}
+
+// costMul is the skew factor for task seq: 1 at seq 0, rising linearly to
+// CostSkew at the last task. 1 everywhere when no skew is configured.
+func (p *Params) costMul(seq int) float64 {
+	if p.CostSkew <= 1 || p.Tasks <= 1 {
+		return 1
+	}
+	return 1 + (p.CostSkew-1)*float64(seq)/float64(p.Tasks-1)
 }
 
 // Result is the run outcome.
@@ -77,6 +161,41 @@ type Result struct {
 	Workers   int
 	Sum       float64 // aggregated task outputs (verification)
 	PerWorker []int   // tasks completed per worker
+
+	// Checksum is the wrapping uint64 sum of each task value's IEEE-754
+	// bit pattern. Integer addition commutes, so single-master and
+	// sharded farms produce bit-identical checksums for the same task
+	// set regardless of result arrival order (the float Sum cannot
+	// promise that).
+	Checksum uint64
+
+	// Sharded-farm extras (zero/nil for the single-master program).
+	Shards     int   // dispatcher shard count
+	PerShard   []int // tasks granted (and completed) by each shard
+	Steals     int   // successful steal acquisitions
+	StealFails int   // steal requests answered empty
+	StolenTask int   // tasks that moved between shards
+}
+
+// Imbalance reports max/min of a per-entity completion tally (0 when any
+// entity completed nothing, Inf-free by construction).
+func Imbalance(tally []int) float64 {
+	if len(tally) == 0 {
+		return 0
+	}
+	min, max := tally[0], tally[0]
+	for _, n := range tally {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if min == 0 {
+		return 0
+	}
+	return float64(max) / float64(min)
 }
 
 // taskMsg is one unit of work.
@@ -115,6 +234,43 @@ func TaskValue(seq int) float64 {
 	return math.Sin(float64(seq)*0.1) + 1.0
 }
 
+// ExpectedChecksum is the order-independent checksum of a full task set,
+// computable without running the farm (tests and the CI smoke use it).
+func ExpectedChecksum(tasks int) uint64 {
+	var c uint64
+	for seq := 0; seq < tasks; seq++ {
+		c += math.Float64bits(TaskValue(seq))
+	}
+	return c
+}
+
+// spinSink absorbs the spin loop's accumulator so the compiler cannot
+// prove the arithmetic dead and elide the loop — wall-clock runs must pay
+// the modeled work. The wrapping bit-pattern add is race-safe across the
+// real-time runtime's PE goroutines; the value itself is never read.
+var spinSink atomic.Uint64
+
+// runTask computes task seq: the deterministic value, the optional spin
+// work (scaled by the cost skew), and the modeled charge. Both the
+// single-message and batched worker paths go through here so their
+// results are identical by construction.
+func runTask(ctx *core.Ctx, p *Params, seq int) float64 {
+	v := TaskValue(seq)
+	mul := p.costMul(seq)
+	if p.Spin > 0 {
+		iters := int(float64(p.Spin) * mul)
+		acc := 0.0
+		for i := 0; i < iters; i++ {
+			acc += float64(i%13) * 1e-12
+		}
+		spinSink.Add(math.Float64bits(acc))
+	}
+	if p.TaskCost > 0 {
+		ctx.Charge(time.Duration(float64(p.TaskCost) * mul))
+	}
+	return v
+}
+
 // master coordinates the farm.
 type master struct {
 	p       *Params
@@ -123,6 +279,7 @@ type master struct {
 	next    int
 	done    int
 	sum     float64
+	check   uint64
 	perW    []int
 	started time.Duration
 }
@@ -147,6 +304,7 @@ func (m *master) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
 		r := data.(resultMsg)
 		m.done++
 		m.sum += r.Value
+		m.check += math.Float64bits(r.Value)
 		m.perW[r.Worker]++
 		if m.next < m.p.Tasks {
 			m.sendTask(ctx, r.Worker)
@@ -159,7 +317,10 @@ func (m *master) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
 				Tasks:     m.p.Tasks,
 				Workers:   m.workers,
 				Sum:       m.sum,
+				Checksum:  m.check,
 				PerWorker: m.perW,
+				Shards:    1,
+				PerShard:  []int{m.done},
 			})
 		}
 	default:
@@ -168,43 +329,59 @@ func (m *master) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
 }
 
 func (m *master) sendTask(ctx *core.Ctx, w int) {
+	ctx.Charge(m.p.AssignCost)
 	ctx.Send(core.ElemRef{Array: ArrayWorker, Index: w}, entryTask,
 		taskMsg{Seq: m.next, bytes: m.p.TaskBytes})
 	m.next++
 }
 
-// worker executes tasks.
+// worker executes tasks. The same chare serves both farm shapes: the
+// single master feeds it one taskMsg at a time; shards feed it
+// taskBatchMsg grants and get resultBatchMsg replies.
 type worker struct {
 	p  *Params
 	id int
+	fm *farmMetrics
+
+	// lastDone is the executor time at which this worker finished its
+	// previous batch; the gap to the next batch's arrival is the
+	// worker-observed assignment wait (the WRONJ "rest" time).
+	lastDone time.Duration
 }
 
 func (w *worker) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
-	if entry != entryTask {
+	switch entry {
+	case entryTask:
+		t := data.(taskMsg)
+		w.fm.assignWait.Observe(int64(ctx.Time() - w.lastDone))
+		v := runTask(ctx, w.p, t.Seq)
+		w.lastDone = ctx.Time()
+		ctx.Send(core.ElemRef{Array: ArrayMaster, Index: 0}, entryResult,
+			resultMsg{Seq: t.Seq, Worker: w.id, Value: v, bytes: w.p.TaskBytes})
+	case entryTaskBatch:
+		w.recvBatch(ctx, data.(taskBatchMsg))
+	default:
 		panic(fmt.Sprintf("taskfarm: worker got entry %d", entry))
 	}
-	t := data.(taskMsg)
-	v := TaskValue(t.Seq)
-	if w.p.Spin > 0 {
-		acc := 0.0
-		for i := 0; i < w.p.Spin; i++ {
-			acc += float64(i%13) * 1e-12
-		}
-		v += acc * 0 // keep the work, not the value
-	}
-	if w.p.TaskCost > 0 {
-		ctx.Charge(w.p.TaskCost)
-	}
-	ctx.Send(core.ElemRef{Array: ArrayMaster, Index: 0}, entryResult,
-		resultMsg{Seq: t.Seq, Worker: w.id, Value: v, bytes: w.p.TaskBytes})
 }
 
-// BuildProgram assembles the farm. The master lives on PE 0; workers are
-// block-mapped over all PEs (so in a two-cluster machine half of them sit
-// across the WAN from the master).
+// BuildProgram assembles the farm. The master (or, with Shards > 1, the
+// root collector plus the dispatcher shard array) lives on PE 0; workers
+// are block-mapped over all PEs (so in a two-cluster machine half of them
+// sit across the WAN from the master).
 func BuildProgram(p *Params) (*core.Program, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	// An array's size must be fixed before the program sees a machine, so
+	// Workers == 0 ("one per PE") cannot be resolved here: it is an error,
+	// and callers that want the per-PE default must go through
+	// BuildProgramFor, which knows numPE and fills Workers in.
+	if p.Workers <= 0 {
+		return nil, fmt.Errorf("taskfarm: Workers must be set (use BuildProgramFor for one-per-PE)")
+	}
+	if p.Shards > 1 {
+		return buildSharded(p)
 	}
 	prog := &core.Program{
 		Arrays: []core.ArraySpec{
@@ -222,17 +399,11 @@ func BuildProgram(p *Params) (*core.Program, error) {
 	prog.Start = func(ctx *core.Ctx) {
 		ctx.Send(core.ElemRef{Array: ArrayMaster, Index: 0}, entryStart, nil)
 	}
-	// Worker count defaults to one per PE; resolved at build time via a
-	// closure over the params, but the array size must be fixed now, so a
-	// zero Workers is resolved when the program is instantiated on a
-	// machine — callers that leave Workers zero must use BuildProgramFor.
-	if p.Workers <= 0 {
-		return nil, fmt.Errorf("taskfarm: Workers must be set (use BuildProgramFor for one-per-PE)")
-	}
 	nw := p.Workers
+	fm := newFarmMetrics(p)
 	prog.Arrays[ArrayMaster].New = func(int) core.Chare { return &master{p: p, workers: nw} }
 	prog.Arrays[ArrayWorker].N = nw
-	prog.Arrays[ArrayWorker].New = func(i int) core.Chare { return &worker{p: p, id: i} }
+	prog.Arrays[ArrayWorker].New = func(i int) core.Chare { return &worker{p: p, id: i, fm: fm} }
 	if p.DedicatedMaster {
 		prog.Arrays[ArrayWorker].Map = func(i, numPE int) int {
 			if numPE == 1 {
