@@ -72,6 +72,8 @@ type config struct {
 	lbPeriod              int
 	checkpoint, restart   string
 	reliable              bool
+	membership            bool
+	joiners               string
 	metricsAddr, snapshot string
 	traceOut              string
 	traceCap              int
@@ -84,6 +86,9 @@ type config struct {
 	onRuntime func(rt *core.Runtime)
 	// onResult, when non-nil, receives node 0's program result.
 	onResult func(v any)
+	// onMembership, when non-nil, receives the membership manager once it
+	// is wired (tests drive joins/drains and read the member table).
+	onMembership func(m *core.Membership)
 }
 
 func main() {
@@ -112,6 +117,8 @@ func main() {
 	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "write this node's checkpoint to <prefix>.node<N> when the run completes")
 	flag.StringVar(&cfg.restart, "restart", "", "restore program state from <prefix>.node* (or a single merged file) before running")
 	flag.BoolVar(&cfg.reliable, "reliable", false, "interpose the end-to-end reliability layer over TCP")
+	flag.BoolVar(&cfg.membership, "membership", false, "elastic cluster membership: join/drain/death handling (implies -reliable; node 0 coordinates)")
+	flag.StringVar(&cfg.joiners, "joiners", "", "comma-separated node indices that start outside the member set and join mid-run (identical on every process)")
 	flag.StringVar(&cfg.metricsAddr, "metrics", "", "serve the metrics registry over HTTP on this address (e.g. 127.0.0.1:9300)")
 	flag.StringVar(&cfg.snapshot, "metrics-out", "", "write a JSON metrics snapshot to this file when the run completes")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write this node's causal trace snapshot (for cmd/gridtrace) to this file")
@@ -137,7 +144,11 @@ func strategyByName(name string) (core.Strategy, error) {
 	}
 }
 
-func buildProgram(cfg config, reg *metrics.Registry) (*core.Program, error) {
+// buildProgram assembles the selected application. With elastic set
+// (-membership), initial placement is confined to the founding nodes'
+// PEs; the taskfarm Params come back so run can late-bind the drain hook
+// once the membership manager exists.
+func buildProgram(cfg config, reg *metrics.Registry, elastic *taskfarm.ElasticConfig) (*core.Program, *taskfarm.Params, error) {
 	switch cfg.app {
 	case "stencil":
 		v := 1
@@ -145,7 +156,7 @@ func buildProgram(cfg config, reg *metrics.Registry) (*core.Program, error) {
 			v++
 		}
 		if v*v != cfg.objects {
-			return nil, fmt.Errorf("objects=%d is not a perfect square", cfg.objects)
+			return nil, nil, fmt.Errorf("objects=%d is not a perfect square", cfg.objects)
 		}
 		p := &stencil.Params{
 			Width: cfg.width, Height: cfg.width, VX: v, VY: v,
@@ -154,7 +165,7 @@ func buildProgram(cfg config, reg *metrics.Registry) (*core.Program, error) {
 		if cfg.lb != "" {
 			s, err := strategyByName(cfg.lb)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			p.LB = s
 			if cfg.lbPeriod > 0 {
@@ -163,20 +174,39 @@ func buildProgram(cfg config, reg *metrics.Registry) (*core.Program, error) {
 				p.LBAtStep = cfg.steps / 2
 			}
 		}
-		return stencil.BuildProgram(p)
+		if elastic != nil {
+			nObj := v * v
+			p.InitialMap = func(i, numPE int) int {
+				var act []int
+				for pe := 0; pe < numPE; pe++ {
+					if elastic.ActiveNode(elastic.NodeOf(pe)) {
+						act = append(act, pe)
+					}
+				}
+				if len(act) == 0 {
+					return 0
+				}
+				return act[core.BlockMap(i, nObj, len(act))]
+			}
+		}
+		prog, err := stencil.BuildProgram(p)
+		return prog, nil, err
 	case "leanmd":
 		if cfg.lb != "" {
-			return nil, fmt.Errorf("-lb supports -app stencil only")
+			return nil, nil, fmt.Errorf("-lb supports -app stencil only")
+		}
+		if elastic != nil {
+			return nil, nil, fmt.Errorf("-membership supports -app stencil and taskfarm only")
 		}
 		p := leanmd.DefaultParams()
 		p.NX, p.NY, p.NZ = cfg.cells, cfg.cells, cfg.cells
 		p.AtomsPerCell = cfg.atoms
 		p.Steps, p.Warmup = cfg.steps, cfg.warmup
 		prog, _, err := leanmd.BuildProgram(p)
-		return prog, err
+		return prog, nil, err
 	case "taskfarm":
 		if cfg.lb != "" {
-			return nil, fmt.Errorf("-lb supports -app stencil only")
+			return nil, nil, fmt.Errorf("-lb supports -app stencil only")
 		}
 		p := &taskfarm.Params{
 			Tasks: cfg.tasks, Workers: cfg.procs,
@@ -184,10 +214,12 @@ func buildProgram(cfg config, reg *metrics.Registry) (*core.Program, error) {
 			Shards: cfg.shards, Batch: cfg.batch, Steal: cfg.steal,
 			CostSkew: cfg.skew, Seed: 1,
 			Metrics: reg,
+			Elastic: elastic,
 		}
-		return taskfarm.BuildProgram(p)
+		prog, err := taskfarm.BuildProgram(p)
+		return prog, p, err
 	default:
-		return nil, fmt.Errorf("unknown app %q", cfg.app)
+		return nil, nil, fmt.Errorf("unknown app %q", cfg.app)
 	}
 }
 
@@ -220,11 +252,38 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	nodeOf := func(pe int) int { return pe / perNode }
+
+	// Elastic membership: -joiners names the nodes that start outside the
+	// member set; everyone else is a founding Active member. The epoch
+	// fence lives in the Reliable layer, so -membership implies -reliable.
+	joiner := make(map[int]bool)
+	if cfg.joiners != "" {
+		for _, s := range strings.Split(cfg.joiners, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n <= 0 || n >= nodes {
+				return fmt.Errorf("bad -joiners entry %q (want node indices in [1,%d))", s, nodes)
+			}
+			joiner[n] = true
+		}
+	}
+	var elastic *taskfarm.ElasticConfig
+	if cfg.membership {
+		cfg.reliable = true
+		elastic = &taskfarm.ElasticConfig{
+			NodeOf:     nodeOf,
+			ActiveNode: func(node int) bool { return node >= 0 && node < nodes && !joiner[node] },
+			CoordNode:  0,
+		}
+	} else if len(joiner) > 0 {
+		return fmt.Errorf("-joiners requires -membership")
+	}
+
 	// The registry is created before the program so applications that
 	// publish their own series (taskfarm) can hold handles into it; the
 	// same registry later instruments the runtime and the VMI stack.
 	reg := metrics.NewRegistry()
-	prog, err := buildProgram(cfg, reg)
+	prog, tfp, err := buildProgram(cfg, reg, elastic)
 	if err != nil {
 		return err
 	}
@@ -243,14 +302,21 @@ func run(cfg config) error {
 	for i, a := range addrs {
 		addrMap[i] = a
 	}
-	nodeOf := func(pe int) int { return pe / perNode }
 
 	var rt *core.Runtime
+	var mem *core.Membership
 	builder := vmi.NewChainBuilder(cfg.node, addrMap, func(pe int32) int { return nodeOf(int(pe)) }).
 		Metrics(reg).
 		OnControl(func(f *vmi.Frame) {
-			if f.Dst == vmi.ControlShutdown && rt != nil {
-				rt.Stop()
+			switch f.Dst {
+			case vmi.ControlShutdown:
+				if rt != nil {
+					rt.Stop()
+				}
+			case vmi.ControlMembership:
+				if mem != nil {
+					mem.HandleControl(f)
+				}
 			}
 		})
 	if cfg.reliable {
@@ -260,6 +326,55 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+
+	// Membership is wired before Listen so a control frame from a fast
+	// peer never races the manager's construction.
+	var notifier *taskfarm.Notifier
+	if cfg.membership {
+		var initial []core.Member
+		for n := 0; n < nodes; n++ {
+			if joiner[n] {
+				continue
+			}
+			initial = append(initial, core.Member{Node: int32(n), State: core.MemberActive, Addr: addrs[n]})
+		}
+		mcfg := core.MembershipConfig{
+			Node:        cfg.node,
+			Coordinator: 0,
+			Stack:       stack,
+			NodeOf:      nodeOf,
+			NumPE:       cfg.procs,
+			Initial:     initial,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "gridnode %d: "+format+"\n", append([]any{cfg.node}, args...)...)
+			},
+		}
+		if cfg.checkpoint != "" {
+			prefix := cfg.checkpoint
+			mcfg.CheckpointFor = func(node int) *core.Checkpoint {
+				return readPartialCheckpoint(fmt.Sprintf("%s.node%d", prefix, node))
+			}
+		}
+		if tfp != nil {
+			notifier = taskfarm.NewNotifier(tfp)
+			mcfg.OnChange = notifier.OnChange
+		}
+		mem, err = core.NewMembership(mcfg)
+		if err != nil {
+			return err
+		}
+		defer mem.Close()
+		mem.Instrument(reg)
+		if tfp != nil {
+			// Late-bound: the root's drain-complete hook marks the node
+			// Left at the coordinator.
+			tfp.OnDrained = mem.NotifyDrained
+		}
+		if cfg.onMembership != nil {
+			cfg.onMembership(mem)
+		}
+	}
+
 	if _, err := stack.Listen(); err != nil {
 		return err
 	}
@@ -281,6 +396,9 @@ func run(cfg config) error {
 		}),
 		core.WithMetrics(reg),
 	}
+	if mem != nil {
+		rtOpts = append(rtOpts, core.WithMembership(mem))
+	}
 	if cfg.traceOut != "" {
 		ringCap := cfg.traceCap
 		if ringCap <= 0 {
@@ -296,6 +414,9 @@ func run(cfg config) error {
 	if cfg.onRuntime != nil {
 		cfg.onRuntime(rt)
 	}
+	if notifier != nil {
+		notifier.Bind(rt, cfg.node)
+	}
 	// Trace timestamps are relative to the runtime epoch; record it so
 	// gridtrace can re-base snapshots from separately started processes.
 	art.start = rt.Epoch()
@@ -303,7 +424,20 @@ func run(cfg config) error {
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	defer signal.Stop(sigCh)
-	watchSignals(sigCh, art, os.Exit)
+	// SIGTERM on a membership-enabled worker node drains instead of
+	// killing: the node's chares are evicted onto the survivors, the
+	// coordinator marks it Left, and the process exits cleanly.
+	var drainFn func() bool
+	if mem != nil && cfg.node != 0 {
+		drainFn = func() bool {
+			if err := mem.RequestDrain(60 * time.Second); err != nil {
+				fmt.Fprintf(os.Stderr, "gridnode %d: drain: %v\n", cfg.node, err)
+				return false
+			}
+			return true
+		}
+	}
+	watchSignals(sigCh, art, os.Exit, drainFn)
 
 	if cfg.metricsAddr != "" {
 		ln, err := net.Listen("tcp", cfg.metricsAddr)
@@ -322,6 +456,14 @@ func run(cfg config) error {
 
 	fmt.Fprintf(os.Stderr, "gridnode %d/%d: hosting PEs [%d,%d) of %s on %s\n",
 		cfg.node, nodes, cfg.node*perNode, (cfg.node+1)*perNode, topo, addrMap[cfg.node])
+
+	if mem != nil && joiner[cfg.node] {
+		fmt.Fprintf(os.Stderr, "gridnode %d: requesting admission to the member set\n", cfg.node)
+		if err := mem.RequestJoin(60 * time.Second); err != nil {
+			return fmt.Errorf("join: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "gridnode %d: admitted\n", cfg.node)
+	}
 
 	v, err := rt.Run()
 	if err != nil {
@@ -354,8 +496,17 @@ func run(cfg config) error {
 		default:
 			fmt.Printf("result: %v\n", v)
 		}
-		// Announce shutdown to the workers.
+		// Announce shutdown to the workers. Nodes that left or died have
+		// no process to notify (and dialing them would stall the exit).
 		for n := 1; n < nodes; n++ {
+			if mem != nil {
+				// A node outside the table (a joiner that never joined)
+				// still gets the announcement — it is listening and would
+				// otherwise wait forever.
+				if st, ok := mem.StateOf(n); ok && (st == core.MemberLeft || st == core.MemberDead) {
+					continue
+				}
+			}
 			if err := stack.SendControl(n, &vmi.Frame{Src: int32(cfg.node), Dst: vmi.ControlShutdown}); err != nil {
 				fmt.Fprintf(os.Stderr, "gridnode: shutdown announce to node %d: %v\n", n, err)
 			}
@@ -443,6 +594,22 @@ func writeCheckpoint(path string, rt *core.Runtime) error {
 	return f.Close()
 }
 
+// readPartialCheckpoint loads one node's partial checkpoint file for the
+// death-recovery path, or nil when the node never wrote one (its elements
+// are then constructed fresh on the survivors).
+func readPartialCheckpoint(path string) *core.Checkpoint {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	ck, err := core.DecodeCheckpoint(f)
+	if err != nil {
+		return nil
+	}
+	return ck
+}
+
 // readCheckpoint loads a checkpoint for -restart: every <prefix>.node*
 // partial file merged by element index, or — when no per-node files exist
 // — the prefix itself as a single complete checkpoint. The node count of
@@ -482,12 +649,25 @@ func readCheckpoint(prefix string) (*core.Checkpoint, error) {
 // watchSignals flushes the artifacts and exits with the conventional
 // 128+signal status when a signal arrives, so an interrupted run (SIGINT,
 // SIGTERM from a batch scheduler) still leaves its observability data
-// behind. The channel is injected for tests; exit is os.Exit in main.
-func watchSignals(ch <-chan os.Signal, a *artifacts, exit func(int)) {
+// behind. With drain non-nil (elastic membership), SIGTERM first tries a
+// clean drain — evict this node's chares onto the survivors and leave the
+// member set — and exits 0 when it succeeds. The channel is injected for
+// tests; exit is os.Exit in main.
+func watchSignals(ch <-chan os.Signal, a *artifacts, exit func(int), drain func() bool) {
 	go func() {
 		sig, ok := <-ch
 		if !ok {
 			return
+		}
+		if sig == syscall.SIGTERM && drain != nil {
+			fmt.Fprintf(os.Stderr, "gridnode: caught %v, draining\n", sig)
+			if drain() {
+				if err := a.flush(); err != nil {
+					fmt.Fprintf(os.Stderr, "gridnode: %v\n", err)
+				}
+				exit(0)
+				return
+			}
 		}
 		fmt.Fprintf(os.Stderr, "gridnode: caught %v, flushing artifacts\n", sig)
 		if err := a.flush(); err != nil {

@@ -383,7 +383,7 @@ func TestSignalFlushWritesArtifacts(t *testing.T) {
 
 	ch := make(chan os.Signal, 1)
 	codes := make(chan int, 1)
-	watchSignals(ch, art, func(code int) { codes <- code })
+	watchSignals(ch, art, func(code int) { codes <- code }, nil)
 	ch <- syscall.SIGTERM
 
 	select {
@@ -442,7 +442,7 @@ func TestWatchSignalsClosedChannel(t *testing.T) {
 	art := &artifacts{}
 	ch := make(chan os.Signal)
 	exited := make(chan int, 1)
-	watchSignals(ch, art, func(code int) { exited <- code })
+	watchSignals(ch, art, func(code int) { exited <- code }, nil)
 	close(ch)
 	select {
 	case code := <-exited:

@@ -24,13 +24,14 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "figure3|figure4|table1|table2|ablations|gridlb-tcp|classes|sdsc|irregular|taskfarm-scale|all")
+		experiment   = flag.String("experiment", "all", "figure3|figure4|table1|table2|ablations|gridlb-tcp|classes|sdsc|irregular|taskfarm-scale|membership|all")
 		fast         = flag.Bool("fast", false, "use the scaled-down fast profile")
 		skipRealtime = flag.Bool("skip-realtime", false, "skip wall-clock (host) columns in tables 1 and 2")
 		csvDir       = flag.String("csv", "", "also write CSV files into this directory")
 		svgDir       = flag.String("svg", "", "also write SVG charts (figures only) into this directory")
 		metricsOut   = flag.String("metrics-out", "", "write a JSON metrics snapshot of the real-time runs to this file")
 		farmJSON     = flag.String("farm-json", "", "write the taskfarm-scale throughput curves as JSON to this file (e.g. BENCH_taskfarm.json)")
+		memJSON      = flag.String("membership-json", "", "write the membership recovery measurements as JSON to this file (e.g. BENCH_membership.json)")
 		traceOut     = flag.String("trace-out", "", "write per-run trace snapshots and overlap reports of the real-time runs into this directory (analyze with gridtrace)")
 		quiet        = flag.Bool("quiet", false, "suppress per-run progress lines")
 	)
@@ -181,6 +182,24 @@ func main() {
 				}
 				return writeCSV(*csvDir, csvName, tbl.CSV)
 			}
+		case "membership":
+			tbl, rep, err := bench.MembershipRecovery(progress, profile)
+			if err != nil {
+				return err
+			}
+			csvName = "membership.csv"
+			render = func() error {
+				tbl.Render(os.Stdout)
+				if !rep.ChecksumsMatch {
+					fmt.Fprintln(os.Stderr, "gridsim: WARNING: membership checksums diverged from the undisturbed baseline")
+				}
+				if *memJSON != "" {
+					if err := writeMembershipJSON(*memJSON, rep); err != nil {
+						return err
+					}
+				}
+				return writeCSV(*csvDir, csvName, tbl.CSV)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -193,7 +212,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"figure3", "table1", "figure4", "table2", "ablations", "gridlb-tcp", "classes", "sdsc", "irregular", "taskfarm-scale"}
+		names = []string{"figure3", "table1", "figure4", "table2", "ablations", "gridlb-tcp", "classes", "sdsc", "irregular", "taskfarm-scale", "membership"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {
@@ -215,6 +234,25 @@ func main() {
 // writeFarmJSON dumps the taskfarm-scale report (the BENCH_taskfarm.json
 // artifact).
 func writeFarmJSON(path string, rep *bench.FarmReport) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMembershipJSON dumps the membership recovery report (the
+// BENCH_membership.json artifact).
+func writeMembershipJSON(path string, rep *bench.MembershipReport) error {
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err

@@ -396,3 +396,51 @@ func TestRunnersRejectBadInput(t *testing.T) {
 		t.Error("odd PE count accepted for two-node run")
 	}
 }
+
+// TestMembershipRecoveryFast smokes the membership experiment at the
+// fast-profile scale: one seed, one kill, one drain, every disturbed run
+// reproducing the undisturbed checksum.
+func TestMembershipRecoveryFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time cluster runs; skipped in -short")
+	}
+	p := FastProfile()
+	var progress bytes.Buffer
+	tbl, rep, err := MembershipRecovery(&progress, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Kill) != len(p.Membership.Seeds) || len(rep.Drain) != len(p.Membership.Seeds) {
+		t.Fatalf("got %d kill / %d drain points, want %d each",
+			len(rep.Kill), len(rep.Drain), len(p.Membership.Seeds))
+	}
+	if !rep.ChecksumsMatch {
+		t.Error("a disturbed run diverged from the undisturbed checksum")
+	}
+	for _, pt := range rep.Kill {
+		if pt.DetectMS <= 0 || pt.RehomeMS < pt.DetectMS {
+			t.Errorf("kill point has detect=%v rehome=%v", pt.DetectMS, pt.RehomeMS)
+		}
+		if pt.Evacuated == 0 {
+			t.Error("kill re-homed no elements")
+		}
+	}
+	for _, pt := range rep.Drain {
+		if pt.DrainMS <= 0 {
+			t.Errorf("drain point has drain=%v", pt.DrainMS)
+		}
+		if pt.Evacuated == 0 {
+			t.Error("drain evacuated no elements")
+		}
+	}
+	if len(tbl.Rows) != 2*len(p.Membership.Seeds) {
+		t.Errorf("table has %d rows, want %d", len(tbl.Rows), 2*len(p.Membership.Seeds))
+	}
+	var out bytes.Buffer
+	if err := rep.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "\"checksums_match\": true") {
+		t.Error("JSON report missing checksums_match")
+	}
+}

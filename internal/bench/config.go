@@ -60,6 +60,10 @@ type Profile struct {
 	// Farm sizes the taskfarm-at-scale experiment (taskfarm-scale).
 	Farm FarmConfig
 
+	// Membership sizes the elastic-membership recovery experiment
+	// (membership).
+	Membership MembershipConfig
+
 	// Metrics, when non-nil, instruments every real-time runtime and TCP
 	// stack the harness constructs (the Table 1/2 host and TCP columns).
 	// The registry accumulates across runs; gridsim -metrics-out writes
@@ -114,6 +118,19 @@ func PaperProfile() Profile {
 			WorkersPerShard: 500,
 			Latency:         1725 * time.Microsecond,
 		},
+		// The same farm shape the chaos membership suite runs: small
+		// enough to repeat per seed, long enough (Spin) that the kill
+		// and the drain land squarely mid-run.
+		// Workers must be a multiple of Nodes: block placement would
+		// otherwise leave the last node (the kill victim) empty and the
+		// kill would have nothing to recover.
+		Membership: MembershipConfig{
+			Nodes: 4, Tasks: 4000, Workers: 8, Prefetch: 2, Batch: 5,
+			Shards: 2, Spin: 80000, EventAfterGrants: 100,
+			RTO: 3 * time.Millisecond, RTOMax: 15 * time.Millisecond,
+			Drop:  0.05,
+			Seeds: []int64{1, 2, 3},
+		},
 	}
 }
 
@@ -145,6 +162,13 @@ func FastProfile() Profile {
 			Workers:         []int{50, 100, 200, 400, 1600},
 			WorkersPerShard: 50,
 			Latency:         time.Millisecond,
+		},
+		Membership: MembershipConfig{
+			Nodes: 3, Tasks: 1200, Workers: 6, Prefetch: 2, Batch: 5,
+			Shards: 2, Spin: 20000, EventAfterGrants: 50,
+			RTO: 3 * time.Millisecond, RTOMax: 15 * time.Millisecond,
+			Drop:  0.05,
+			Seeds: []int64{1},
 		},
 	}
 }

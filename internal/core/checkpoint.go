@@ -109,6 +109,26 @@ func buildCheckpoint(prog *Program, hosts []*PEHost, partial bool) (*Checkpoint,
 	return ck, nil
 }
 
+// StateOf returns an element's checkpointed state bytes, if the
+// checkpoint (possibly partial) has them. Used by membership recovery to
+// restore a dead node's elements onto survivors.
+func (ck *Checkpoint) StateOf(ref ElemRef) ([]byte, bool) {
+	if ck == nil {
+		return nil, false
+	}
+	for ai := range ck.Arrays {
+		if ck.Arrays[ai].ID != ref.Array {
+			continue
+		}
+		elems := ck.Arrays[ai].Elems
+		i := sort.Search(len(elems), func(i int) bool { return elems[i].Index >= ref.Index })
+		if i < len(elems) && elems[i].Index == ref.Index {
+			return elems[i].Data, true
+		}
+	}
+	return nil, false
+}
+
 // MergeCheckpoints joins per-node partial checkpoints (one per gridnode
 // process) into one complete checkpoint. Arrays are merged by ID and
 // elements by index; every element must appear exactly once across the

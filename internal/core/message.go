@@ -18,6 +18,7 @@ const (
 	KindQD                 // quiescence-detection probe/reply
 	KindBundle             // several same-destination app messages in one frame
 	KindStop               // scheduler shutdown (real-time runtime only)
+	KindMember             // membership recovery: (re)construct an element locally
 )
 
 // Message is the unit of work executors schedule. Exactly one of (To,

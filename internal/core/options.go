@@ -65,6 +65,11 @@ type Options struct {
 	PELo      int
 	PEHi      int
 
+	// Membership, if non-nil, attaches an elastic-membership manager (see
+	// membership.go): the runtime binds its recovery hooks, and the load
+	// balancer consults it for placement and drain handling.
+	Membership *Membership
+
 	// LatencyFor, if non-nil, overrides the topology's one-way latency
 	// for the delay device — e.g. vmi.JitteredLatency for runs with
 	// realistic wide-area variance.
@@ -159,6 +164,13 @@ func WithCluster(c ClusterConfig) Option {
 		o.PELo = c.PELo
 		o.PEHi = c.PEHi
 	}
+}
+
+// WithMembership attaches an elastic-membership manager built with
+// NewMembership. The manager must wrap the same vmi.Stack the cluster
+// config passes as Transport.
+func WithMembership(m *Membership) Option {
+	return func(o *Options) { o.Membership = m }
 }
 
 // WithWireDevices applies serialized-frame device chains above the

@@ -55,6 +55,12 @@ type Runtime struct {
 	errMu  sync.Mutex
 	runErr error
 
+	// arriving buffers app messages addressed to elements that membership
+	// recovery has re-homed onto a local PE but whose KindMember
+	// construction has not run yet (see recovery.go).
+	arrMu    sync.Mutex
+	arriving map[ElemRef][]*Message
+
 	wireSend vmi.SendFunc
 	wireRecv vmi.RecvFunc
 
@@ -166,6 +172,16 @@ func NewRuntime(topo *topology.Topology, prog *Program, options ...Option) (*Run
 			return rt.pes[pe-opts.PELo].host
 		}); err != nil {
 			return nil, err
+		}
+	}
+	if opts.Membership != nil {
+		// Bind before transport wiring: a table broadcast may arrive (and
+		// trigger recovery) as soon as frames can be delivered.
+		opts.Membership.bind(rt)
+		for _, ps := range rt.pes {
+			if ps.lb != nil {
+				ps.lb.mem = opts.Membership
+			}
 		}
 	}
 	// Instrumentation before transport wiring: a bound transport may start
@@ -288,6 +304,28 @@ func (rt *Runtime) Route(m *Message) {
 			return
 		}
 	}
+	rt.transmit(m)
+}
+
+// Post injects an application message from outside any handler — the
+// entry point membership notifiers use to tell chares about worker-set
+// changes. It is safe from any goroutine: it never touches the
+// scheduler-owned bundle accumulators, and it attributes the send to the
+// destination's own PE so the quiescence counters stay balanced whether
+// or not that PE is local.
+func (rt *Runtime) Post(to ElemRef, entry EntryID, data any) {
+	m := &Message{
+		Kind:  KindApp,
+		To:    to,
+		Entry: entry,
+		Data:  data,
+		Bytes: payloadBytes(data),
+	}
+	m.DstPE = rt.loc.PEOf(to)
+	m.SrcPE = m.DstPE
+	rt.sentByPE[m.SrcPE].Add(1)
+	m.ID = rt.msgSeq.Add(1)
+	rt.record(trace.Event{PE: int(m.SrcPE), Kind: trace.EvSend, At: rt.Now(), MsgID: m.ID, MsgKind: byte(m.Kind), Arg1: int64(m.DstPE), Arg2: int64(m.Bytes)})
 	rt.transmit(m)
 }
 
@@ -591,7 +629,9 @@ func (rt *Runtime) schedule(ps *peState) {
 			var err error
 			switch m.Kind {
 			case KindApp:
-				err = ps.host.DeliverApp(m)
+				if !rt.parkIfArriving(ps, m) {
+					err = ps.host.DeliverApp(m)
+				}
 			case KindStart:
 				ps.host.RunStart(rt.prog)
 			case KindReduce:
@@ -604,6 +644,8 @@ func (rt *Runtime) schedule(ps *peState) {
 				}
 			case KindQD:
 				err = rt.handleQD(ps, m)
+			case KindMember:
+				err = rt.handleMember(ps, m)
 			default:
 				err = fmt.Errorf("core: PE %d received unknown message kind %d", ps.id, m.Kind)
 			}

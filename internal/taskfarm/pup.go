@@ -64,11 +64,54 @@ func (s *shard) PUP(p *core.PUP) {
 	p.Uint64(&s.rng)
 	p.Int(&s.fails)
 	p.Bool(&s.stealing)
+	// Elastic bookkeeping: the outstanding-range FIFOs must survive a
+	// migration or a node's death — they are exactly what gets re-queued
+	// when a worker's node dies.
+	if p.Unpacking() {
+		s.outRanges = make([][]taskRange, len(s.out))
+	}
+	for i := range s.outRanges {
+		m := len(s.outRanges[i])
+		p.Int(&m)
+		if p.Unpacking() {
+			if m < 0 || m > s.p.Tasks {
+				p.Errorf("taskfarm: restore shard %d: %d outstanding ranges for worker %d", s.id, m, s.wLo+i)
+				return
+			}
+			if m > 0 {
+				s.outRanges[i] = make([]taskRange, m)
+			}
+		}
+		for j := range s.outRanges[i] {
+			p.Int64(&s.outRanges[i][j].Lo)
+			p.Int64(&s.outRanges[i][j].N)
+		}
+	}
+	ng := len(s.grantable)
+	p.Int(&ng)
+	if p.Unpacking() {
+		if ng != 0 && ng != len(s.out) {
+			p.Errorf("taskfarm: restore shard %d: grantable sized %d, shard owns %d workers", s.id, ng, len(s.out))
+			return
+		}
+		s.grantable = nil
+		if ng > 0 {
+			s.grantable = make([]bool, ng)
+		}
+	}
+	for i := range s.grantable {
+		p.Bool(&s.grantable[i])
+	}
+	p.Int32s(&s.drainNode)
 	if p.Unpacking() {
 		owned := (s.id+1)*s.p.Workers/s.p.Shards - s.id*s.p.Workers/s.p.Shards
 		if len(s.out) != owned || len(s.perW) != owned {
 			p.Errorf("taskfarm: restore shard %d: tallies sized %d/%d, shard owns %d workers",
 				s.id, len(s.out), len(s.perW), owned)
+		}
+		if s.drainNode != nil && len(s.drainNode) != owned {
+			p.Errorf("taskfarm: restore shard %d: drain marks sized %d, shard owns %d workers",
+				s.id, len(s.drainNode), owned)
 		}
 	}
 }

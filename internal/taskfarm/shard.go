@@ -135,6 +135,15 @@ type shard struct {
 	rng      uint64 // splitmix64 state for victim selection
 	fails    int    // consecutive refusals this drain episode
 	stealing bool   // a steal request is in flight
+
+	// Elastic state (see elastic.go; quiet in static farms). outRanges
+	// mirrors out as the FIFO of granted-but-unsettled task ranges per
+	// owned worker — results settle it from the front by task count, a
+	// death re-queues whatever remains. grantable/drainNode are nil
+	// until the first membership notification.
+	outRanges [][]taskRange
+	grantable []bool  // grants may flow to this worker (nil: all may)
+	drainNode []int32 // node draining under this worker, -1 none (nil: none)
 }
 
 // newShard builds shard id with its statically owned task and worker
@@ -147,9 +156,10 @@ func newShard(p *Params, id int, fm *farmMetrics) *shard {
 	tLo, tHi := id*p.Tasks/ns, (id+1)*p.Tasks/ns
 	s := &shard{
 		p: p, id: id, fm: fm, wLo: wLo,
-		out:  make([]int, wHi-wLo),
-		perW: make([]int32, wHi-wLo),
-		rng:  p.Seed ^ (uint64(id+1) * 0xd1342543de82ef95),
+		out:       make([]int, wHi-wLo),
+		perW:      make([]int32, wHi-wLo),
+		outRanges: make([][]taskRange, wHi-wLo),
+		rng:       p.Seed ^ (uint64(id+1) * 0xd1342543de82ef95),
 	}
 	if tHi > tLo {
 		s.pending = []taskRange{{Lo: int64(tLo), N: int64(tHi - tLo)}}
@@ -177,6 +187,7 @@ func (s *shard) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
 		rb := data.(resultBatchMsg)
 		wi := int(rb.Worker) - s.wLo
 		s.out[wi]--
+		s.settleOutstanding(wi, int64(rb.Done))
 		s.perW[wi] += rb.Done
 		s.fm.shardDone(s.id, int64(rb.Done))
 		ctx.Send(core.ElemRef{Array: ArrayMaster, Index: 0}, entryProgress,
@@ -186,6 +197,7 @@ func (s *shard) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
 		} else {
 			s.maybeSteal(ctx)
 		}
+		s.drainClearCheck(ctx, wi)
 	case entryStealReq:
 		rq := data.(stealReqMsg)
 		var give []taskRange
@@ -224,6 +236,18 @@ func (s *shard) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
 			s.fm.stealFails.Inc()
 		}
 		s.maybeSteal(ctx)
+	case entryMembers:
+		mm := data.(shardMembersMsg)
+		s.grantable = mm.Grantable
+		s.drainNode = mm.Drain
+		for _, wi := range mm.Requeue {
+			s.requeueWorker(int(wi))
+		}
+		s.fill(ctx)
+		s.maybeSteal(ctx)
+		for wi := range s.out {
+			s.drainClearCheck(ctx, wi)
+		}
 	case entryReportReq:
 		ctx.Send(core.ElemRef{Array: ArrayMaster, Index: 0}, entryReport,
 			shardReportMsg{
@@ -257,6 +281,9 @@ func (s *shard) chunk() int64 {
 // AssignCost charge is what makes the dispatcher a modeled bottleneck —
 // batching amortizes framing, not assignment work.
 func (s *shard) grantTo(ctx *core.Ctx, wi int) {
+	if !s.canGrant(wi) {
+		return
+	}
 	rs := s.popFront(s.chunk())
 	if len(rs) == 0 {
 		return
@@ -271,6 +298,7 @@ func (s *shard) grantTo(ctx *core.Ctx, wi int) {
 	s.grants++
 	s.granted += n
 	s.out[wi]++
+	s.outRanges[wi] = append(s.outRanges[wi], rs...)
 	s.fm.grants.Inc()
 	s.fm.granted.Add(n)
 	ctx.Send(core.ElemRef{Array: ArrayWorker, Index: s.wLo + wi}, entryTaskBatch,
@@ -286,7 +314,7 @@ func (s *shard) fill(ctx *core.Ctx) {
 			if s.avail == 0 {
 				break
 			}
-			if s.out[wi] < s.p.Prefetch {
+			if s.out[wi] < s.p.Prefetch && s.canGrant(wi) {
 				s.grantTo(ctx, wi)
 				more = true
 			}
@@ -352,6 +380,67 @@ func (s *shard) popBack(n int64) []taskRange {
 	return out
 }
 
+// canGrant reports whether grants may flow to owned worker wi. A farm
+// that never saw a membership notification grants to everyone.
+func (s *shard) canGrant(wi int) bool {
+	return s.grantable == nil || s.grantable[wi]
+}
+
+// settleOutstanding removes n completed tasks from the front of worker
+// wi's outstanding-range FIFO. Grants are executed and answered in
+// order and the transport delivers in order, so a result always settles
+// the oldest unsettled ranges.
+func (s *shard) settleOutstanding(wi int, n int64) {
+	q := s.outRanges[wi]
+	for n > 0 && len(q) > 0 {
+		r := &q[0]
+		take := r.N
+		if take > n {
+			take = n
+		}
+		r.Lo += take
+		r.N -= take
+		n -= take
+		if r.N == 0 {
+			q = q[1:]
+		}
+	}
+	s.outRanges[wi] = q
+}
+
+// requeueWorker returns worker wi's unsettled grants to the front of the
+// pending deque — the death path. The worker's node is gone, so no
+// result for these ranges can ever arrive (frames from the dead node
+// are epoch-fenced below the runtime); granting them again is safe.
+func (s *shard) requeueWorker(wi int) {
+	q := s.outRanges[wi]
+	if len(q) == 0 {
+		s.out[wi] = 0
+		return
+	}
+	var n int64
+	for _, r := range q {
+		n += r.N
+	}
+	s.pending = append(append([]taskRange{}, q...), s.pending...)
+	s.avail += n
+	s.out[wi] = 0
+	s.outRanges[wi] = nil
+}
+
+// drainClearCheck tells the root when a draining worker's outstanding
+// count reaches zero — this shard's contribution to drain completion.
+// Fires once per worker per drain episode.
+func (s *shard) drainClearCheck(ctx *core.Ctx, wi int) {
+	if s.drainNode == nil || s.drainNode[wi] < 0 || s.out[wi] != 0 {
+		return
+	}
+	node := s.drainNode[wi]
+	s.drainNode[wi] = -1
+	ctx.Send(core.ElemRef{Array: ArrayMaster, Index: 0}, entryDrainClear,
+		drainClearMsg{Node: node, Worker: int32(s.wLo + wi)})
+}
+
 // root aggregates shard progress and owns the run's exit. It never
 // touches individual tasks: its message load is one progressMsg per
 // result batch plus one report per shard, so it is not a WRONJ
@@ -373,6 +462,26 @@ type root struct {
 	steals     int
 	stealFails int
 	stolen     int
+
+	// Drain bookkeeping (elastic farms): per draining node, how many
+	// worker clears to await and which workers have cleared. Coordinator-
+	// local and transient — a checkpoint taken mid-drain restarts the
+	// drain, it does not lose tasks.
+	drainExpect map[int32]int
+	drainSeen   map[int32]map[int32]bool
+}
+
+// checkDrained fires Params.OnDrained once every expected worker on a
+// draining node has cleared its outstanding grants.
+func (r *root) checkDrained(node int32) {
+	if len(r.drainSeen[node]) < r.drainExpect[node] {
+		return
+	}
+	delete(r.drainSeen, node)
+	delete(r.drainExpect, node)
+	if r.p.OnDrained != nil {
+		r.p.OnDrained(int(node))
+	}
 }
 
 func (r *root) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
@@ -393,6 +502,25 @@ func (r *root) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
 			r.makespan = ctx.Time() - r.started
 			ctx.Broadcast(ArrayShard, entryReportReq, nil)
 		}
+	case entryMembersRoot:
+		rm := data.(rootMembersMsg)
+		if r.drainSeen == nil {
+			r.drainExpect = make(map[int32]int)
+			r.drainSeen = make(map[int32]map[int32]bool)
+		}
+		r.drainExpect[rm.DrainNode] = int(rm.Expect)
+		if r.drainSeen[rm.DrainNode] == nil {
+			r.drainSeen[rm.DrainNode] = make(map[int32]bool)
+		}
+		r.checkDrained(rm.DrainNode)
+	case entryDrainClear:
+		dc := data.(drainClearMsg)
+		seen := r.drainSeen[dc.Node]
+		if seen == nil {
+			break // the node already completed its drain
+		}
+		seen[dc.Worker] = true
+		r.checkDrained(dc.Node)
 	case entryReport:
 		rm := data.(shardReportMsg)
 		s := int(rm.Shard)
@@ -439,6 +567,10 @@ func buildSharded(p *Params) (*core.Program, error) {
 	nw, ns := p.Workers, p.Shards
 	fm := newFarmMetrics(p)
 	workerPE := func(i, numPE int) int {
+		if e := p.Elastic; e != nil {
+			act := e.activePEs(numPE)
+			return act[core.BlockMap(i, nw, len(act))]
+		}
 		if p.DedicatedMaster {
 			if numPE == 1 {
 				return 0
@@ -447,11 +579,28 @@ func buildSharded(p *Params) (*core.Program, error) {
 		}
 		return core.BlockMap(i, nw, numPE)
 	}
+	// Elastic farms pin the root and every dispatcher shard to the
+	// coordinator's PEs: the membership notifier, the dispatchers, and
+	// the drain protocol then share one process, and grants are the only
+	// application traffic that crosses nodes.
+	shardPE := func(s, numPE int) int {
+		if e := p.Elastic; e != nil {
+			cp := e.coordPEs(numPE)
+			return cp[s%len(cp)]
+		}
+		return workerPE(s*nw/ns, numPE)
+	}
+	rootPE := func(_, numPE int) int {
+		if e := p.Elastic; e != nil {
+			return e.coordPEs(numPE)[0]
+		}
+		return 0
+	}
 	return &core.Program{
 		Arrays: []core.ArraySpec{
 			{
 				ID: ArrayMaster, N: 1,
-				Map: func(int, int) int { return 0 },
+				Map: rootPE,
 				New: func(int) core.Chare { return &root{p: p, shards: ns, workers: nw} },
 			},
 			{
@@ -461,7 +610,7 @@ func buildSharded(p *Params) (*core.Program, error) {
 			},
 			{
 				ID: ArrayShard, N: ns,
-				Map: func(s, numPE int) int { return workerPE(s*nw/ns, numPE) },
+				Map: shardPE,
 				New: func(s int) core.Chare { return newShard(p, s, fm) },
 			},
 		},

@@ -43,6 +43,9 @@ const (
 	entryShardStart  core.EntryID = 8  // shard: begin dispatching
 	entryReportReq   core.EntryID = 9  // shard: root asks for the final tally
 	entryReport      core.EntryID = 10 // root: a shard's final tally
+	entryMembers     core.EntryID = 11 // shard: worker-set change (elastic farms)
+	entryMembersRoot core.EntryID = 12 // root: drain expectation (elastic farms)
+	entryDrainClear  core.EntryID = 13 // root: a draining worker's grants all settled
 )
 
 // Params configures a farm run.
@@ -108,6 +111,19 @@ type Params struct {
 	// time), grant/steal counters, and a per-shard completed-task
 	// counter. Works under both executors — handles are plain atomics.
 	Metrics *metrics.Registry
+
+	// Elastic, when non-nil, prepares the farm for a changing node set
+	// (see elastic.go): dispatchers are pinned to the membership
+	// coordinator, workers are placed on initially-Active nodes only,
+	// and the farm reacts to join/drain/death notifications delivered
+	// by a Notifier. Requires Shards >= 1 (the sharded protocol carries
+	// the outstanding-grant tracking the recovery path needs).
+	Elastic *ElasticConfig
+
+	// OnDrained is called from the root's handler when every
+	// outstanding grant to a draining node's workers has settled — wire
+	// it to core.Membership.NotifyDrained. Elastic farms only.
+	OnDrained func(node int)
 }
 
 // Validate checks parameter consistency.
@@ -132,6 +148,14 @@ func (p *Params) Validate() error {
 	}
 	if p.CostSkew != 0 && p.CostSkew < 1 {
 		return fmt.Errorf("taskfarm: cost skew %v < 1", p.CostSkew)
+	}
+	if p.Elastic != nil {
+		if p.Shards < 1 {
+			return fmt.Errorf("taskfarm: elastic farm requires Shards >= 1 (have %d)", p.Shards)
+		}
+		if p.Elastic.NodeOf == nil || p.Elastic.ActiveNode == nil {
+			return fmt.Errorf("taskfarm: elastic farm requires NodeOf and ActiveNode")
+		}
 	}
 	return nil
 }
@@ -380,7 +404,7 @@ func BuildProgram(p *Params) (*core.Program, error) {
 	if p.Workers <= 0 {
 		return nil, fmt.Errorf("taskfarm: Workers must be set (use BuildProgramFor for one-per-PE)")
 	}
-	if p.Shards > 1 {
+	if p.Shards > 1 || p.Elastic != nil {
 		return buildSharded(p)
 	}
 	prog := &core.Program{

@@ -300,11 +300,47 @@ func (s *Stack) Listen() (string, error) { return s.tcp.Listen() }
 // Addr returns the bound listen address, or "" before Listen.
 func (s *Stack) Addr() string { return s.tcp.Addr() }
 
-// SetAddr updates a peer node's address (dynamic port exchange).
-func (s *Stack) SetAddr(node int, addr string) { s.tcp.SetAddr(node, addr) }
+// SetAddr updates a peer node's address (dynamic port exchange). A new
+// address means a new incarnation, so any reliability dedup tombstone
+// left by a forgotten predecessor under the same node number is cleared.
+func (s *Stack) SetAddr(node int, addr string) {
+	if s.rel != nil {
+		s.rel.ResetPeer(node)
+	}
+	s.tcp.SetAddr(node, addr)
+}
 
 // SendControl sends a control frame directly to a node.
 func (s *Stack) SendControl(node int, f *Frame) error { return s.tcp.SendControl(node, f) }
+
+// SetEpoch advances the membership epoch stamped on reliable frames; a
+// no-op for stacks without a reliability layer (nothing fences without
+// one).
+func (s *Stack) SetEpoch(e uint32) {
+	if s.rel != nil {
+		s.rel.SetEpoch(e)
+	}
+}
+
+// Epoch returns the stack's current membership epoch (0 when no
+// reliability layer is configured).
+func (s *Stack) Epoch() uint32 {
+	if s.rel != nil {
+		return s.rel.Epoch()
+	}
+	return 0
+}
+
+// SetDialGate installs the membership dial gate on the TCP terminal.
+func (s *Stack) SetDialGate(fn func(node int) bool) { s.tcp.SetDialGate(fn) }
+
+// ForgetPeer drops reliability state for node (no-op without a
+// reliability layer).
+func (s *Stack) ForgetPeer(node int) {
+	if s.rel != nil {
+		s.rel.ForgetPeer(node)
+	}
+}
 
 // TCP exposes the terminal device (fault injection helpers like DropConn
 // and CorruptWire live there).

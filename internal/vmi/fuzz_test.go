@@ -64,6 +64,61 @@ func FuzzRecvChain(f *testing.F) {
 	})
 }
 
+// FuzzEpochFence: the epoch field of the reliability header — the fence
+// that drops a dead node's stale traffic — must decode within its 24-bit
+// range, survive an in-place restamp (what retransmission does after an
+// epoch bump) without disturbing any other header field or the payload,
+// and reject truncated headers. The fence comparison itself must agree
+// with the restamped value.
+func FuzzEpochFence(f *testing.F) {
+	seed := func(h RelHeader, payload []byte, epoch uint32) {
+		f.Add(append(AppendRelHeader(nil, h), payload...), epoch)
+	}
+	seed(RelHeader{Kind: relKindData, Epoch: 1, Seq: 5, Ack: 2, CRC: 0xBEEF}, []byte("fenced"), 2)
+	seed(RelHeader{Kind: relKindData, Epoch: MaxEpoch, Seq: 1}, nil, 0)
+	seed(RelHeader{Kind: relKindAck, Epoch: 3, Ack: 9}, nil, 3)
+	seed(RelHeader{Kind: relKindData, Epoch: 0, Seq: 1}, []byte{0xFF}, MaxEpoch+1)
+	f.Add([]byte{}, uint32(1))
+	f.Add(AppendRelHeader(nil, RelHeader{Kind: relKindData, Epoch: 7})[:relHeaderLen-1], uint32(8))
+
+	f.Fuzz(func(t *testing.T, data []byte, epoch uint32) {
+		h, payload, err := DecodeRelHeader(data)
+		if err != nil {
+			return // rejection (including truncation) is fine; panics are not
+		}
+		if h.Epoch > MaxEpoch {
+			t.Fatalf("decoded epoch %d exceeds the 24-bit field", h.Epoch)
+		}
+		// Restamp in place, as the retransmit path does after SetEpoch.
+		buf := append(AppendRelHeader(nil, h), payload...)
+		restampEpoch(buf, epoch&MaxEpoch)
+		h2, p2, err := DecodeRelHeader(buf)
+		if err != nil {
+			t.Fatalf("re-decode after restamp failed: %v", err)
+		}
+		if want := epoch & MaxEpoch; h2.Epoch != want {
+			t.Fatalf("restamped epoch = %d, want %d", h2.Epoch, want)
+		}
+		if h2.Kind != h.Kind || h2.Seq != h.Seq || h2.Ack != h.Ack {
+			t.Fatalf("restamp disturbed the header: %+v vs %+v", h, h2)
+		}
+		// The CRC covers the epoch, so a restamp must refresh it to the
+		// valid checksum of the new header — otherwise every restamped
+		// retransmit would be rejected as corrupt.
+		if h2.Epoch != h.Epoch && h2.CRC != relCRC(h2, p2) {
+			t.Fatalf("restamp left a stale CRC: %#x, want %#x", h2.CRC, relCRC(h2, p2))
+		}
+		if !bytes.Equal(p2, payload) {
+			t.Fatal("restamp disturbed the payload")
+		}
+		// The fence predicate must see exactly the restamped value: a
+		// frame restamped to the current epoch is never stale.
+		if h2.Epoch < epoch&MaxEpoch {
+			t.Fatal("restamped frame would be fenced by its own epoch")
+		}
+	})
+}
+
 // FuzzReliableFrame: the reliability header codec must never panic, and
 // whatever it accepts must decode to the same header and payload after
 // re-encoding. Seeds cover both kinds and sequence/ack wraparound values.

@@ -43,19 +43,24 @@ import (
 //	off len field
 //	  0   4  magic 0x524C4231 ("RLB1")
 //	  4   1  kind (1 data, 2 ack)
-//	  5   3  reserved
+//	  5   3  epoch (24-bit cluster-membership epoch; 0 = no fencing)
 //	  8   8  seq (data frames; 0 on pure acks)
 //	 16   8  ack (cumulative: every seq <= ack was received; 0 = none)
-//	 24   4  CRC-32C of the header's first 24 bytes (reserved read as
-//	         zero) followed by the payload — covering seq and ack matters:
-//	         a bit flip in the ack field would otherwise pass a
-//	         payload-only CRC and free unacked retransmit entries
+//	 24   4  CRC-32C of the header's first 24 bytes followed by the
+//	         payload — covering seq, ack, and epoch matters: a bit flip
+//	         in the ack field would otherwise pass a payload-only CRC and
+//	         free unacked retransmit entries, and a flipped epoch could
+//	         fence (or unfence) a frame the sender never stamped
 const (
 	relMagic     = 0x524C4231
 	relHeaderLen = 28
 
 	relKindData byte = 1
 	relKindAck  byte = 2
+
+	// MaxEpoch is the largest membership epoch the 24-bit header field
+	// carries; SetEpoch masks to this range.
+	MaxEpoch = 1<<24 - 1
 )
 
 // ErrBadRelHeader is returned when decoding a reliability header that is
@@ -64,10 +69,11 @@ var ErrBadRelHeader = errors.New("vmi: bad reliability header")
 
 // RelHeader is the decoded reliability header of one frame.
 type RelHeader struct {
-	Kind byte
-	Seq  uint64
-	Ack  uint64
-	CRC  uint32
+	Kind  byte
+	Epoch uint32 // 24-bit membership epoch (0 = sender not fencing)
+	Seq   uint64
+	Ack   uint64
+	CRC   uint32
 }
 
 // AppendRelHeader appends h's wire encoding to dst.
@@ -75,6 +81,9 @@ func AppendRelHeader(dst []byte, h RelHeader) []byte {
 	var b [relHeaderLen]byte
 	binary.BigEndian.PutUint32(b[0:], relMagic)
 	b[4] = h.Kind
+	b[5] = byte(h.Epoch >> 16)
+	b[6] = byte(h.Epoch >> 8)
+	b[7] = byte(h.Epoch)
 	binary.BigEndian.PutUint64(b[8:], h.Seq)
 	binary.BigEndian.PutUint64(b[16:], h.Ack)
 	binary.BigEndian.PutUint32(b[24:], h.CRC)
@@ -91,10 +100,11 @@ func DecodeRelHeader(b []byte) (RelHeader, []byte, error) {
 		return RelHeader{}, b, fmt.Errorf("%w: bad magic", ErrBadRelHeader)
 	}
 	h := RelHeader{
-		Kind: b[4],
-		Seq:  binary.BigEndian.Uint64(b[8:]),
-		Ack:  binary.BigEndian.Uint64(b[16:]),
-		CRC:  binary.BigEndian.Uint32(b[24:]),
+		Kind:  b[4],
+		Epoch: uint32(b[5])<<16 | uint32(b[6])<<8 | uint32(b[7]),
+		Seq:   binary.BigEndian.Uint64(b[8:]),
+		Ack:   binary.BigEndian.Uint64(b[16:]),
+		CRC:   binary.BigEndian.Uint32(b[24:]),
 	}
 	if h.Kind != relKindData && h.Kind != relKindAck {
 		return RelHeader{}, b, fmt.Errorf("%w: kind %d", ErrBadRelHeader, h.Kind)
@@ -103,15 +113,39 @@ func DecodeRelHeader(b []byte) (RelHeader, []byte, error) {
 }
 
 // relCRC computes the checksum stored in a reliability header: CRC-32C
-// over the canonical first 24 header bytes (kind, seq, ack; reserved as
-// zero) and the payload.
+// over the canonical first 24 header bytes (kind, epoch, seq, ack) and
+// the payload.
 func relCRC(h RelHeader, payload []byte) uint32 {
 	var b [relHeaderLen - 4]byte
 	binary.BigEndian.PutUint32(b[0:], relMagic)
 	b[4] = h.Kind
+	b[5] = byte(h.Epoch >> 16)
+	b[6] = byte(h.Epoch >> 8)
+	b[7] = byte(h.Epoch)
 	binary.BigEndian.PutUint64(b[8:], h.Seq)
 	binary.BigEndian.PutUint64(b[16:], h.Ack)
 	return crc32.Update(crc32.Checksum(b[:], castagnoli), castagnoli, payload)
+}
+
+// restampEpoch rewrites the epoch field of an already-encoded reliability
+// header in place and refreshes the CRC. Retransmits use it so a frame
+// buffered before an epoch bump carries the sender's *current* epoch: a
+// fenced receiver drops the old stamp as a wire loss, and the restamped
+// retransmit repairs it — only senders that never learn the new epoch
+// (zombies) stay fenced out.
+func restampEpoch(body []byte, epoch uint32) {
+	if len(body) < relHeaderLen {
+		return
+	}
+	h, payload, err := DecodeRelHeader(body)
+	if err != nil || h.Epoch == epoch {
+		return
+	}
+	h.Epoch = epoch
+	body[5] = byte(epoch >> 16)
+	body[6] = byte(epoch >> 8)
+	body[7] = byte(epoch)
+	binary.BigEndian.PutUint32(body[24:], relCRC(h, payload))
 }
 
 // ReliableConfig tunes the reliability layer. Zero values select the
@@ -142,6 +176,13 @@ type ReliableConfig struct {
 	// SetErrHandler). When the layer is owned by a ChainBuilder Stack, the
 	// runtime's failure path is bound through Stack.Bind instead.
 	OnFail func(error)
+	// OnPeerFail, if non-nil, is consulted before OnFail when one peer
+	// exhausts its retransmit budget. Returning true claims the failure as
+	// handled — the layer forgets the peer (dropping its buffered frames)
+	// and keeps serving the others — turning a single dead node into a
+	// membership event instead of a run failure. Returning false falls
+	// through to the terminal OnFail path.
+	OnPeerFail func(node int, err error) bool
 }
 
 func (c *ReliableConfig) fill() {
@@ -167,6 +208,13 @@ type ReliableStats struct {
 	DataSent, Retransmits, AcksSent        int64
 	Delivered, DupDropped, CrcDropped      int64
 	HeldOutOfOrder, TransportErrs, BadHdrs int64
+	// StaleEpochDropped counts frames fenced for carrying a membership
+	// epoch older than this node's — the zombie traffic the epoch bump
+	// exists to keep out.
+	StaleEpochDropped int64
+	// PeerFailures counts peers whose budget exhaustion was claimed by
+	// OnPeerFail (and whose state was dropped) instead of failing the run.
+	PeerFailures int64
 }
 
 // Reliable implements the core.Transport Send contract over a *TCP. Build
@@ -182,12 +230,27 @@ type Reliable struct {
 	// hook); transport-level errors never reach it directly.
 	errHandler atomic.Pointer[func(error)]
 
+	// onPeerFail is the per-peer budget-exhaustion handler (membership's
+	// death detector); see ReliableConfig.OnPeerFail.
+	onPeerFail atomic.Pointer[func(node int, err error) bool]
+
+	// epoch is this node's current membership epoch, stamped on every
+	// data frame and ack; received frames with a lower epoch are fenced.
+	epoch atomic.Uint32
+
 	mu      sync.Mutex
 	space   *sync.Cond // senders wait here for retransmit-window space
 	peers   map[int]*relPeer
 	stats   ReliableStats
 	failErr error
 	closed  bool
+
+	// gone holds the receive-dedup floor (recvNext) of forgotten peers.
+	// A drained node keeps retransmitting its last unacked frames until
+	// the final ack reaches it; without the floor, fresh peer state would
+	// deliver those retransmits a second time. Cleared by ResetPeer when
+	// the node rejoins as a new incarnation.
+	gone map[int]uint64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -235,11 +298,15 @@ func NewReliable(t *TCP, deliver RecvFunc, cfg ReliableConfig) *Reliable {
 		up:    deliver,
 		cfg:   cfg,
 		peers: make(map[int]*relPeer),
+		gone:  make(map[int]uint64),
 		done:  make(chan struct{}),
 	}
 	rel.space = sync.NewCond(&rel.mu)
 	if cfg.OnFail != nil {
 		rel.errHandler.Store(&cfg.OnFail)
+	}
+	if cfg.OnPeerFail != nil {
+		rel.onPeerFail.Store(&cfg.OnPeerFail)
 	}
 	rel.down = BuildSendChain(t.Send, cfg.SendFaults...)
 	t.SetRecv(BuildRecvChain(rel.deliverWire, cfg.RecvFaults...))
@@ -265,6 +332,85 @@ func (r *Reliable) errh() func(error) {
 		return *p
 	}
 	return nil
+}
+
+// SetOnPeerFail installs the per-peer budget-exhaustion handler after
+// construction (the membership layer is typically built above an already-
+// assembled stack). See ReliableConfig.OnPeerFail.
+func (r *Reliable) SetOnPeerFail(fn func(node int, err error) bool) {
+	r.onPeerFail.Store(&fn)
+}
+
+func (r *Reliable) peerFailHandler() func(node int, err error) bool {
+	if p := r.onPeerFail.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// SetEpoch advances this node's membership epoch (masked to MaxEpoch).
+// Every subsequent send — including retransmits of frames buffered under
+// the old epoch, which are restamped — carries the new value; incoming
+// frames stamped with an older epoch are dropped and counted. Epochs
+// never regress: a lower value than the current one is ignored.
+func (r *Reliable) SetEpoch(e uint32) {
+	e &= MaxEpoch
+	for {
+		cur := r.epoch.Load()
+		if e <= cur || r.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Epoch returns this node's current membership epoch.
+func (r *Reliable) Epoch() uint32 { return r.epoch.Load() }
+
+// ForgetPeer drops all reliability state for node: buffered unacked
+// frames, held out-of-order receives, and sequence tracking. Call it when
+// membership declares the peer dead or drained — the retransmit loop
+// stops re-dialing it, and senders blocked on its window are released.
+//
+// The receive-dedup floor survives as a tombstone, and a final cumulative
+// ack is flushed on the way out: a *drained* peer is still alive and
+// retransmitting anything we have not acked (its results were a one-way
+// flow, so the acks were delayed standalone ones that die with the peer
+// state). The ack stops it; the tombstone keeps any retransmit already in
+// flight from being delivered twice. Dead peers need neither — the epoch
+// bump fences them — but both are harmless there.
+func (r *Reliable) ForgetPeer(node int) {
+	var ack *Frame
+	r.mu.Lock()
+	if p, ok := r.peers[node]; ok {
+		p.sendBuf = nil
+		delete(r.peers, node)
+		r.gone[node] = p.recvNext
+		if p.havePEs && p.recvNext > 1 {
+			h := RelHeader{Kind: relKindAck, Epoch: r.epoch.Load(), Ack: p.recvNext - 1}
+			h.CRC = relCRC(h, nil)
+			ack = &Frame{
+				Src: p.selfPE, Dst: p.peerPE, Class: ClassSystem, Flags: FlagReliable,
+				Body: AppendRelHeader(make([]byte, 0, relHeaderLen), h),
+			}
+			r.stats.AcksSent++
+		}
+	}
+	r.mu.Unlock()
+	r.space.Broadcast()
+	if ack != nil {
+		_ = r.down(ack) // best effort; the tombstone covers a lost ack
+	}
+}
+
+// ResetPeer clears the forgotten-peer dedup tombstone for node: a new
+// incarnation (a drained node rejoining under the same number) starts its
+// sequence space from 1 and must not be deduplicated against its
+// predecessor's. Installed on the address-update path — a new incarnation
+// always announces a new address.
+func (r *Reliable) ResetPeer(node int) {
+	r.mu.Lock()
+	delete(r.gone, node)
+	r.mu.Unlock()
 }
 
 // Stats returns a snapshot of the repair counters.
@@ -299,6 +445,8 @@ func (r *Reliable) Instrument(reg *metrics.Registry, labels ...metrics.Label) {
 		{"vmi_rel_held_out_of_order_total", func(s ReliableStats) int64 { return s.HeldOutOfOrder }},
 		{"vmi_rel_transport_errs_total", func(s ReliableStats) int64 { return s.TransportErrs }},
 		{"vmi_rel_bad_headers_total", func(s ReliableStats) int64 { return s.BadHdrs }},
+		{"vmi_rel_stale_epoch_dropped_total", func(s ReliableStats) int64 { return s.StaleEpochDropped }},
+		{"vmi_rel_peer_failures_total", func(s ReliableStats) int64 { return s.PeerFailures }},
 	} {
 		reg.CounterFunc(m.name, stat(m.sel), labels...)
 	}
@@ -318,6 +466,11 @@ func (r *Reliable) peer(node int) *relPeer {
 	p, ok := r.peers[node]
 	if !ok {
 		p = &relPeer{node: node, nextSeq: 1, recvNext: 1, heldRecv: make(map[uint64]*Frame)}
+		// Resume the dedup floor of a forgotten incarnation: late
+		// retransmits from a drained peer must re-ack, not re-deliver.
+		if floor, gone := r.gone[node]; gone && floor > p.recvNext {
+			p.recvNext = floor
+		}
 		r.peers[node] = p
 	}
 	return p
@@ -375,7 +528,7 @@ func (r *Reliable) Send(f *Frame) error {
 	p.selfPE, p.peerPE, p.havePEs = f.Src, f.Dst, true
 	seq := p.nextSeq
 	p.nextSeq++
-	h := RelHeader{Kind: relKindData, Seq: seq, Ack: p.recvNext - 1}
+	h := RelHeader{Kind: relKindData, Epoch: r.epoch.Load(), Seq: seq, Ack: p.recvNext - 1}
 	h.CRC = relCRC(h, f.Body)
 	body := AppendRelHeader(make([]byte, 0, relHeaderLen+len(f.Body)), h)
 	body = append(body, f.Body...)
@@ -418,6 +571,17 @@ func (r *Reliable) deliverWire(f *Frame) error {
 		r.stats.CrcDropped++
 		r.mu.Unlock()
 		return nil // corrupt in flight: drop, retransmit repairs
+	}
+	if h.Epoch < r.epoch.Load() {
+		// Fenced: the sender is behind this node's membership epoch. A
+		// live survivor that simply hasn't heard of the bump yet will
+		// restamp and retransmit; a zombie never learns it and stays out.
+		// The stale frame's ack field is ignored too — only current-epoch
+		// traffic may free retransmit entries.
+		r.mu.Lock()
+		r.stats.StaleEpochDropped++
+		r.mu.Unlock()
+		return nil
 	}
 	node := r.tcp.route(f.Src)
 	r.mu.Lock()
@@ -531,6 +695,7 @@ func (r *Reliable) retransmitLoop() {
 			return
 		}
 		var exhausted *relEntry
+		exhaustedNode := -1
 		for _, p := range r.peers {
 			for _, e := range p.sendBuf {
 				if now.Sub(e.lastSent) < r.rto(e.attempts) {
@@ -538,6 +703,7 @@ func (r *Reliable) retransmitLoop() {
 				}
 				if e.attempts >= r.cfg.MaxRetransmits {
 					exhausted = e
+					exhaustedNode = p.node
 					break
 				}
 				e.attempts++
@@ -553,11 +719,25 @@ func (r *Reliable) retransmitLoop() {
 		}
 		r.mu.Unlock()
 		if exhausted != nil {
-			r.fail(fmt.Errorf("vmi: reliable: frame %v seq %d unacked after %d retransmits",
-				exhausted.f, exhausted.seq, r.cfg.MaxRetransmits))
+			err := fmt.Errorf("vmi: reliable: frame %v seq %d to node %d unacked after %d retransmits",
+				exhausted.f, exhausted.seq, exhaustedNode, r.cfg.MaxRetransmits)
+			if h := r.peerFailHandler(); h != nil && h(exhaustedNode, err) {
+				// Membership claimed the failure: the peer is dead to us.
+				// Drop its state and keep serving the surviving peers.
+				r.ForgetPeer(exhaustedNode)
+				r.mu.Lock()
+				r.stats.PeerFailures++
+				r.mu.Unlock()
+				continue
+			}
+			r.fail(err)
 			return
 		}
+		// Restamp retransmits with the current epoch: frames buffered
+		// before a bump would otherwise be fenced by every receiver.
+		ep := r.epoch.Load()
 		for _, e := range resend {
+			restampEpoch(e.f.Body, ep)
 			if err := r.down(e.f); err != nil {
 				r.mu.Lock()
 				r.stats.TransportErrs++
@@ -590,7 +770,7 @@ func (r *Reliable) ackLoop() {
 				continue
 			}
 			p.ackDue = false
-			h := RelHeader{Kind: relKindAck, Ack: p.recvNext - 1}
+			h := RelHeader{Kind: relKindAck, Epoch: r.epoch.Load(), Ack: p.recvNext - 1}
 			h.CRC = relCRC(h, nil)
 			acks = append(acks, &Frame{
 				Src: p.selfPE, Dst: p.peerPE, Class: ClassSystem, Flags: FlagReliable,

@@ -60,6 +60,13 @@ type TCP struct {
 	// failures after enqueue are invisible to the sender.
 	errHandler atomic.Pointer[func(error)]
 
+	// dialGate, if set, is consulted before dialing a node with no live
+	// connection; false vetoes the dial. Membership installs it so drained
+	// and dead peers are not redialed forever by retransmits (the backoff
+	// loop for an exited process otherwise spins until the budget runs
+	// out). Frames already connected keep flowing regardless.
+	dialGate atomic.Pointer[func(node int) bool]
+
 	// OnControl, if non-nil, receives control frames other than the
 	// connection hello (e.g. coordinator shutdown announcements).
 	OnControl func(*Frame)
@@ -112,6 +119,11 @@ func (t *TCP) Instrument(reg *metrics.Registry) {
 // ControlShutdown is the Dst marker of a coordinator's shutdown
 // announcement control frame.
 const ControlShutdown int32 = -2
+
+// ControlMembership is the Dst marker of cluster-membership control
+// frames (join requests, member-table broadcasts, drain notices); the
+// body is a core membership wire message.
+const ControlMembership int32 = -3
 
 // maxPendingBytes bounds a connection's coalescing buffer; senders block
 // (backpressure) until the writer drains below it.
@@ -495,6 +507,20 @@ func (t *TCP) errh() func(error) {
 	return nil
 }
 
+// ErrDialGated marks a dial vetoed by the membership gate installed with
+// SetDialGate (the target is drained or dead, not merely unreachable).
+var ErrDialGated = errors.New("dial gated by membership")
+
+// SetDialGate installs (or, with nil, removes) the membership dial gate;
+// see the dialGate field. Safe to call at any time.
+func (t *TCP) SetDialGate(fn func(node int) bool) {
+	if fn == nil {
+		t.dialGate.Store(nil)
+		return
+	}
+	t.dialGate.Store(&fn)
+}
+
 func (t *TCP) isClosed() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -515,6 +541,9 @@ func (t *TCP) connTo(node int) (*tcpConn, error) {
 	t.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("vmi: no address for node %d", node)
+	}
+	if g := t.dialGate.Load(); g != nil && !(*g)(node) {
+		return nil, fmt.Errorf("vmi: %w: node %d", ErrDialGated, node)
 	}
 
 	attempts := t.DialAttempts
