@@ -39,44 +39,33 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strings"
 	"sync"
 	"syscall"
 	"time"
 
-	"gridmdo/internal/balance"
+	"gridmdo/internal/appflags"
 	"gridmdo/internal/core"
 	"gridmdo/internal/leanmd"
 	"gridmdo/internal/metrics"
 	"gridmdo/internal/stencil"
 	"gridmdo/internal/taskfarm"
-	"gridmdo/internal/topology"
 	"gridmdo/internal/trace"
 	"gridmdo/internal/vmi"
 )
 
-// config carries the parsed command line into run.
+// config carries the parsed command line into run. The flag groups live
+// in internal/appflags, shared with cmd/gridgate so both binaries parse
+// and validate an identical program shape.
 type config struct {
-	node                  int
-	addrList, app         string
-	procs, split          int
-	latency               time.Duration
-	objects, width        int
-	cells, atoms          int
-	steps, warmup         int
-	tasks, shards, batch  int
-	prefetch, spin        int
-	steal                 bool
-	skew                  float64
-	lb                    string
-	lbPeriod              int
-	checkpoint, restart   string
-	reliable              bool
-	membership            bool
-	joiners               string
-	metricsAddr, snapshot string
-	traceOut              string
-	traceCap              int
+	appflags.Cluster
+	appflags.Sim
+	appflags.Stencil
+	appflags.LeanMD
+	appflags.Farm
+	appflags.Obs
+
+	app                 string
+	checkpoint, restart string
 
 	// onMetrics, when non-nil, receives the bound metrics address once the
 	// endpoint is listening (tests scrape it during a live run).
@@ -93,54 +82,20 @@ type config struct {
 
 func main() {
 	var cfg config
-	flag.IntVar(&cfg.node, "node", 0, "this process's node index")
-	flag.StringVar(&cfg.addrList, "addrs", "", "comma-separated listen addresses, one per node")
-	flag.StringVar(&cfg.app, "app", "stencil", "stencil|leanmd|taskfarm")
-	flag.IntVar(&cfg.procs, "procs", 4, "total PEs across all nodes")
-	flag.DurationVar(&cfg.latency, "latency", 1725*time.Microsecond, "one-way inter-cluster latency")
-	flag.IntVar(&cfg.objects, "objects", 64, "stencil: virtualization degree (perfect square)")
-	flag.IntVar(&cfg.width, "width", 1024, "stencil: mesh width and height")
-	flag.IntVar(&cfg.cells, "cells", 4, "leanmd: cells per axis")
-	flag.IntVar(&cfg.atoms, "atoms", 8, "leanmd: atoms per cell")
-	flag.IntVar(&cfg.steps, "steps", 10, "time steps")
-	flag.IntVar(&cfg.warmup, "warmup", 3, "warmup steps")
-	flag.IntVar(&cfg.split, "split", 0, "PE index where cluster 1 begins (unequal co-allocations; 0 = procs/2)")
-	flag.IntVar(&cfg.tasks, "tasks", 2000, "taskfarm: task count")
-	flag.IntVar(&cfg.shards, "shards", 1, "taskfarm: dispatcher shard count (1 = single master)")
-	flag.IntVar(&cfg.batch, "batch", 16, "taskfarm: grant batch cap (sharded only)")
-	flag.BoolVar(&cfg.steal, "steal", false, "taskfarm: enable randomized work stealing between shards")
-	flag.IntVar(&cfg.prefetch, "prefetch", 2, "taskfarm: per-worker prefetch depth")
-	flag.IntVar(&cfg.spin, "spin", 20000, "taskfarm: wall-clock spin iterations per task")
-	flag.Float64Var(&cfg.skew, "skew", 1, "taskfarm: per-task cost ramp 1x..skew-x across the task space")
-	flag.StringVar(&cfg.lb, "lb", "", "AtSync load balancing: greedy|refine|grid (stencil only)")
-	flag.IntVar(&cfg.lbPeriod, "lb-period", 0, "balance every N steps (0: one round at steps/2)")
-	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "write this node's checkpoint to <prefix>.node<N> when the run completes")
-	flag.StringVar(&cfg.restart, "restart", "", "restore program state from <prefix>.node* (or a single merged file) before running")
-	flag.BoolVar(&cfg.reliable, "reliable", false, "interpose the end-to-end reliability layer over TCP")
-	flag.BoolVar(&cfg.membership, "membership", false, "elastic cluster membership: join/drain/death handling (implies -reliable; node 0 coordinates)")
-	flag.StringVar(&cfg.joiners, "joiners", "", "comma-separated node indices that start outside the member set and join mid-run (identical on every process)")
-	flag.StringVar(&cfg.metricsAddr, "metrics", "", "serve the metrics registry over HTTP on this address (e.g. 127.0.0.1:9300)")
-	flag.StringVar(&cfg.snapshot, "metrics-out", "", "write a JSON metrics snapshot to this file when the run completes")
-	flag.StringVar(&cfg.traceOut, "trace-out", "", "write this node's causal trace snapshot (for cmd/gridtrace) to this file")
-	flag.IntVar(&cfg.traceCap, "trace-cap", trace.DefaultCapacity, "per-PE trace ring capacity (events; rounded up to a power of two)")
+	fs := flag.CommandLine
+	cfg.Cluster.Register(fs)
+	cfg.Sim.Register(fs)
+	cfg.Stencil.Register(fs)
+	cfg.LeanMD.Register(fs)
+	cfg.Farm.Register(fs)
+	cfg.Obs.Register(fs, trace.DefaultCapacity)
+	fs.StringVar(&cfg.app, "app", "stencil", "stencil|leanmd|taskfarm")
+	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "write this node's checkpoint to <prefix>.node<N> when the run completes")
+	fs.StringVar(&cfg.restart, "restart", "", "restore program state from <prefix>.node* (or a single merged file) before running")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "gridnode: %v\n", err)
 		os.Exit(1)
-	}
-}
-
-// strategyByName resolves a -lb flag value to a balancing strategy.
-func strategyByName(name string) (core.Strategy, error) {
-	switch name {
-	case "greedy":
-		return balance.Greedy{}, nil
-	case "refine":
-		return balance.Refine{}, nil
-	case "grid":
-		return balance.Grid{}, nil
-	default:
-		return nil, fmt.Errorf("unknown -lb strategy %q (want greedy, refine, or grid)", name)
 	}
 }
 
@@ -151,71 +106,26 @@ func strategyByName(name string) (core.Strategy, error) {
 func buildProgram(cfg config, reg *metrics.Registry, elastic *taskfarm.ElasticConfig) (*core.Program, *taskfarm.Params, error) {
 	switch cfg.app {
 	case "stencil":
-		v := 1
-		for v*v < cfg.objects {
-			v++
-		}
-		if v*v != cfg.objects {
-			return nil, nil, fmt.Errorf("objects=%d is not a perfect square", cfg.objects)
-		}
-		p := &stencil.Params{
-			Width: cfg.width, Height: cfg.width, VX: v, VY: v,
-			Steps: cfg.steps, Warmup: cfg.warmup,
-		}
-		if cfg.lb != "" {
-			s, err := strategyByName(cfg.lb)
-			if err != nil {
-				return nil, nil, err
-			}
-			p.LB = s
-			if cfg.lbPeriod > 0 {
-				p.LBEvery = cfg.lbPeriod
-			} else {
-				p.LBAtStep = cfg.steps / 2
-			}
-		}
-		if elastic != nil {
-			nObj := v * v
-			p.InitialMap = func(i, numPE int) int {
-				var act []int
-				for pe := 0; pe < numPE; pe++ {
-					if elastic.ActiveNode(elastic.NodeOf(pe)) {
-						act = append(act, pe)
-					}
-				}
-				if len(act) == 0 {
-					return 0
-				}
-				return act[core.BlockMap(i, nObj, len(act))]
-			}
+		p, err := cfg.Stencil.Params(cfg.Sim, elastic)
+		if err != nil {
+			return nil, nil, err
 		}
 		prog, err := stencil.BuildProgram(p)
 		return prog, nil, err
 	case "leanmd":
-		if cfg.lb != "" {
+		if cfg.LB != "" {
 			return nil, nil, fmt.Errorf("-lb supports -app stencil only")
 		}
 		if elastic != nil {
 			return nil, nil, fmt.Errorf("-membership supports -app stencil and taskfarm only")
 		}
-		p := leanmd.DefaultParams()
-		p.NX, p.NY, p.NZ = cfg.cells, cfg.cells, cfg.cells
-		p.AtomsPerCell = cfg.atoms
-		p.Steps, p.Warmup = cfg.steps, cfg.warmup
-		prog, _, err := leanmd.BuildProgram(p)
+		prog, _, err := leanmd.BuildProgram(cfg.LeanMD.Params(cfg.Sim))
 		return prog, nil, err
 	case "taskfarm":
-		if cfg.lb != "" {
+		if cfg.LB != "" {
 			return nil, nil, fmt.Errorf("-lb supports -app stencil only")
 		}
-		p := &taskfarm.Params{
-			Tasks: cfg.tasks, Workers: cfg.procs,
-			Prefetch: cfg.prefetch, Spin: cfg.spin,
-			Shards: cfg.shards, Batch: cfg.batch, Steal: cfg.steal,
-			CostSkew: cfg.skew, Seed: 1,
-			Metrics: reg,
-			Elastic: elastic,
-		}
+		p := cfg.Farm.Params(cfg.Procs, reg, elastic)
 		prog, err := taskfarm.BuildProgram(p)
 		return prog, p, err
 	default:
@@ -224,52 +134,37 @@ func buildProgram(cfg config, reg *metrics.Registry, elastic *taskfarm.ElasticCo
 }
 
 func run(cfg config) error {
-	addrs := strings.Split(cfg.addrList, ",")
-	nodes := len(addrs)
-	if cfg.addrList == "" || nodes < 2 {
-		return fmt.Errorf("need -addrs with at least two addresses")
-	}
-	if cfg.node < 0 || cfg.node >= nodes {
-		return fmt.Errorf("node %d out of range for %d addresses", cfg.node, nodes)
-	}
-	if cfg.procs%nodes != 0 {
-		return fmt.Errorf("procs=%d not divisible by %d nodes", cfg.procs, nodes)
-	}
-	perNode := cfg.procs / nodes
-
 	// The cluster boundary defaults to an even split (the paper's
 	// two-cluster machine) but -split models unequal co-allocations, where
 	// one site contributes more PEs than the other and the wide-area
 	// boundary no longer coincides with a process boundary.
-	split := cfg.split
-	if split == 0 {
-		split = cfg.procs / 2
-	}
-	if split <= 0 || split >= cfg.procs {
-		return fmt.Errorf("split=%d out of range for %d PEs", split, cfg.procs)
-	}
-	topo, err := topology.New([]int{split, cfg.procs - split}, topology.WithInterLatency(cfg.latency))
+	lay, err := cfg.Cluster.Resolve()
 	if err != nil {
 		return err
 	}
-	nodeOf := func(pe int) int { return pe / perNode }
+	addrs, nodes, perNode := lay.Addrs, lay.Nodes, lay.PerNode
+	topo := lay.Topo
+	nodeOf := lay.NodeOf
+
+	if cfg.Serve {
+		if cfg.app != "taskfarm" {
+			return fmt.Errorf("-serve supports -app taskfarm only")
+		}
+		if cfg.Node == 0 {
+			return fmt.Errorf("-serve backends must have -node >= 1 (node 0 is the gateway: run cmd/gridgate)")
+		}
+	}
 
 	// Elastic membership: -joiners names the nodes that start outside the
 	// member set; everyone else is a founding Active member. The epoch
 	// fence lives in the Reliable layer, so -membership implies -reliable.
-	joiner := make(map[int]bool)
-	if cfg.joiners != "" {
-		for _, s := range strings.Split(cfg.joiners, ",") {
-			var n int
-			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n <= 0 || n >= nodes {
-				return fmt.Errorf("bad -joiners entry %q (want node indices in [1,%d))", s, nodes)
-			}
-			joiner[n] = true
-		}
+	joiner, err := cfg.Cluster.JoinerSet(nodes)
+	if err != nil {
+		return err
 	}
 	var elastic *taskfarm.ElasticConfig
-	if cfg.membership {
-		cfg.reliable = true
+	if cfg.Membership {
+		cfg.Reliable = true
 		elastic = &taskfarm.ElasticConfig{
 			NodeOf:     nodeOf,
 			ActiveNode: func(node int) bool { return node >= 0 && node < nodes && !joiner[node] },
@@ -295,7 +190,7 @@ func run(cfg config) error {
 		if err := ck.Install(prog); err != nil {
 			return fmt.Errorf("restart: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "gridnode %d: restored checkpoint %s\n", cfg.node, cfg.restart)
+		fmt.Fprintf(os.Stderr, "gridnode %d: restored checkpoint %s\n", cfg.Node, cfg.restart)
 	}
 
 	addrMap := make(map[int]string, nodes)
@@ -305,7 +200,7 @@ func run(cfg config) error {
 
 	var rt *core.Runtime
 	var mem *core.Membership
-	builder := vmi.NewChainBuilder(cfg.node, addrMap, func(pe int32) int { return nodeOf(int(pe)) }).
+	builder := vmi.NewChainBuilder(cfg.Node, addrMap, func(pe int32) int { return nodeOf(int(pe)) }).
 		Metrics(reg).
 		OnControl(func(f *vmi.Frame) {
 			switch f.Dst {
@@ -319,7 +214,7 @@ func run(cfg config) error {
 				}
 			}
 		})
-	if cfg.reliable {
+	if cfg.Reliable {
 		builder.Reliable(vmi.ReliableConfig{})
 	}
 	stack, err := builder.Build()
@@ -330,7 +225,7 @@ func run(cfg config) error {
 	// Membership is wired before Listen so a control frame from a fast
 	// peer never races the manager's construction.
 	var notifier *taskfarm.Notifier
-	if cfg.membership {
+	if cfg.Membership {
 		var initial []core.Member
 		for n := 0; n < nodes; n++ {
 			if joiner[n] {
@@ -339,14 +234,14 @@ func run(cfg config) error {
 			initial = append(initial, core.Member{Node: int32(n), State: core.MemberActive, Addr: addrs[n]})
 		}
 		mcfg := core.MembershipConfig{
-			Node:        cfg.node,
+			Node:        cfg.Node,
 			Coordinator: 0,
 			Stack:       stack,
 			NodeOf:      nodeOf,
-			NumPE:       cfg.procs,
+			NumPE:       cfg.Procs,
 			Initial:     initial,
 			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "gridnode %d: "+format+"\n", append([]any{cfg.node}, args...)...)
+				fmt.Fprintf(os.Stderr, "gridnode %d: "+format+"\n", append([]any{cfg.Node}, args...)...)
 			},
 		}
 		if cfg.checkpoint != "" {
@@ -381,30 +276,30 @@ func run(cfg config) error {
 	defer stack.Close()
 
 	art := &artifacts{
-		metricsPath: cfg.snapshot, reg: reg,
-		tracePath: cfg.traceOut,
-		node:      cfg.node, peLo: cfg.node * perNode, peHi: (cfg.node + 1) * perNode,
+		metricsPath: cfg.MetricsOut, reg: reg,
+		tracePath: cfg.TraceOut,
+		node:      cfg.Node, peLo: cfg.Node * perNode, peHi: (cfg.Node + 1) * perNode,
 		start: time.Now(),
 	}
 	rtOpts := []core.Option{
 		core.WithCluster(core.ClusterConfig{
 			Transport: stack,
 			NodeOf:    nodeOf,
-			Node:      cfg.node,
-			PELo:      cfg.node * perNode,
-			PEHi:      (cfg.node + 1) * perNode,
+			Node:      cfg.Node,
+			PELo:      cfg.Node * perNode,
+			PEHi:      (cfg.Node + 1) * perNode,
 		}),
 		core.WithMetrics(reg),
 	}
 	if mem != nil {
 		rtOpts = append(rtOpts, core.WithMembership(mem))
 	}
-	if cfg.traceOut != "" {
-		ringCap := cfg.traceCap
+	if cfg.TraceOut != "" {
+		ringCap := cfg.TraceCap
 		if ringCap <= 0 {
 			ringCap = trace.DefaultCapacity
 		}
-		art.tr = trace.NewWithCapacity(cfg.procs, ringCap)
+		art.tr = trace.NewWithCapacity(cfg.Procs, ringCap)
 		rtOpts = append(rtOpts, core.WithTrace(art.tr))
 	}
 	rt, err = core.NewRuntime(topo, prog, rtOpts...)
@@ -415,7 +310,7 @@ func run(cfg config) error {
 		cfg.onRuntime(rt)
 	}
 	if notifier != nil {
-		notifier.Bind(rt, cfg.node)
+		notifier.Bind(rt, cfg.Node)
 	}
 	// Trace timestamps are relative to the runtime epoch; record it so
 	// gridtrace can re-base snapshots from separately started processes.
@@ -428,10 +323,10 @@ func run(cfg config) error {
 	// killing: the node's chares are evicted onto the survivors, the
 	// coordinator marks it Left, and the process exits cleanly.
 	var drainFn func() bool
-	if mem != nil && cfg.node != 0 {
+	if mem != nil && cfg.Node != 0 {
 		drainFn = func() bool {
 			if err := mem.RequestDrain(60 * time.Second); err != nil {
-				fmt.Fprintf(os.Stderr, "gridnode %d: drain: %v\n", cfg.node, err)
+				fmt.Fprintf(os.Stderr, "gridnode %d: drain: %v\n", cfg.Node, err)
 				return false
 			}
 			return true
@@ -439,8 +334,8 @@ func run(cfg config) error {
 	}
 	watchSignals(sigCh, art, os.Exit, drainFn)
 
-	if cfg.metricsAddr != "" {
-		ln, err := net.Listen("tcp", cfg.metricsAddr)
+	if cfg.MetricsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.MetricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
@@ -448,21 +343,21 @@ func run(cfg config) error {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
 		go func() { _ = http.Serve(ln, mux) }()
-		fmt.Fprintf(os.Stderr, "gridnode %d: metrics on http://%s/metrics\n", cfg.node, ln.Addr())
+		fmt.Fprintf(os.Stderr, "gridnode %d: metrics on http://%s/metrics\n", cfg.Node, ln.Addr())
 		if cfg.onMetrics != nil {
 			cfg.onMetrics(ln.Addr().String())
 		}
 	}
 
 	fmt.Fprintf(os.Stderr, "gridnode %d/%d: hosting PEs [%d,%d) of %s on %s\n",
-		cfg.node, nodes, cfg.node*perNode, (cfg.node+1)*perNode, topo, addrMap[cfg.node])
+		cfg.Node, nodes, cfg.Node*perNode, (cfg.Node+1)*perNode, topo, addrMap[cfg.Node])
 
-	if mem != nil && joiner[cfg.node] {
-		fmt.Fprintf(os.Stderr, "gridnode %d: requesting admission to the member set\n", cfg.node)
+	if mem != nil && joiner[cfg.Node] {
+		fmt.Fprintf(os.Stderr, "gridnode %d: requesting admission to the member set\n", cfg.Node)
 		if err := mem.RequestJoin(60 * time.Second); err != nil {
 			return fmt.Errorf("join: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "gridnode %d: admitted\n", cfg.node)
+		fmt.Fprintf(os.Stderr, "gridnode %d: admitted\n", cfg.Node)
 	}
 
 	v, err := rt.Run()
@@ -474,14 +369,14 @@ func run(cfg config) error {
 		// Each node snapshots the elements it hosts; a restart merges the
 		// per-node partial files back into one complete checkpoint, so the
 		// restarted run may use a different PE or node count.
-		path := fmt.Sprintf("%s.node%d", cfg.checkpoint, cfg.node)
+		path := fmt.Sprintf("%s.node%d", cfg.checkpoint, cfg.Node)
 		if err := writeCheckpoint(path, rt); err != nil {
 			return fmt.Errorf("checkpoint: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "gridnode %d: wrote checkpoint %s\n", cfg.node, path)
+		fmt.Fprintf(os.Stderr, "gridnode %d: wrote checkpoint %s\n", cfg.Node, path)
 	}
 
-	if cfg.node == 0 {
+	if cfg.Node == 0 {
 		if cfg.onResult != nil {
 			cfg.onResult(v)
 		}
@@ -507,7 +402,7 @@ func run(cfg config) error {
 					continue
 				}
 			}
-			if err := stack.SendControl(n, &vmi.Frame{Src: int32(cfg.node), Dst: vmi.ControlShutdown}); err != nil {
+			if err := stack.SendControl(n, &vmi.Frame{Src: int32(cfg.Node), Dst: vmi.ControlShutdown}); err != nil {
 				fmt.Fprintf(os.Stderr, "gridnode: shutdown announce to node %d: %v\n", n, err)
 			}
 		}

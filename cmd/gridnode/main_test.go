@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"gridmdo/internal/appflags"
 	"gridmdo/internal/core"
 	"gridmdo/internal/metrics"
 	"gridmdo/internal/stencil"
@@ -41,19 +42,21 @@ func freePort(t *testing.T) string {
 // job CI runs.
 func TestGridnodeServesMetrics(t *testing.T) {
 	base := config{
-		addrList: freePort(t) + "," + freePort(t),
-		app:      "stencil",
-		procs:    2,
-		latency:  time.Millisecond,
-		objects:  4, width: 64,
-		steps: 600, warmup: 2,
+		Cluster: appflags.Cluster{
+			Addrs:   freePort(t) + "," + freePort(t),
+			Procs:   2,
+			Latency: time.Millisecond,
+		},
+		Stencil: appflags.Stencil{Objects: 4, Width: 64},
+		Sim:     appflags.Sim{Steps: 600, Warmup: 2},
+		app:     "stencil",
 	}
 	cfg1 := base
-	cfg1.node = 1
+	cfg1.Node = 1
 	cfg0 := base
-	cfg0.node = 0
-	cfg0.metricsAddr = "127.0.0.1:0"
-	cfg0.snapshot = filepath.Join(t.TempDir(), "metrics.json")
+	cfg0.Node = 0
+	cfg0.MetricsAddr = "127.0.0.1:0"
+	cfg0.MetricsOut = filepath.Join(t.TempDir(), "metrics.json")
 	ready := make(chan string, 1)
 	cfg0.onMetrics = func(addr string) { ready <- addr }
 
@@ -106,7 +109,7 @@ func TestGridnodeServesMetrics(t *testing.T) {
 	assertSeries(t, "live", live)
 
 	// End-of-run snapshot file.
-	data, err := os.ReadFile(cfg0.snapshot)
+	data, err := os.ReadFile(cfg0.MetricsOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,12 +183,12 @@ func scrapeText(addr string) (string, error) {
 // config before launch.
 func runPair(t *testing.T, base config, mod func(node int, c *config)) any {
 	t.Helper()
-	base.addrList = freePort(t) + "," + freePort(t)
+	base.Addrs = freePort(t) + "," + freePort(t)
 	resCh := make(chan any, 1)
 	errs := make(chan error, 2)
 	for n := 1; n >= 0; n-- {
 		cfg := base
-		cfg.node = n
+		cfg.Node = n
 		if n == 0 {
 			cfg.onResult = func(v any) { resCh <- v }
 		}
@@ -228,13 +231,14 @@ func TestGridnodeGridLBMigratesAcrossProcesses(t *testing.T) {
 		perNode = 2
 	)
 	base := config{
+		Cluster: appflags.Cluster{
+			Procs:   procs,
+			Split:   3, // cluster 0 = PEs {0,1,2}: spans node 0 ({0,1}) and node 1 ({2,3})
+			Latency: time.Millisecond,
+		},
+		Stencil: appflags.Stencil{Objects: objects, Width: 128, LB: "grid"},
+		Sim:     appflags.Sim{Steps: 8, Warmup: 1},
 		app:     "stencil",
-		procs:   procs,
-		split:   3, // cluster 0 = PEs {0,1,2}: spans node 0 ({0,1}) and node 1 ({2,3})
-		latency: time.Millisecond,
-		objects: objects, width: 128,
-		steps: 8, warmup: 1,
-		lb: "grid",
 	}
 	snapshot := filepath.Join(t.TempDir(), "metrics.json")
 
@@ -242,7 +246,7 @@ func TestGridnodeGridLBMigratesAcrossProcesses(t *testing.T) {
 	var initial [2][]int32
 	v := runPair(t, base, func(node int, c *config) {
 		if node == 0 {
-			c.snapshot = snapshot
+			c.MetricsOut = snapshot
 		}
 		c.onRuntime = func(rt *core.Runtime) {
 			rts[node] = rt
@@ -312,10 +316,10 @@ func TestGridnodeGridLBMigratesAcrossProcesses(t *testing.T) {
 func TestGridnodeCheckpointRestartDifferentPEs(t *testing.T) {
 	prefix := filepath.Join(t.TempDir(), "ck")
 	base := config{
+		Cluster: appflags.Cluster{Latency: time.Millisecond},
+		Stencil: appflags.Stencil{Objects: 4, Width: 64},
+		Sim:     appflags.Sim{Steps: 6, Warmup: 0},
 		app:     "stencil",
-		latency: time.Millisecond,
-		objects: 4, width: 64,
-		steps: 6, warmup: 0,
 	}
 
 	checksum := func(v any) float64 {
@@ -329,7 +333,7 @@ func TestGridnodeCheckpointRestartDifferentPEs(t *testing.T) {
 
 	// Run A: 4 PEs across two processes, checkpointing at completion.
 	a := base
-	a.procs = 4
+	a.Procs = 4
 	a.checkpoint = prefix
 	sumA := checksum(runPair(t, a, nil))
 	for n := 0; n < 2; n++ {
@@ -342,13 +346,13 @@ func TestGridnodeCheckpointRestartDifferentPEs(t *testing.T) {
 	// different placement). Restored blocks have completed all steps, so
 	// the run reports the restored field's checksum.
 	b := base
-	b.procs = 2
+	b.Procs = 2
 	b.restart = prefix
 	sumB := checksum(runPair(t, b, nil))
 
 	// Run C: the same program straight through on 2 PEs.
 	c := base
-	c.procs = 2
+	c.Procs = 2
 	sumC := checksum(runPair(t, c, nil))
 
 	if math.Float64bits(sumB) != math.Float64bits(sumC) {

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "figure3|figure4|table1|table2|ablations|gridlb-tcp|classes|sdsc|irregular|taskfarm-scale|membership|all")
+		experiment   = flag.String("experiment", "all", "figure3|figure4|table1|table2|ablations|gridlb-tcp|classes|sdsc|irregular|taskfarm-scale|membership|gate-soak|all")
 		fast         = flag.Bool("fast", false, "use the scaled-down fast profile")
 		skipRealtime = flag.Bool("skip-realtime", false, "skip wall-clock (host) columns in tables 1 and 2")
 		csvDir       = flag.String("csv", "", "also write CSV files into this directory")
@@ -32,6 +32,7 @@ func main() {
 		metricsOut   = flag.String("metrics-out", "", "write a JSON metrics snapshot of the real-time runs to this file")
 		farmJSON     = flag.String("farm-json", "", "write the taskfarm-scale throughput curves as JSON to this file (e.g. BENCH_taskfarm.json)")
 		memJSON      = flag.String("membership-json", "", "write the membership recovery measurements as JSON to this file (e.g. BENCH_membership.json)")
+		gateJSON     = flag.String("gate-json", "", "write the gateway soak measurements as JSON to this file (e.g. BENCH_gate.json)")
 		traceOut     = flag.String("trace-out", "", "write per-run trace snapshots and overlap reports of the real-time runs into this directory (analyze with gridtrace)")
 		quiet        = flag.Bool("quiet", false, "suppress per-run progress lines")
 	)
@@ -200,6 +201,27 @@ func main() {
 				}
 				return writeCSV(*csvDir, csvName, tbl.CSV)
 			}
+		case "gate-soak":
+			tbl, rep, err := bench.GateSoak(progress, profile)
+			if err != nil {
+				if tbl != nil {
+					tbl.Render(os.Stdout)
+				}
+				if rep != nil && *gateJSON != "" {
+					_ = writeGateJSON(*gateJSON, rep)
+				}
+				return err
+			}
+			csvName = "gate_soak.csv"
+			render = func() error {
+				tbl.Render(os.Stdout)
+				if *gateJSON != "" {
+					if err := writeGateJSON(*gateJSON, rep); err != nil {
+						return err
+					}
+				}
+				return writeCSV(*csvDir, csvName, tbl.CSV)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -212,7 +234,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"figure3", "table1", "figure4", "table2", "ablations", "gridlb-tcp", "classes", "sdsc", "irregular", "taskfarm-scale", "membership"}
+		names = []string{"figure3", "table1", "figure4", "table2", "ablations", "gridlb-tcp", "classes", "sdsc", "irregular", "taskfarm-scale", "membership", "gate-soak"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {
@@ -253,6 +275,25 @@ func writeFarmJSON(path string, rep *bench.FarmReport) error {
 // writeMembershipJSON dumps the membership recovery report (the
 // BENCH_membership.json artifact).
 func writeMembershipJSON(path string, rep *bench.MembershipReport) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeGateJSON dumps the gateway soak report (the BENCH_gate.json
+// artifact).
+func writeGateJSON(path string, rep *bench.GateReport) error {
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err

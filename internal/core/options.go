@@ -70,6 +70,9 @@ type Options struct {
 	// balancer consults it for placement and drain handling.
 	Membership *Membership
 
+	// Lifecycle hooks bracket the program's execution (see Lifecycle).
+	Lifecycle Lifecycle
+
 	// LatencyFor, if non-nil, overrides the topology's one-way latency
 	// for the delay device — e.g. vmi.JitteredLatency for runs with
 	// realistic wide-area variance.
@@ -171,6 +174,23 @@ func WithCluster(c ClusterConfig) Option {
 // config passes as Transport.
 func WithMembership(m *Membership) Option {
 	return func(o *Options) { o.Membership = m }
+}
+
+// Lifecycle brackets a runtime's program-lifetime: OnStart fires on the
+// Run goroutine after the schedulers launch (so Post and the location
+// table are usable) and before Run blocks; OnExit fires with the run's
+// outcome after the schedulers stop, before Run returns. Long-running
+// embeddings — gridgate serving HTTP in front of a farm — use these to
+// open their ingress only while the runtime can absorb work, and to
+// fail pending requests when it no longer can.
+type Lifecycle struct {
+	OnStart func()
+	OnExit  func(v any, err error)
+}
+
+// WithLifecycle installs program-lifetime hooks.
+func WithLifecycle(lc Lifecycle) Option {
+	return func(o *Options) { o.Lifecycle = lc }
 }
 
 // WithWireDevices applies serialized-frame device chains above the

@@ -308,11 +308,15 @@ func (rt *Runtime) Route(m *Message) {
 }
 
 // Post injects an application message from outside any handler — the
-// entry point membership notifiers use to tell chares about worker-set
-// changes. It is safe from any goroutine: it never touches the
-// scheduler-owned bundle accumulators, and it attributes the send to the
-// destination's own PE so the quiescence counters stay balanced whether
-// or not that PE is local.
+// entry point membership notifiers and the gateway's job submitter use.
+// It is safe from any goroutine: it never touches the scheduler-owned
+// bundle accumulators. A local destination is attributed to its own PE
+// so the quiescence counters balance on that PE; a remote destination is
+// attributed to this node's first PE — the frame must carry a truthful
+// source, because the reliability layer routes acks by the frame's Src
+// and a Src equal to the remote destination would bounce them back to
+// the receiver itself (and a sent-count on a PE this node doesn't host
+// would be invisible to that PE's quiescence probe reply).
 func (rt *Runtime) Post(to ElemRef, entry EntryID, data any) {
 	m := &Message{
 		Kind:  KindApp,
@@ -323,6 +327,9 @@ func (rt *Runtime) Post(to ElemRef, entry EntryID, data any) {
 	}
 	m.DstPE = rt.loc.PEOf(to)
 	m.SrcPE = m.DstPE
+	if dst := int(m.DstPE); dst < rt.opts.PELo || dst >= rt.opts.PEHi {
+		m.SrcPE = int32(rt.opts.PELo)
+	}
 	rt.sentByPE[m.SrcPE].Add(1)
 	m.ID = rt.msgSeq.Add(1)
 	rt.record(trace.Event{PE: int(m.SrcPE), Kind: trace.EvSend, At: rt.Now(), MsgID: m.ID, MsgKind: byte(m.Kind), Arg1: int64(m.DstPE), Arg2: int64(m.Bytes)})
@@ -553,6 +560,9 @@ func (rt *Runtime) Run() (any, error) {
 		rt.wg.Add(1)
 		go rt.schedule(ps)
 	}
+	if rt.opts.Lifecycle.OnStart != nil {
+		rt.opts.Lifecycle.OnStart()
+	}
 	if rt.opts.Node == 0 && rt.opts.PELo == 0 {
 		rt.sentByPE[0].Add(1)
 		rt.enqueueLocal(&Message{Kind: KindStart, SrcPE: 0, DstPE: 0, ID: rt.msgSeq.Add(1)})
@@ -576,6 +586,9 @@ func (rt *Runtime) Run() (any, error) {
 		ps.q.Close()
 	}
 	rt.wg.Wait()
+	if rt.opts.Lifecycle.OnExit != nil {
+		rt.opts.Lifecycle.OnExit(rt.exitVal, rt.Err())
+	}
 	return rt.exitVal, rt.Err()
 }
 

@@ -1,0 +1,216 @@
+package gate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gridmdo/internal/metrics"
+)
+
+// The HTTP/JSON surface. Versioned under /v1; the shapes below are the
+// wire contract the CI smoke and the soak harness drive with curl.
+//
+//	POST /v1/jobs                  submit (tenant, optional key, optional wait)
+//	GET  /v1/jobs/{id}             status
+//	GET  /v1/jobs/{id}/result      result; 409 until the job completes
+//	GET  /v1/jobs/{id}/events      chunked status stream until terminal
+//	GET  /metrics                  registry exposition; ?tenant= filters
+//
+// Status mapping: 400 malformed request, 403 unknown tenant, 404
+// unknown job, 409 result not ready, 429 over quota (with Retry-After),
+// 503 gateway closed.
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	Tenant string `json:"tenant"`
+	Key    string `json:"key,omitempty"`
+	// Wait makes the submission long-poll: the response carries the
+	// result (or failure) instead of returning 202 immediately.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// jobResponse is the JSON shape of every job-bearing reply.
+type jobResponse struct {
+	ID        string   `json:"id"`
+	Tenant    string   `json:"tenant"`
+	State     string   `json:"state"`
+	Duplicate bool     `json:"duplicate,omitempty"`
+	Value     *float64 `json:"value,omitempty"`
+	Error     string   `json:"error,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (g *Gateway) jobResponse(j *Job, dup bool) jobResponse {
+	state, value, errMsg := g.Status(j)
+	r := jobResponse{ID: j.ID, Tenant: j.Tenant, State: state.String(), Duplicate: dup, Error: errMsg}
+	if state == StateDone {
+		v := value
+		r.Value = &v
+	}
+	return r
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Handler returns the gate's HTTP mux.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", g.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", g.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", g.handleEvents)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return mux
+}
+
+func (g *Gateway) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var sr submitRequest
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sr); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request body: " + err.Error()})
+		return
+	}
+	if sr.Tenant == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "tenant required"})
+		return
+	}
+	j, dup, err := g.Submit(sr.Tenant, sr.Key)
+	switch {
+	case errors.Is(err, ErrUnknownTenant):
+		writeJSON(w, http.StatusForbidden, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, ErrOverQuota):
+		// Backpressure reaches the socket here: the client owns the
+		// retry, the gate does not buffer past the tenant's bound.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	if sr.Wait {
+		select {
+		case <-j.Done:
+		case <-req.Context().Done():
+			return
+		}
+		writeJSON(w, http.StatusOK, g.jobResponse(j, dup))
+		return
+	}
+	code := http.StatusAccepted
+	if dup {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, g.jobResponse(j, dup))
+}
+
+func (g *Gateway) lookupJob(w http.ResponseWriter, req *http.Request) (*Job, bool) {
+	j, ok := g.Lookup(req.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return nil, false
+	}
+	return j, true
+}
+
+func (g *Gateway) handleStatus(w http.ResponseWriter, req *http.Request) {
+	if j, ok := g.lookupJob(w, req); ok {
+		writeJSON(w, http.StatusOK, g.jobResponse(j, false))
+	}
+}
+
+func (g *Gateway) handleResult(w http.ResponseWriter, req *http.Request) {
+	j, ok := g.lookupJob(w, req)
+	if !ok {
+		return
+	}
+	switch state, _, errMsg := g.Status(j); state {
+	case StateDone:
+		writeJSON(w, http.StatusOK, g.jobResponse(j, false))
+	case StateFailed:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: errMsg})
+	default:
+		// The job exists but has not finished: 409, not 404 — the
+		// resource is there, its representation isn't ready.
+		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("job %s is %s", j.ID, state)})
+	}
+}
+
+// handleEvents streams the job's state transitions as newline-delimited
+// JSON over a chunked response: one event on connect, one per state
+// change after, closing at the terminal state. Clients that would
+// otherwise poll GET /v1/jobs/{id} hold this open instead.
+func (g *Gateway) handleEvents(w http.ResponseWriter, req *http.Request) {
+	j, ok := g.lookupJob(w, req)
+	if !ok {
+		return
+	}
+	fl, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	enc := json.NewEncoder(w)
+	emit := func() JobState {
+		r := g.jobResponse(j, false)
+		enc.Encode(r)
+		if fl != nil {
+			fl.Flush()
+		}
+		state, _, _ := g.Status(j)
+		return state
+	}
+	if st := emit(); st == StateDone || st == StateFailed {
+		return
+	}
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	last := StateQueued
+	for {
+		select {
+		case <-j.Done:
+			emit()
+			return
+		case <-tick.C:
+			// Poll for the queued→running edge; Done covers the
+			// terminal edges without waking anything per-event.
+			if st, _, _ := g.Status(j); st != last {
+				last = st
+				if st := emit(); st == StateDone || st == StateFailed {
+					return
+				}
+			}
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+// handleMetrics serves the gateway's registry. ?tenant=name narrows the
+// view to that tenant's labeled series — the per-tenant surface the
+// admission dashboards scrape; format negotiation (Accept/?format=) is
+// the registry handler's.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	snap := g.cfg.Metrics.Snapshot()
+	if tenant := req.URL.Query().Get("tenant"); tenant != "" {
+		if _, ok := g.tenants[tenant]; !ok {
+			writeJSON(w, http.StatusForbidden, errorResponse{Error: ErrUnknownTenant.Error()})
+			return
+		}
+		snap = snap.Filter(metrics.L("tenant", tenant))
+	}
+	metrics.ServeSnapshot(w, req, snap)
+}

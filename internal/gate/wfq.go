@@ -1,0 +1,108 @@
+package gate
+
+// Weighted fair queueing over tenant admission queues. The scheduler is
+// deficit round robin: each tenant accumulates quantum × weight per
+// round and spends one deficit unit per job dispatched, so over any
+// window the dispatch ratio between backlogged tenants converges to
+// their weight ratio — a flooding tenant fills its own bounded queue
+// and gets 429s while a paced tenant's jobs keep flowing at its share.
+
+// JobSource yields admitted jobs to the ingest pump in fair order. The
+// Gateway's DRR scheduler is the production implementation; the
+// interface exists so the pump (and its tests) depend only on "give me
+// up to n jobs in the order policy says", not on the policy itself.
+type JobSource interface {
+	// Pop removes and returns up to max ready jobs. An empty result
+	// means no tenant has queued work.
+	Pop(max int) []*Job
+}
+
+// tenantQueue is one tenant's FIFO plus its DRR account.
+type tenantQueue struct {
+	jobs    []*Job
+	weight  int
+	deficit int
+}
+
+func (q *tenantQueue) len() int { return len(q.jobs) }
+
+func (q *tenantQueue) push(j *Job) { q.jobs = append(q.jobs, j) }
+
+func (q *tenantQueue) drain() { q.jobs, q.deficit = nil, 0 }
+
+// wfq implements JobSource. It shares the Gateway's mutex discipline by
+// construction: every method is called with the Gateway's lock held
+// (push via Submit, Pop via the pump), so it carries no lock of its own.
+type wfq struct {
+	queues []*tenantQueue
+	cursor int
+}
+
+func newWFQ() *wfq { return &wfq{} }
+
+// addTenant registers a tenant's queue and returns it for direct
+// push/len access by the admission path.
+func (w *wfq) addTenant(tc TenantConfig) *tenantQueue {
+	weight := tc.Weight
+	if weight <= 0 {
+		weight = 1
+	}
+	q := &tenantQueue{weight: weight}
+	w.queues = append(w.queues, q)
+	return q
+}
+
+// Pop implements JobSource via deficit round robin. The cursor persists
+// across calls, so service resumes where the last batch left off rather
+// than always favoring the first tenant.
+func (w *wfq) Pop(max int) []*Job {
+	if max <= 0 || len(w.queues) == 0 {
+		return nil
+	}
+	var out []*Job
+	// Each full cycle over the tenants refreshes deficits once; the
+	// loop ends when the batch is full or a refresh cycle finds every
+	// queue empty.
+	for len(out) < max {
+		progress := false
+		for range w.queues {
+			q := w.queues[w.cursor]
+			w.cursor = (w.cursor + 1) % len(w.queues)
+			if len(q.jobs) == 0 {
+				// An idle tenant must not bank credit: DRR resets the
+				// deficit when the queue goes empty, otherwise a
+				// returning tenant bursts past its share.
+				q.deficit = 0
+				continue
+			}
+			q.deficit += q.weight
+			n := q.deficit
+			if n > len(q.jobs) {
+				n = len(q.jobs)
+			}
+			if n > max-len(out) {
+				n = max - len(out)
+			}
+			if n == 0 {
+				continue
+			}
+			out = append(out, q.jobs[:n]...)
+			q.jobs = q.jobs[n:]
+			if len(q.jobs) == 0 {
+				q.jobs, q.deficit = nil, 0
+			} else {
+				q.deficit -= n
+			}
+			progress = true
+			if len(out) == max {
+				break
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return out
+}
+
+var _ JobSource = (*wfq)(nil)

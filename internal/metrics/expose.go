@@ -65,6 +65,61 @@ func (s Snapshot) Has(name string) bool {
 	return false
 }
 
+// Sub returns the delta snapshot s − prev: each series' counters (and
+// histogram counts, sums, and buckets) minus the matching series in
+// prev. Series absent from prev pass through unchanged; series present
+// only in prev are dropped (they cannot have advanced). Gauges are
+// point-in-time readings, not accumulations, so they keep s's value.
+// Bench reporters use this to isolate one phase of a longer run instead
+// of hand-rolling per-counter subtraction.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	type key struct{ name, labels string }
+	old := make(map[key]Sample, len(prev.Series))
+	for _, smp := range prev.Series {
+		old[key{smp.Name, smp.Labels}] = smp
+	}
+	out := Snapshot{Series: make([]Sample, 0, len(s.Series))}
+	for _, smp := range s.Series {
+		p, ok := old[key{smp.Name, smp.Labels}]
+		if ok && smp.Kind == p.Kind && smp.Kind != KindGauge.String() {
+			smp.Value -= p.Value
+			smp.Count -= p.Count
+			smp.Sum -= p.Sum
+			if len(smp.Bucket) == len(p.Bucket) {
+				b := make([]Bucket, len(smp.Bucket))
+				for i := range b {
+					b[i] = Bucket{LE: smp.Bucket[i].LE, Count: smp.Bucket[i].Count - p.Bucket[i].Count}
+				}
+				smp.Bucket = b
+			}
+		}
+		out.Series = append(out.Series, smp)
+	}
+	return out
+}
+
+// Filter returns the subset of series whose label set includes every
+// given label — the per-tenant view the gateway's /metrics endpoint
+// serves. Labels render canonically at registration, so substring
+// matching on the `k="v"` fragment is exact.
+func (s Snapshot) Filter(labels ...Label) Snapshot {
+	out := Snapshot{}
+	for _, smp := range s.Series {
+		ok := true
+		for _, l := range labels {
+			frag := l.Key + `="` + l.Value + `"`
+			if !strings.Contains(smp.Labels, frag) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Series = append(out.Series, smp)
+		}
+	}
+	return out
+}
+
 // Snapshot captures the registry. Nil-safe: a nil registry yields an
 // empty snapshot.
 func (r *Registry) Snapshot() Snapshot {
@@ -97,39 +152,49 @@ func (r *Registry) Snapshot() Snapshot {
 
 // WriteJSON writes the snapshot as indented JSON.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r.Snapshot())
+	return enc.Encode(s)
 }
 
 // WriteProm writes the registry in the Prometheus text exposition format
-// (version 0.0.4): one `# TYPE` line per metric name, then each series.
-// Histograms expand to cumulative `_bucket{le=…}` series plus `_sum` and
-// `_count`. Nil-safe.
+// (version 0.0.4). Nil-safe. Equivalent to r.Snapshot().WriteProm(w);
+// both renderings share one implementation so a filtered or delta
+// snapshot serializes exactly like the live registry.
 func (r *Registry) WriteProm(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	es := r.sorted()
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	return r.Snapshot().WriteProm(w)
+}
+
+// WriteProm writes the snapshot in the Prometheus text exposition format
+// (version 0.0.4): one `# TYPE` line per metric name, then each series.
+// Histograms expand to cumulative `_bucket{le=…}` series plus `_sum` and
+// `_count`. Snapshots are ordered by (name, labels), so series of one
+// name group under one TYPE line.
+func (s Snapshot) WriteProm(w io.Writer) error {
 	lastName := ""
-	for _, e := range es {
-		if e.name != lastName {
-			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
+	for _, smp := range s.Series {
+		if smp.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", smp.Name, smp.Kind); err != nil {
 				return err
 			}
-			lastName = e.name
+			lastName = smp.Name
 		}
-		switch e.kind {
-		case KindHistogram:
-			if err := writePromHistogram(w, e); err != nil {
+		if smp.Kind == KindHistogram.String() {
+			if err := writePromHistogram(w, smp); err != nil {
 				return err
 			}
-		default:
-			if _, err := fmt.Fprintf(w, "%s%s %d\n", e.name, e.labels, e.value()); err != nil {
-				return err
-			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", smp.Name, smp.Labels, smp.Value); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -137,48 +202,77 @@ func (r *Registry) WriteProm(w io.Writer) error {
 
 // writePromHistogram renders one histogram series with the le label merged
 // into any existing label set.
-func writePromHistogram(w io.Writer, e *entry) error {
+func writePromHistogram(w io.Writer, smp Sample) error {
 	withLE := func(le string) string {
-		if e.labels == "" {
+		if smp.Labels == "" {
 			return `{le="` + le + `"}`
 		}
-		return strings.TrimSuffix(e.labels, "}") + `,le="` + le + `"}`
+		return strings.TrimSuffix(smp.Labels, "}") + `,le="` + le + `"}`
 	}
-	var cum int64
-	for i, bound := range e.h.bounds {
-		cum += e.h.buckets[i].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, withLE(fmt.Sprint(bound)), cum); err != nil {
+	for _, b := range smp.Bucket {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", smp.Name, withLE(fmt.Sprint(b.LE)), b.Count); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, withLE("+Inf"), e.h.Count()); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", smp.Name, withLE("+Inf"), smp.Count); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", e.name, e.labels, e.h.Sum()); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", smp.Name, smp.Labels, smp.Sum); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", e.name, e.labels, e.h.Count())
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", smp.Name, smp.Labels, smp.Count)
 	return err
 }
 
-// Handler serves the registry over HTTP: Prometheus text by default,
-// the JSON snapshot when the request asks for it (Accept: application/json
-// or ?format=json). Mount it wherever the process exposes diagnostics;
-// cmd/gridnode serves it at /metrics.
-func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		wantJSON := req.URL.Query().Get("format") == "json" ||
-			strings.Contains(req.Header.Get("Accept"), "application/json")
-		if wantJSON {
-			w.Header().Set("Content-Type", "application/json")
-			if err := r.WriteJSON(w); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := r.WriteProm(w); err != nil {
+// NegotiateFormat resolves an exposition request to "prom" or "json":
+// the explicit ?format= parameter wins (unknown values are an error),
+// otherwise the Accept header decides, defaulting to Prometheus text.
+// It is the single format authority behind every exposition handler in
+// the repo — gridnode's /metrics and gridgate's per-tenant /metrics
+// negotiate identically because they both call this.
+func NegotiateFormat(req *http.Request) (string, error) {
+	switch f := req.URL.Query().Get("format"); f {
+	case "json", "prom":
+		return f, nil
+	case "":
+	default:
+		return "", fmt.Errorf("metrics: unknown format %q (want prom or json)", f)
+	}
+	if strings.Contains(req.Header.Get("Accept"), "application/json") {
+		return "json", nil
+	}
+	return "prom", nil
+}
+
+// ServeSnapshot writes snap in the negotiated format with the matching
+// Content-Type (and a Vary: Accept, since the body depends on it).
+func ServeSnapshot(w http.ResponseWriter, req *http.Request, snap Snapshot) {
+	w.Header().Set("Vary", "Accept")
+	format, err := NegotiateFormat(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if format == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := snap.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := snap.WriteProm(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Handler serves the registry over HTTP: Prometheus text by default, the
+// JSON snapshot on request (?format=json or Accept: application/json;
+// ?format=prom forces the text form and unknown formats are a 400).
+// Mount it wherever the process exposes diagnostics; cmd/gridnode serves
+// it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ServeSnapshot(w, req, r.Snapshot())
 	})
 }

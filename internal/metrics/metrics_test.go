@@ -230,3 +230,112 @@ func TestUpdatesAllocateNothing(t *testing.T) {
 		}
 	}
 }
+
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", L("tenant", "a"))
+	g := r.Gauge("depth")
+	h := r.Histogram("lat", CountBuckets)
+	c.Add(3)
+	g.Set(5)
+	h.Observe(2)
+	before := r.Snapshot()
+	c.Add(4)
+	g.Set(9)
+	h.Observe(2)
+	h.Observe(200)
+	r.Counter("fresh_total").Inc() // appears only after the baseline
+	delta := r.Snapshot().Sub(before)
+
+	if got := delta.Value("reqs_total"); got != 4 {
+		t.Errorf("counter delta %d, want 4", got)
+	}
+	// Gauges are point-in-time: Sub keeps the current reading.
+	if got := delta.Value("depth"); got != 9 {
+		t.Errorf("gauge after Sub %d, want 9", got)
+	}
+	if got := delta.Value("lat"); got != 2 {
+		t.Errorf("histogram count delta %d, want 2", got)
+	}
+	for _, smp := range delta.Series {
+		if smp.Name != "lat" {
+			continue
+		}
+		if smp.Sum != 202 {
+			t.Errorf("histogram sum delta %d, want 202", smp.Sum)
+		}
+		for _, b := range smp.Bucket {
+			if b.Count < 0 {
+				t.Errorf("negative bucket delta at le=%d", b.LE)
+			}
+		}
+	}
+	// Series new since the baseline pass through whole.
+	if got := delta.Value("fresh_total"); got != 1 {
+		t.Errorf("fresh series %d, want 1", got)
+	}
+	// Series only in the baseline are dropped.
+	if delta.Sub(delta).Has("gone") {
+		t.Error("phantom series")
+	}
+}
+
+func TestSnapshotFilter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", L("tenant", "acme"), L("pe", "0")).Add(1)
+	r.Counter("jobs_total", L("tenant", "initech")).Add(2)
+	r.Counter("unlabeled_total").Add(3)
+	snap := r.Snapshot()
+
+	acme := snap.Filter(L("tenant", "acme"))
+	if len(acme.Series) != 1 || acme.Value("jobs_total") != 1 {
+		t.Errorf("tenant filter kept %d series, value %d", len(acme.Series), acme.Value("jobs_total"))
+	}
+	// Multiple labels must all match.
+	if n := len(snap.Filter(L("tenant", "acme"), L("pe", "1")).Series); n != 0 {
+		t.Errorf("conjunctive filter kept %d series", n)
+	}
+	if n := len(snap.Filter(L("tenant", "none")).Series); n != 0 {
+		t.Errorf("unknown label kept %d series", n)
+	}
+}
+
+func TestNegotiateFormat(t *testing.T) {
+	cases := []struct {
+		url, accept, want string
+		wantErr           bool
+	}{
+		{url: "/metrics", want: "prom"},
+		{url: "/metrics?format=json", want: "json"},
+		{url: "/metrics?format=prom", want: "prom"},
+		{url: "/metrics?format=xml", wantErr: true},
+		{url: "/metrics", accept: "application/json", want: "json"},
+		{url: "/metrics", accept: "text/plain", want: "prom"},
+		// ?format= beats Accept.
+		{url: "/metrics?format=prom", accept: "application/json", want: "prom"},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest("GET", tc.url, nil)
+		if tc.accept != "" {
+			req.Header.Set("Accept", tc.accept)
+		}
+		got, err := NegotiateFormat(req)
+		if tc.wantErr != (err != nil) {
+			t.Errorf("%s Accept=%q: err %v", tc.url, tc.accept, err)
+			continue
+		}
+		if !tc.wantErr && got != tc.want {
+			t.Errorf("%s Accept=%q = %q, want %q", tc.url, tc.accept, got, tc.want)
+		}
+	}
+
+	// The handler turns a bad format into a 400, not a panic.
+	rec := httptest.NewRecorder()
+	NewRegistry().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=xml", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad format status %d, want 400", rec.Code)
+	}
+	if rec.Header().Get("Vary") != "Accept" {
+		t.Error("missing Vary: Accept")
+	}
+}

@@ -51,12 +51,17 @@ func (t taskBatchMsg) count() int64 {
 // resultBatchMsg returns one grant's aggregated results. Values are
 // pre-reduced by the worker: the float sum (verification, tolerance
 // compare) and the wrapping bit-pattern checksum (bit-exact compare,
-// order-independent by construction).
+// order-independent by construction). Serve farms additionally echo the
+// executed ranges with one value per task (in range order), so the
+// submitter can route each result back to the job that asked for it;
+// batch runs leave both nil and pay nothing extra on the wire.
 type resultBatchMsg struct {
 	Worker int32
 	Done   int32
 	Sum    float64
 	Check  uint64
+	Ranges []taskRange // serve farms only
+	Values []float64   // serve farms only; len == total task count of Ranges
 	bytes  int
 }
 
@@ -84,10 +89,19 @@ type stealRspMsg struct {
 // collector — one per result batch, so the root's message load is 1/Batch
 // of the task count and its per-message work is a few adds.
 type progressMsg struct {
-	Shard int32
-	Done  int32
-	Sum   float64
-	Check uint64
+	Shard  int32
+	Done   int32
+	Sum    float64
+	Check  uint64
+	Ranges []taskRange // serve farms only (see resultBatchMsg)
+	Values []float64   // serve farms only
+}
+
+// submitMsg injects externally submitted task ranges into a live shard's
+// pending deque — the serve farm's ingest path. Posted (not Sent) by a
+// Service from outside the runtime's PE goroutines.
+type submitMsg struct {
+	Ranges []taskRange
 }
 
 // shardReportMsg is a shard's final tally, sent when the root announces
@@ -112,6 +126,7 @@ const (
 	tagShardReport byte = 69
 	tagTask        byte = 70
 	tagResult      byte = 71
+	tagSubmit      byte = 72
 )
 
 // appendRanges encodes a range list: uvarint count, then per range a
@@ -159,6 +174,36 @@ func consumeRanges(b []byte) ([]taskRange, []byte, error) {
 	return rs, b, nil
 }
 
+// appendValues encodes a per-task value list: uvarint count then 8 bytes
+// per value. Empty (the batch-run case) costs one byte.
+func appendValues(dst []byte, vs []float64) []byte {
+	dst = core.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = appendF64(dst, v)
+	}
+	return dst
+}
+
+func consumeValues(b []byte) ([]float64, []byte, error) {
+	n, b, err := core.ConsumeUvarint(b)
+	if err != nil {
+		return nil, b, err
+	}
+	if n*8 > uint64(len(b)) {
+		return nil, b, fmt.Errorf("%w: value list count %d exceeds input", core.ErrBadWire, n)
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		if vs[i], b, err = consumeF64(b); err != nil {
+			return nil, b, err
+		}
+	}
+	return vs, b, nil
+}
+
 func appendF64(dst []byte, v float64) []byte {
 	return binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
 }
@@ -203,7 +248,9 @@ func init() {
 			dst = core.AppendVarint(dst, int64(m.Done))
 			dst = core.AppendUvarint(dst, uint64(m.bytes))
 			dst = appendF64(dst, m.Sum)
-			return binary.BigEndian.AppendUint64(dst, m.Check), nil
+			dst = binary.BigEndian.AppendUint64(dst, m.Check)
+			dst = appendRanges(dst, m.Ranges)
+			return appendValues(dst, m.Values), nil
 		},
 		Decode: func(b []byte) (any, []byte, error) {
 			var m resultBatchMsg
@@ -228,7 +275,14 @@ func init() {
 			}
 			m.Worker, m.Done, m.bytes = int32(w), int32(d), int(by)
 			m.Sum, m.Check = sum, binary.BigEndian.Uint64(b)
-			return m, b[8:], nil
+			b = b[8:]
+			if m.Ranges, b, err = consumeRanges(b); err != nil {
+				return nil, b, err
+			}
+			if m.Values, b, err = consumeValues(b); err != nil {
+				return nil, b, err
+			}
+			return m, b, nil
 		},
 	})
 	core.RegisterPayloadCodec(tagStealReq, stealReqMsg{}, core.PayloadCodec{
@@ -267,9 +321,12 @@ func init() {
 			dst = core.AppendVarint(dst, int64(m.Shard))
 			dst = core.AppendVarint(dst, int64(m.Done))
 			dst = appendF64(dst, m.Sum)
-			return binary.BigEndian.AppendUint64(dst, m.Check), nil
+			dst = binary.BigEndian.AppendUint64(dst, m.Check)
+			dst = appendRanges(dst, m.Ranges)
+			return appendValues(dst, m.Values), nil
 		},
 		Decode: func(b []byte) (any, []byte, error) {
+			var m progressMsg
 			s, b, err := core.ConsumeVarint(b)
 			if err != nil {
 				return nil, b, err
@@ -285,7 +342,27 @@ func init() {
 			if len(b) < 8 {
 				return nil, b, fmt.Errorf("%w: truncated checksum", core.ErrBadWire)
 			}
-			return progressMsg{Shard: int32(s), Done: int32(d), Sum: sum, Check: binary.BigEndian.Uint64(b)}, b[8:], nil
+			m.Shard, m.Done, m.Sum, m.Check = int32(s), int32(d), sum, binary.BigEndian.Uint64(b)
+			b = b[8:]
+			if m.Ranges, b, err = consumeRanges(b); err != nil {
+				return nil, b, err
+			}
+			if m.Values, b, err = consumeValues(b); err != nil {
+				return nil, b, err
+			}
+			return m, b, nil
+		},
+	})
+	core.RegisterPayloadCodec(tagSubmit, submitMsg{}, core.PayloadCodec{
+		Append: func(dst []byte, v any) ([]byte, error) {
+			return appendRanges(dst, v.(submitMsg).Ranges), nil
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			rs, b, err := consumeRanges(b)
+			if err != nil {
+				return nil, b, err
+			}
+			return submitMsg{Ranges: rs}, b, nil
 		},
 	})
 	core.RegisterPayloadCodec(tagShardReport, shardReportMsg{}, core.PayloadCodec{

@@ -42,7 +42,9 @@ func (s *shard) PUP(p *core.PUP) {
 	n := len(s.pending)
 	p.Int(&n)
 	if p.Unpacking() {
-		if n < 0 || n > s.p.Tasks {
+		// A serve farm's task space is open-ended (Tasks == 0), so its
+		// pending-range count has no static bound to check against.
+		if n < 0 || (!s.p.Serve && n > s.p.Tasks) {
 			p.Errorf("taskfarm: restore shard %d: %d pending ranges for a %d-task farm", s.id, n, s.p.Tasks)
 			return
 		}
@@ -74,7 +76,7 @@ func (s *shard) PUP(p *core.PUP) {
 		m := len(s.outRanges[i])
 		p.Int(&m)
 		if p.Unpacking() {
-			if m < 0 || m > s.p.Tasks {
+			if m < 0 || (!s.p.Serve && m > s.p.Tasks) {
 				p.Errorf("taskfarm: restore shard %d: %d outstanding ranges for worker %d", s.id, m, s.wLo+i)
 				return
 			}

@@ -91,22 +91,34 @@ func (p *Params) stealTries() int {
 func (w *worker) recvBatch(ctx *core.Ctx, t taskBatchMsg) {
 	w.fm.assignWait.Observe(int64(ctx.Time() - w.lastDone))
 	var (
-		sum   float64
-		check uint64
-		done  int32
+		sum    float64
+		check  uint64
+		done   int32
+		values []float64
 	)
+	if w.p.Serve {
+		// A serve farm's submitters want each task's value back, not just
+		// the reduction — echo them alongside the granted ranges.
+		values = make([]float64, 0, t.count())
+	}
 	for _, r := range t.Ranges {
 		for seq := r.Lo; seq < r.Lo+r.N; seq++ {
 			v := runTask(ctx, w.p, int(seq))
 			sum += v
 			check += math.Float64bits(v)
 			done++
+			if values != nil {
+				values = append(values, v)
+			}
 		}
 	}
 	w.lastDone = ctx.Time()
-	ctx.Send(core.ElemRef{Array: ArrayShard, Index: int(t.Shard)}, entryResultBatch,
-		resultBatchMsg{Worker: int32(w.id), Done: done, Sum: sum, Check: check,
-			bytes: w.p.TaskBytes * int(done)})
+	rb := resultBatchMsg{Worker: int32(w.id), Done: done, Sum: sum, Check: check,
+		bytes: w.p.TaskBytes * int(done)}
+	if values != nil {
+		rb.Ranges, rb.Values = t.Ranges, values
+	}
+	ctx.Send(core.ElemRef{Array: ArrayShard, Index: int(t.Shard)}, entryResultBatch, rb)
 }
 
 // shard is one dispatcher in the sharded farm.
@@ -191,13 +203,29 @@ func (s *shard) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
 		s.perW[wi] += rb.Done
 		s.fm.shardDone(s.id, int64(rb.Done))
 		ctx.Send(core.ElemRef{Array: ArrayMaster, Index: 0}, entryProgress,
-			progressMsg{Shard: int32(s.id), Done: rb.Done, Sum: rb.Sum, Check: rb.Check})
+			progressMsg{Shard: int32(s.id), Done: rb.Done, Sum: rb.Sum, Check: rb.Check,
+				Ranges: rb.Ranges, Values: rb.Values})
 		if s.avail > 0 {
 			s.grantTo(ctx, wi)
 		} else {
 			s.maybeSteal(ctx)
 		}
 		s.drainClearCheck(ctx, wi)
+	case entrySubmit:
+		sm := data.(submitMsg)
+		var n int64
+		for _, r := range sm.Ranges {
+			n += r.N
+		}
+		if n == 0 {
+			break
+		}
+		s.pending = append(s.pending, sm.Ranges...)
+		s.avail += n
+		// New inventory reopens the steal market for this shard's next
+		// drain episode and tops every idle worker back up.
+		s.fails = 0
+		s.fill(ctx)
 	case entryStealReq:
 		rq := data.(stealReqMsg)
 		var give []taskRange
@@ -496,9 +524,20 @@ func (r *root) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
 		r.done += int(pm.Done)
 		r.sum += pm.Sum
 		r.check += pm.Check
-		if r.done == r.p.Tasks {
+		if r.p.OnTaskDone != nil {
+			i := 0
+			for _, rg := range pm.Ranges {
+				for seq := rg.Lo; seq < rg.Lo+rg.N; seq++ {
+					r.p.OnTaskDone(seq, pm.Values[i])
+					i++
+				}
+			}
+		}
+		if !r.p.Serve && r.done == r.p.Tasks {
 			// Makespan is pinned here; the report round-trip below is
-			// accounting, not farm time.
+			// accounting, not farm time. A serve farm never self-exits:
+			// its task space is open-ended and the embedding process owns
+			// the runtime's lifetime.
 			r.makespan = ctx.Time() - r.started
 			ctx.Broadcast(ArrayShard, entryReportReq, nil)
 		}
@@ -561,9 +600,6 @@ func (r *root) Recv(ctx *core.Ctx, entry core.EntryID, data any) {
 // or at worst intra-cluster; only steal and progress traffic crosses the
 // machine.
 func buildSharded(p *Params) (*core.Program, error) {
-	if p.Workers < p.Shards {
-		return nil, fmt.Errorf("taskfarm: %d shards need at least that many workers (have %d)", p.Shards, p.Workers)
-	}
 	nw, ns := p.Workers, p.Shards
 	fm := newFarmMetrics(p)
 	workerPE := func(i, numPE int) int {

@@ -235,10 +235,16 @@ func TestBatchCodecRoundTrip(t *testing.T) {
 		{"task-batch", taskBatchMsg{Shard: 3, Ranges: []taskRange{{Lo: 100, N: 16}, {Lo: 900, N: 4}}, bytes: 640}},
 		{"task-batch-empty", taskBatchMsg{Shard: 0}},
 		{"result-batch", resultBatchMsg{Worker: 7, Done: 16, Sum: 17.25, Check: 0xDEADBEEF, bytes: 640}},
+		{"result-batch-serve", resultBatchMsg{Worker: 7, Done: 3, Sum: 3.5, Check: 99,
+			Ranges: []taskRange{{Lo: 40, N: 2}, {Lo: 99, N: 1}}, Values: []float64{1.5, 1.25, 0.75}, bytes: 192}},
 		{"steal-req", stealReqMsg{Thief: 2}},
 		{"steal-rsp", stealRspMsg{Victim: 1, Ranges: []taskRange{{Lo: 5000, N: 123}}}},
 		{"steal-rsp-empty", stealRspMsg{Victim: 1}},
 		{"progress", progressMsg{Shard: 2, Done: 8, Sum: -3.5, Check: 42}},
+		{"progress-serve", progressMsg{Shard: 2, Done: 2, Sum: 2.5, Check: 7,
+			Ranges: []taskRange{{Lo: 10, N: 2}}, Values: []float64{1.0, 1.5}}},
+		{"submit", submitMsg{Ranges: []taskRange{{Lo: 0, N: 64}}}},
+		{"submit-empty", submitMsg{}},
 		{"report", shardReportMsg{Shard: 1, PerW: []int32{10, 0, 32}, Granted: 42, Steals: 2, StealFails: 1, Stolen: 20, Victimized: 4}},
 		{"task", taskMsg{Seq: 9000, bytes: 64}},
 		{"result", resultMsg{Seq: 9000, Worker: 3, Value: math.Pi, bytes: 64}},
@@ -271,6 +277,18 @@ func equalPayload(a, b any) bool {
 	case stealRspMsg:
 		y, ok := b.(stealRspMsg)
 		return ok && x.Victim == y.Victim && equalRanges(x.Ranges, y.Ranges)
+	case resultBatchMsg:
+		y, ok := b.(resultBatchMsg)
+		return ok && x.Worker == y.Worker && x.Done == y.Done && x.Sum == y.Sum &&
+			x.Check == y.Check && x.bytes == y.bytes &&
+			equalRanges(x.Ranges, y.Ranges) && equalValues(x.Values, y.Values)
+	case progressMsg:
+		y, ok := b.(progressMsg)
+		return ok && x.Shard == y.Shard && x.Done == y.Done && x.Sum == y.Sum &&
+			x.Check == y.Check && equalRanges(x.Ranges, y.Ranges) && equalValues(x.Values, y.Values)
+	case submitMsg:
+		y, ok := b.(submitMsg)
+		return ok && equalRanges(x.Ranges, y.Ranges)
 	case shardReportMsg:
 		y, ok := b.(shardReportMsg)
 		if !ok || x.Shard != y.Shard || x.Granted != y.Granted || x.Steals != y.Steals ||
@@ -287,6 +305,18 @@ func equalPayload(a, b any) bool {
 	default:
 		return a == b
 	}
+}
+
+func equalValues(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func equalRanges(a, b []taskRange) bool {

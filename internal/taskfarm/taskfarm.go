@@ -13,6 +13,7 @@
 package taskfarm
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -46,6 +47,7 @@ const (
 	entryMembers     core.EntryID = 11 // shard: worker-set change (elastic farms)
 	entryMembersRoot core.EntryID = 12 // root: drain expectation (elastic farms)
 	entryDrainClear  core.EntryID = 13 // root: a draining worker's grants all settled
+	entrySubmit      core.EntryID = 14 // shard: externally submitted tasks (serve farms)
 )
 
 // Params configures a farm run.
@@ -124,40 +126,89 @@ type Params struct {
 	// outstanding grant to a draining node's workers has settled — wire
 	// it to core.Membership.NotifyDrained. Elastic farms only.
 	OnDrained func(node int)
+
+	// Serve turns the farm into an open-ended service: it starts with an
+	// empty task space (Tasks must be 0) and executes ranges injected into
+	// live shards by a Service (see serve.go). The root never exits on its
+	// own — the embedding process owns the runtime's lifetime. Requires
+	// Shards >= 1: external submission rides the sharded wire protocol.
+	Serve bool
+
+	// OnTaskDone is called from the root's handler for every completed
+	// task in a serve farm, with the task's sequence number and computed
+	// value. Called on the root's PE goroutine; keep it cheap and
+	// non-blocking. Serve farms only.
+	OnTaskDone func(seq int64, value float64)
 }
 
-// Validate checks parameter consistency.
+// Validate checks parameter consistency. It is the single authority on
+// what a well-formed Params looks like — BuildProgram, BuildProgramFor,
+// and NewService all call it — and it reports every violation at once
+// via errors.Join, not just the first.
+//
+// Workers == 0 means "one per PE" and is resolved by BuildProgramFor;
+// Validate accepts it, and checks that depend on the worker count apply
+// only once Workers is concrete.
 func (p *Params) Validate() error {
-	if p.Tasks <= 0 {
-		return fmt.Errorf("taskfarm: %d tasks", p.Tasks)
+	var errs []error
+	add := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("taskfarm: "+format, args...))
+	}
+	if p.Serve {
+		if p.Tasks != 0 {
+			add("serve farm starts empty: Tasks must be 0 (have %d)", p.Tasks)
+		}
+		if p.Shards < 1 {
+			add("serve farm requires Shards >= 1 (have %d): submission rides the sharded protocol", p.Shards)
+		}
+	} else if p.Tasks <= 0 {
+		add("%d tasks", p.Tasks)
 	}
 	if p.Prefetch <= 0 {
-		return fmt.Errorf("taskfarm: prefetch %d", p.Prefetch)
+		add("prefetch %d (must be >= 1)", p.Prefetch)
 	}
 	if p.TaskCost < 0 {
-		return fmt.Errorf("taskfarm: negative task cost")
+		add("negative task cost")
 	}
 	if p.AssignCost < 0 {
-		return fmt.Errorf("taskfarm: negative assign cost")
+		add("negative assign cost")
 	}
 	if p.Shards < 0 {
-		return fmt.Errorf("taskfarm: %d shards", p.Shards)
+		add("%d shards", p.Shards)
+	}
+	if p.Workers < 0 {
+		add("%d workers", p.Workers)
 	}
 	if p.Batch < 0 {
-		return fmt.Errorf("taskfarm: negative batch size")
+		add("negative batch size")
+	}
+	// The sharded protocol grants in batches; Batch <= 0 used to be
+	// silently coerced to 1, hiding misconfiguration behind a 16x-slower
+	// wire. With sharding enabled it is now an explicit error.
+	if p.sharded() && p.Batch <= 0 {
+		add("sharded farm requires Batch >= 1 (have %d)", p.Batch)
+	}
+	if p.Workers > 0 && p.sharded() && p.Workers < p.Shards {
+		add("%d shards need at least that many workers (have %d)", p.Shards, p.Workers)
 	}
 	if p.CostSkew != 0 && p.CostSkew < 1 {
-		return fmt.Errorf("taskfarm: cost skew %v < 1", p.CostSkew)
+		add("cost skew %v < 1", p.CostSkew)
 	}
 	if p.Elastic != nil {
 		if p.Shards < 1 {
-			return fmt.Errorf("taskfarm: elastic farm requires Shards >= 1 (have %d)", p.Shards)
+			add("elastic farm requires Shards >= 1 (have %d)", p.Shards)
 		}
 		if p.Elastic.NodeOf == nil || p.Elastic.ActiveNode == nil {
-			return fmt.Errorf("taskfarm: elastic farm requires NodeOf and ActiveNode")
+			add("elastic farm requires NodeOf and ActiveNode")
 		}
 	}
-	return nil
+	return errors.Join(errs...)
+}
+
+// sharded reports whether the farm uses the sharded dispatcher protocol
+// (dispatcher shard array, batched grants) rather than the single master.
+func (p *Params) sharded() bool {
+	return p.Shards > 1 || p.Elastic != nil || p.Serve
 }
 
 // batch reports the effective grant batch size.
@@ -404,7 +455,7 @@ func BuildProgram(p *Params) (*core.Program, error) {
 	if p.Workers <= 0 {
 		return nil, fmt.Errorf("taskfarm: Workers must be set (use BuildProgramFor for one-per-PE)")
 	}
-	if p.Shards > 1 || p.Elastic != nil {
+	if p.sharded() {
 		return buildSharded(p)
 	}
 	prog := &core.Program{
