@@ -28,7 +28,15 @@
 // (Prometheus text at /metrics, JSON with ?format=json), and
 // -metrics-out writes a JSON snapshot of the same registry when the run
 // completes. Both cover the core scheduler series (per-PE) and the VMI
-// device series (per-device).
+// device series (per-device). The same HTTP server answers /healthz and
+// /readyz (readiness drops during membership drain) and, with -pprof,
+// net/http/pprof under /debug/pprof/.
+//
+// The telemetry plane rides the same control path as membership: with
+// -telemetry each node runs an agent shipping metric deltas and trace
+// digests to node 0 as ControlTelemetry frames, and with -collector this
+// node (normally node 0) merges them into the live cluster view at
+// /v1/cluster/{metrics,overlap,health} and /v1/jobs/{id}/trace.
 package main
 
 import (
@@ -49,6 +57,7 @@ import (
 	"gridmdo/internal/metrics"
 	"gridmdo/internal/stencil"
 	"gridmdo/internal/taskfarm"
+	"gridmdo/internal/telemetry"
 	"gridmdo/internal/trace"
 	"gridmdo/internal/vmi"
 )
@@ -66,10 +75,14 @@ type config struct {
 
 	app                 string
 	checkpoint, restart string
+	collector           bool
 
 	// onMetrics, when non-nil, receives the bound metrics address once the
 	// endpoint is listening (tests scrape it during a live run).
 	onMetrics func(addr string)
+	// onCollector, when non-nil, receives the telemetry collector built for
+	// -collector (tests read the cluster view without scraping HTTP).
+	onCollector func(c *telemetry.Collector)
 	// onRuntime, when non-nil, receives the runtime right after
 	// construction (tests inspect Locations before and after the run).
 	onRuntime func(rt *core.Runtime)
@@ -88,8 +101,9 @@ func main() {
 	cfg.Stencil.Register(fs)
 	cfg.LeanMD.Register(fs)
 	cfg.Farm.Register(fs)
-	cfg.Obs.Register(fs, trace.DefaultCapacity)
+	cfg.Obs.Register(fs, 0)
 	fs.StringVar(&cfg.app, "app", "stencil", "stencil|leanmd|taskfarm")
+	fs.BoolVar(&cfg.collector, "collector", false, "run the cluster telemetry collector on this node (serves /v1/cluster/* on the -metrics address)")
 	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "write this node's checkpoint to <prefix>.node<N> when the run completes")
 	fs.StringVar(&cfg.restart, "restart", "", "restore program state from <prefix>.node* (or a single merged file) before running")
 	flag.Parse()
@@ -198,6 +212,21 @@ func run(cfg config) error {
 		addrMap[i] = a
 	}
 
+	// Readiness starts false and flips true once the runtime is about to
+	// serve; membership and drain state feed it below.
+	health := telemetry.NewHealth()
+	health.Set("startup", "runtime not started")
+
+	// The collector is built before the stack listens so a telemetry frame
+	// from a fast peer never races its construction.
+	var coll *telemetry.Collector
+	if cfg.collector {
+		coll = telemetry.NewCollector(telemetry.CollectorConfig{})
+		if cfg.onCollector != nil {
+			cfg.onCollector(coll)
+		}
+	}
+
 	var rt *core.Runtime
 	var mem *core.Membership
 	builder := vmi.NewChainBuilder(cfg.Node, addrMap, func(pe int32) int { return nodeOf(int(pe)) }).
@@ -211,6 +240,10 @@ func run(cfg config) error {
 			case vmi.ControlMembership:
 				if mem != nil {
 					mem.HandleControl(f)
+				}
+			case vmi.ControlTelemetry:
+				if coll != nil {
+					_ = coll.Ingest(f.Body) // bad frames are counted, never fatal
 				}
 			}
 		})
@@ -260,6 +293,18 @@ func run(cfg config) error {
 		}
 		defer mem.Close()
 		mem.Instrument(reg)
+		// Readiness tracks the member table: a node that is joining,
+		// draining, or dead should fall out of load-balancer rotation.
+		health.AddCheck("membership", func() error {
+			st, ok := mem.StateOf(cfg.Node)
+			if !ok {
+				return fmt.Errorf("node %d not in the member table", cfg.Node)
+			}
+			if st != core.MemberActive {
+				return fmt.Errorf("node %d is %v, want Active", cfg.Node, st)
+			}
+			return nil
+		})
 		if tfp != nil {
 			// Late-bound: the root's drain-complete hook marks the node
 			// Left at the coordinator.
@@ -294,12 +339,8 @@ func run(cfg config) error {
 	if mem != nil {
 		rtOpts = append(rtOpts, core.WithMembership(mem))
 	}
-	if cfg.TraceOut != "" {
-		ringCap := cfg.TraceCap
-		if ringCap <= 0 {
-			ringCap = trace.DefaultCapacity
-		}
-		art.tr = trace.NewWithCapacity(cfg.Procs, ringCap)
+	if cfg.TraceOut != "" || cfg.Telemetry {
+		art.tr = trace.NewWithCapacity(cfg.Procs, cfg.TraceRingCap())
 		rtOpts = append(rtOpts, core.WithTrace(art.tr))
 	}
 	rt, err = core.NewRuntime(topo, prog, rtOpts...)
@@ -316,6 +357,33 @@ func run(cfg config) error {
 	// gridtrace can re-base snapshots from separately started processes.
 	art.start = rt.Epoch()
 
+	// The telemetry agent ships reports to node 0 over the control path.
+	// On the collector node itself SendControl self-delivers synchronously,
+	// so the same wiring serves both roles.
+	if cfg.Telemetry {
+		agent, err := telemetry.NewAgent(telemetry.AgentConfig{
+			Node:     cfg.Node,
+			Registry: reg,
+			Tracer:   art.tr,
+			Epoch:    rt.Epoch(),
+			NumPE:    cfg.Procs,
+			Interval: cfg.TelemetryInterval,
+			SpanFilter: func(ev trace.Event) bool {
+				// Keep application causality; quiescence probes and stop
+				// messages are runtime chatter.
+				return ev.MsgKind != byte(core.KindQD) && ev.MsgKind != byte(core.KindStop)
+			},
+			Send: func(b []byte) error {
+				return stack.SendControl(0, &vmi.Frame{Src: int32(cfg.Node), Dst: vmi.ControlTelemetry, Body: b})
+			},
+		})
+		if err != nil {
+			return err
+		}
+		agent.Start()
+		defer agent.Stop()
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	defer signal.Stop(sigCh)
@@ -325,6 +393,9 @@ func run(cfg config) error {
 	var drainFn func() bool
 	if mem != nil && cfg.Node != 0 {
 		drainFn = func() bool {
+			// Readiness drops the moment the drain starts, before any chare
+			// has moved, so a probing balancer stops routing here first.
+			health.Set("draining", "SIGTERM drain in progress")
 			if err := mem.RequestDrain(60 * time.Second); err != nil {
 				fmt.Fprintf(os.Stderr, "gridnode %d: drain: %v\n", cfg.Node, err)
 				return false
@@ -342,6 +413,15 @@ func run(cfg config) error {
 		defer ln.Close()
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/healthz", health.Healthz)
+		mux.HandleFunc("/readyz", health.Readyz)
+		if cfg.Pprof {
+			telemetry.MountPprof(mux)
+		}
+		if coll != nil {
+			mux.Handle("GET /v1/jobs/", coll.JobTraceHandler())
+			coll.Mount(mux, 3*cfg.TelemetryInterval)
+		}
 		go func() { _ = http.Serve(ln, mux) }()
 		fmt.Fprintf(os.Stderr, "gridnode %d: metrics on http://%s/metrics\n", cfg.Node, ln.Addr())
 		if cfg.onMetrics != nil {
@@ -359,6 +439,10 @@ func run(cfg config) error {
 		}
 		fmt.Fprintf(os.Stderr, "gridnode %d: admitted\n", cfg.Node)
 	}
+
+	// The scheduler loop is about to serve; readiness now rests on the
+	// membership check alone (joiners flip Active through it).
+	health.Set("startup", "")
 
 	v, err := rt.Run()
 	if err != nil {

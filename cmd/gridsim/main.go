@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "figure3|figure4|table1|table2|ablations|gridlb-tcp|classes|sdsc|irregular|taskfarm-scale|membership|gate-soak|all")
+		experiment   = flag.String("experiment", "all", "figure3|figure4|table1|table2|ablations|gridlb-tcp|classes|sdsc|irregular|taskfarm-scale|membership|gate-soak|telemetry|all")
 		fast         = flag.Bool("fast", false, "use the scaled-down fast profile")
 		skipRealtime = flag.Bool("skip-realtime", false, "skip wall-clock (host) columns in tables 1 and 2")
 		csvDir       = flag.String("csv", "", "also write CSV files into this directory")
@@ -33,6 +33,7 @@ func main() {
 		farmJSON     = flag.String("farm-json", "", "write the taskfarm-scale throughput curves as JSON to this file (e.g. BENCH_taskfarm.json)")
 		memJSON      = flag.String("membership-json", "", "write the membership recovery measurements as JSON to this file (e.g. BENCH_membership.json)")
 		gateJSON     = flag.String("gate-json", "", "write the gateway soak measurements as JSON to this file (e.g. BENCH_gate.json)")
+		telemJSON    = flag.String("telemetry-json", "", "write the telemetry-plane measurements as JSON to this file (e.g. BENCH_telemetry.json)")
 		traceOut     = flag.String("trace-out", "", "write per-run trace snapshots and overlap reports of the real-time runs into this directory (analyze with gridtrace)")
 		quiet        = flag.Bool("quiet", false, "suppress per-run progress lines")
 	)
@@ -222,6 +223,27 @@ func main() {
 				}
 				return writeCSV(*csvDir, csvName, tbl.CSV)
 			}
+		case "telemetry":
+			tbl, rep, err := bench.Telemetry(progress, profile)
+			if err != nil {
+				if tbl != nil {
+					tbl.Render(os.Stdout)
+				}
+				if rep != nil && *telemJSON != "" {
+					_ = writeTelemetryJSON(*telemJSON, rep)
+				}
+				return err
+			}
+			csvName = "telemetry.csv"
+			render = func() error {
+				tbl.Render(os.Stdout)
+				if *telemJSON != "" {
+					if err := writeTelemetryJSON(*telemJSON, rep); err != nil {
+						return err
+					}
+				}
+				return writeCSV(*csvDir, csvName, tbl.CSV)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -234,7 +256,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"figure3", "table1", "figure4", "table2", "ablations", "gridlb-tcp", "classes", "sdsc", "irregular", "taskfarm-scale", "membership", "gate-soak"}
+		names = []string{"figure3", "table1", "figure4", "table2", "ablations", "gridlb-tcp", "classes", "sdsc", "irregular", "taskfarm-scale", "membership", "gate-soak", "telemetry"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {
@@ -294,6 +316,25 @@ func writeMembershipJSON(path string, rep *bench.MembershipReport) error {
 // writeGateJSON dumps the gateway soak report (the BENCH_gate.json
 // artifact).
 func writeGateJSON(path string, rep *bench.GateReport) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTelemetryJSON dumps the telemetry-plane report (the
+// BENCH_telemetry.json artifact).
+func writeTelemetryJSON(path string, rep *bench.TelemetryReport) error {
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err

@@ -1,0 +1,138 @@
+// Job-trace export: converts the collector's /v1/jobs/{id}/trace JSON
+// (one job's cross-process span tree) into Chrome trace-event JSON. The
+// merged-snapshot path in chrome.go works from raw events; this one works
+// from the collector's already-stitched spans, whose timestamps are wall
+// clock (each agent's report re-based them), so spans from separately
+// started processes line up without further work.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"gridmdo/internal/telemetry"
+)
+
+// exportJobFile reads a JobTraceDoc from path ("-" for stdin, so the
+// collector endpoint pipes straight in: curl .../trace | gridtrace
+// -job -) and writes Chrome trace JSON to out (stdout when empty).
+func exportJobFile(path, out string) error {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	var doc telemetry.JobTraceDoc
+	dec := json.NewDecoder(in)
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("%s: not a job trace document: %w", path, err)
+	}
+	if doc.Root == 0 || len(doc.Spans) == 0 {
+		return fmt.Errorf("%s: no spans (job not admitted at this collector, or trace aged out)", path)
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		of, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		w = of
+	}
+	if err := writeJobChrome(w, &doc); err != nil {
+		return err
+	}
+	if out != "" {
+		fmt.Printf("wrote Chrome trace for job %s (%d spans, nodes %v, complete=%v) to %s\n",
+			doc.JobID, len(doc.Spans), doc.Nodes, doc.Complete, out)
+	}
+	return nil
+}
+
+// writeJobChrome emits one X slice per span (begin→end on the executing
+// node's PE row; the HTTP-side root rides a synthetic "gate" row) plus
+// flow arrows for every parent link, so Perfetto draws the causal tree
+// across process rows.
+func writeJobChrome(w io.Writer, doc *telemetry.JobTraceDoc) error {
+	t0 := int64(math.MaxInt64)
+	for _, s := range doc.Spans {
+		for _, t := range []int64{s.SendUnixNs, s.EnqueueUnixNs, s.BeginUnixNs, s.EndUnixNs} {
+			if t > 0 && t < t0 {
+				t0 = t
+			}
+		}
+	}
+	if t0 == math.MaxInt64 {
+		return fmt.Errorf("job %s: spans carry no timestamps", doc.JobID)
+	}
+	us := func(ns int64) float64 { return float64(ns-t0) / 1e3 }
+
+	byID := make(map[uint64]telemetry.SpanRecord, len(doc.Spans))
+	for _, s := range doc.Spans {
+		byID[s.ID] = s
+	}
+	// spanStart is the earliest known point of a span; flow arrows land here.
+	spanStart := func(s telemetry.SpanRecord) int64 {
+		for _, t := range []int64{s.SendUnixNs, s.EnqueueUnixNs, s.BeginUnixNs, s.EndUnixNs} {
+			if t > 0 {
+				return t
+			}
+		}
+		return t0
+	}
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[\n")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	for _, s := range doc.Spans {
+		name, cat := msgKindName(s.Kind), "span"
+		if s.ID == doc.Root {
+			name, cat = "job "+doc.JobID, "job"
+		}
+		begin, end := s.BeginUnixNs, s.EndUnixNs
+		if begin == 0 {
+			begin = spanStart(s)
+		}
+		dur := 0.0
+		if end > begin {
+			dur = us(end) - us(begin)
+		}
+		emit(`{"name":%q,"cat":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"id":%d,"parent":%d}}`,
+			name, cat, us(begin), dur, s.Node, s.PE, s.ID, s.Parent)
+
+		// Flight slice: send→enqueue is the wire (plus injected latency).
+		if s.SendUnixNs > 0 && s.EnqueueUnixNs > s.SendUnixNs {
+			emit(`{"name":"flight","cat":"flight","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"id":%d}}`,
+				us(s.SendUnixNs), us(s.EnqueueUnixNs)-us(s.SendUnixNs), s.Node, s.PE, s.ID)
+		}
+
+		if p, ok := byID[s.Parent]; ok {
+			emit(`{"name":"cause","cat":"flow","ph":"s","id":%d,"ts":%.3f,"pid":%d,"tid":%d}`,
+				s.ID, us(spanStart(p)), p.Node, p.PE)
+			emit(`{"name":"cause","cat":"flow","ph":"f","bp":"e","id":%d,"ts":%.3f,"pid":%d,"tid":%d}`,
+				s.ID, us(spanStart(s)), s.Node, s.PE)
+		}
+	}
+	for _, n := range doc.Nodes {
+		emit(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"node %d"}}`, n, n)
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}

@@ -13,6 +13,13 @@
 //
 //	gridtrace traces/*.trace.json
 //	gridtrace -chrome run.json traces/node0.trace.json traces/node1.trace.json
+//
+// With -job it instead converts one job's cross-process span tree — the
+// JSON served by the collector at /v1/jobs/{id}/trace — to the same
+// Chrome format:
+//
+//	curl -s http://gate:8080/v1/jobs/J1/trace > j1.json
+//	gridtrace -job j1.json -chrome j1.chrome.json
 package main
 
 import (
@@ -32,26 +39,41 @@ func main() {
 		steps    = flag.Bool("steps", true, "per-step overlap table (needs step marks in the trace)")
 		critical = flag.Bool("critpath", true, "critical-path analysis")
 		chrome   = flag.String("chrome", "", "write Chrome trace-event JSON (Perfetto/chrome://tracing) to this file")
+		job      = flag.String("job", "", "convert a /v1/jobs/{id}/trace JSON document (\"-\" reads stdin) to Chrome trace JSON (-chrome, or stdout) and exit")
 	)
 	flag.Parse()
+	if *job != "" {
+		if err := exportJobFile(*job, *chrome); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gridtrace [flags] snapshot.trace.json ...")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
+	// A multi-file merge skips unreadable or corrupt snapshots (a killed
+	// node leaves a truncated file behind) and analyzes the survivors;
+	// only an empty survivor set is fatal.
 	snaps := make([]*trace.Snapshot, 0, flag.NArg())
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {
-			fatal(err)
+			warn(err)
+			continue
 		}
 		s, err := trace.ReadSnapshot(f)
 		f.Close()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", path, err))
+			warn(fmt.Errorf("%s: skipped: %w", path, err))
+			continue
 		}
 		snaps = append(snaps, s)
+	}
+	if len(snaps) == 0 {
+		fatal(fmt.Errorf("no readable snapshots among %d file(s)", flag.NArg()))
 	}
 
 	if err := analyze(os.Stdout, snaps, analyzeOpts{
@@ -82,6 +104,10 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "gridtrace: %v\n", err)
 	os.Exit(1)
+}
+
+func warn(err error) {
+	fmt.Fprintf(os.Stderr, "gridtrace: warning: %v\n", err)
 }
 
 type analyzeOpts struct {

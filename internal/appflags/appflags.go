@@ -20,6 +20,7 @@ import (
 	"gridmdo/internal/stencil"
 	"gridmdo/internal/taskfarm"
 	"gridmdo/internal/topology"
+	"gridmdo/internal/trace"
 )
 
 // Cluster is the multi-process deployment surface: which node this
@@ -277,14 +278,40 @@ type Obs struct {
 	MetricsOut  string
 	TraceOut    string
 	TraceCap    int
+
+	Pprof             bool
+	Telemetry         bool
+	TelemetryInterval time.Duration
 }
 
 // Register installs the observability flags; traceCapDefault keeps the
 // historical default (trace.DefaultCapacity) without importing trace
-// here on behalf of commands that don't trace.
+// here on behalf of commands that don't trace. Pass 0 to default
+// -trace-cap to auto sizing (see TraceRingCap).
 func (o *Obs) Register(fs *flag.FlagSet, traceCapDefault int) {
 	fs.StringVar(&o.MetricsAddr, "metrics", "", "serve the metrics registry over HTTP on this address (e.g. 127.0.0.1:9300)")
 	fs.StringVar(&o.MetricsOut, "metrics-out", "", "write a JSON metrics snapshot to this file when the run completes")
 	fs.StringVar(&o.TraceOut, "trace-out", "", "write this node's causal trace snapshot (for cmd/gridtrace) to this file")
-	fs.IntVar(&o.TraceCap, "trace-cap", traceCapDefault, "per-PE trace ring capacity (events; rounded up to a power of two)")
+	fs.IntVar(&o.TraceCap, "trace-cap", traceCapDefault, "per-PE trace ring capacity (events; rounded up to a power of two; 0 = auto: full ring for -trace-out, small drained ring for -telemetry alone)")
+	fs.BoolVar(&o.Pprof, "pprof", false, "mount net/http/pprof on the diagnostics HTTP server (needs -metrics or -listen)")
+	fs.BoolVar(&o.Telemetry, "telemetry", false, "run a telemetry agent shipping metric deltas and trace digests to the cluster collector over the control path")
+	fs.DurationVar(&o.TelemetryInterval, "telemetry-interval", 500*time.Millisecond, "telemetry agent reporting period")
+}
+
+// TraceRingCap resolves the per-PE trace ring capacity for this
+// configuration. An explicit -trace-cap wins. Otherwise the ring is
+// sized to its consumer: -trace-out keeps the whole run for a
+// post-mortem snapshot (trace.DefaultCapacity), while a -telemetry-only
+// tracer is drained every reporting interval and gets the small
+// GC-friendly ring (trace.DrainedCapacity) — ring slots are
+// pointer-bearing, so resident ring size is GC scan work on every
+// cycle, not just memory.
+func (o *Obs) TraceRingCap() int {
+	if o.TraceCap > 0 {
+		return o.TraceCap
+	}
+	if o.TraceOut != "" {
+		return trace.DefaultCapacity
+	}
+	return trace.DrainedCapacity
 }

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestTelemetrySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time runs; skipped in -short")
+	}
+	p := FastProfile()
+	// Trim the overhead arms to one tiny run each and disable the
+	// overhead gate entirely: at this mesh size the per-step time is
+	// dominated by scheduler noise, so the number is meaningless — the
+	// headline 2% claim is asserted at paper scale (BENCH_telemetry.json).
+	p.Telemetry.Stencil = StencilConfig{Width: 256, Height: 256, Steps: 4, Warmup: 2}
+	p.Telemetry.Procs, p.Telemetry.Objects = 4, 16
+	p.Telemetry.Runs = 1
+	p.Telemetry.OverheadBound = 100
+	p.Telemetry.Interval = 20 * time.Millisecond
+	p.Telemetry.Jobs = 40
+
+	var progress bytes.Buffer
+	tbl, rep, err := Telemetry(&progress, p)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, progress.String())
+	}
+	if tbl == nil || len(tbl.Rows) != 5 {
+		t.Fatalf("want 5 table rows, got %+v", tbl)
+	}
+	if !rep.Checks.ConvergesClean {
+		t.Error("clean channel did not converge within one period")
+	}
+	if rep.Convergence.DroppedReports == 0 {
+		t.Error("lossy phase dropped no reports; drop injection is dead")
+	}
+	if !rep.Checks.ConvergesUnderDrops {
+		t.Errorf("lossy channel took %d periods to heal (max %d)",
+			rep.Convergence.DropLagPeriods, p.Telemetry.DropLagMax)
+	}
+	if !rep.Checks.CompletenessOK {
+		t.Errorf("only %d/%d job trees complete", rep.Completeness.Complete, rep.Completeness.Jobs)
+	}
+	if !rep.Checks.SLOFired || !rep.Checks.SLOCleared {
+		t.Errorf("slo phase: %+v", rep.SLO)
+	}
+}

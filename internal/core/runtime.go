@@ -318,12 +318,24 @@ func (rt *Runtime) Route(m *Message) {
 // the receiver itself (and a sent-count on a PE this node doesn't host
 // would be invisible to that PE's quiescence probe reply).
 func (rt *Runtime) Post(to ElemRef, entry EntryID, data any) {
+	rt.PostTraced(to, entry, data, 0)
+}
+
+// PostTraced is Post with an explicit causal parent: the message's trace
+// Parent is set to parent (0 means no parent, i.e. plain Post) and the
+// assigned message ID is returned, so an external span — a gateway job's
+// trace root, say — can adopt the injected message as a child and every
+// handler it triggers links back through the injection. The ID is
+// node-unique (high bits carry the node number), matching the IDs the
+// scheduler assigns in-handler.
+func (rt *Runtime) PostTraced(to ElemRef, entry EntryID, data any, parent uint64) uint64 {
 	m := &Message{
-		Kind:  KindApp,
-		To:    to,
-		Entry: entry,
-		Data:  data,
-		Bytes: payloadBytes(data),
+		Kind:   KindApp,
+		To:     to,
+		Entry:  entry,
+		Data:   data,
+		Bytes:  payloadBytes(data),
+		Parent: parent,
 	}
 	m.DstPE = rt.loc.PEOf(to)
 	m.SrcPE = m.DstPE
@@ -332,8 +344,9 @@ func (rt *Runtime) Post(to ElemRef, entry EntryID, data any) {
 	}
 	rt.sentByPE[m.SrcPE].Add(1)
 	m.ID = rt.msgSeq.Add(1)
-	rt.record(trace.Event{PE: int(m.SrcPE), Kind: trace.EvSend, At: rt.Now(), MsgID: m.ID, MsgKind: byte(m.Kind), Arg1: int64(m.DstPE), Arg2: int64(m.Bytes)})
+	rt.record(trace.Event{PE: int(m.SrcPE), Kind: trace.EvSend, At: rt.Now(), MsgID: m.ID, Parent: m.Parent, MsgKind: byte(m.Kind), Arg1: int64(m.DstPE), Arg2: int64(m.Bytes)})
 	rt.transmit(m)
+	return m.ID
 }
 
 // transmit hands a resolved message to the delay device.

@@ -36,6 +36,30 @@ type Submitter interface {
 	Submit(n int) (lo int64, err error)
 }
 
+// TracedSubmitter is a Submitter that can stamp the injection message
+// with a causal trace parent and report the message's ID.
+// *taskfarm.Service satisfies it; when the gateway has an Observer and
+// its Submitter implements this, every batch rides a traced injection so
+// job span trees extend into the farm.
+type TracedSubmitter interface {
+	Submitter
+	SubmitTraced(n int, parent uint64) (lo int64, msgID uint64, err error)
+}
+
+// Observer receives job lifecycle notifications — the hook the telemetry
+// collector implements (structurally, like Submitter) to stitch HTTP-side
+// job roots onto the runtime's span stream and feed SLO tracking. All
+// methods are called under the gateway's mutex and must be cheap and
+// non-blocking.
+type Observer interface {
+	// JobAdmitted allocates a trace root for a newly admitted job.
+	JobAdmitted(jobID, tenant string) (root uint64)
+	// JobInjected links the farm injection message under the job's root.
+	JobInjected(root, msgID uint64)
+	// JobDone closes the job's root span and records its SLO outcome.
+	JobDone(jobID string, root uint64, tenant string, latency time.Duration, failed bool)
+}
+
 // JobState is a job's position in its lifecycle.
 type JobState uint8
 
@@ -70,7 +94,8 @@ type Job struct {
 	Key    string // idempotency key; "" if none
 
 	State   JobState
-	Seq     int64 // farm task sequence number, valid from StateRunning
+	Seq     int64  // farm task sequence number, valid from StateRunning
+	Root    uint64 // trace root span ID, 0 when no Observer is configured
 	Value   float64
 	Err     string
 	Created time.Time
@@ -109,6 +134,11 @@ type Config struct {
 
 	// Metrics, when non-nil, receives the gate's per-tenant series.
 	Metrics *metrics.Registry
+
+	// Observer, when non-nil, receives job lifecycle hooks (admission,
+	// farm injection, completion) for end-to-end tracing and SLO
+	// accounting. The telemetry collector satisfies it.
+	Observer Observer
 }
 
 func (c *Config) maxInflight() int {
@@ -271,6 +301,9 @@ func (g *Gateway) Submit(tenant, key string) (job *Job, duplicate bool, err erro
 		Done:    make(chan struct{}),
 	}
 	g.jobs[j.ID] = j
+	if obs := g.cfg.Observer; obs != nil {
+		j.Root = obs.JobAdmitted(j.ID, tenant)
+	}
 	if key != "" {
 		g.idem.insert(tenant, key, j.ID, now)
 	}
@@ -324,6 +357,9 @@ func (g *Gateway) OnResult(seq int64, value float64) {
 	ts.met.completed.Inc()
 	ts.met.latency.Observe(j.Ended.Sub(j.Created).Nanoseconds())
 	close(j.Done)
+	if obs := g.cfg.Observer; obs != nil && j.Root != 0 {
+		obs.JobDone(j.ID, j.Root, j.Tenant, j.Ended.Sub(j.Created), false)
+	}
 	g.mu.Unlock()
 	g.kickPump()
 }
@@ -341,12 +377,16 @@ func (g *Gateway) Close(cause error) {
 	if cause != nil {
 		g.closErr = cause.Error()
 	}
+	obs := g.cfg.Observer
 	for _, j := range g.jobs {
 		if j.State == StateQueued || j.State == StateRunning {
 			j.State = StateFailed
 			j.Err = g.closErr
 			j.Ended = time.Now()
 			close(j.Done)
+			if obs != nil && j.Root != 0 {
+				obs.JobDone(j.ID, j.Root, j.Tenant, j.Ended.Sub(j.Created), true)
+			}
 		}
 	}
 	for _, ts := range g.tenants {
@@ -414,13 +454,28 @@ func (g *Gateway) pumpOnce() bool {
 	// Submit orders the seq→job mapping before any result can look it
 	// up. Submit itself only posts a message — it never blocks on the
 	// farm's progress.
-	lo, err := g.sub.Submit(len(jobs))
+	var lo int64
+	var err error
+	var msgID uint64
+	obs := g.cfg.Observer
+	if ts, ok := g.sub.(TracedSubmitter); ok && obs != nil {
+		// The whole batch rides one injection message; parent it under
+		// the first job's root and then adopt it into every batched
+		// job's tree, so each job's trace reaches the farm.
+		lo, msgID, err = ts.SubmitTraced(len(jobs), jobs[0].Root)
+	} else {
+		lo, err = g.sub.Submit(len(jobs))
+	}
 	if err != nil {
+		now := time.Now()
 		for _, j := range jobs {
 			j.State = StateFailed
 			j.Err = err.Error()
-			j.Ended = time.Now()
+			j.Ended = now
 			close(j.Done)
+			if obs != nil && j.Root != 0 {
+				obs.JobDone(j.ID, j.Root, j.Tenant, now.Sub(j.Created), true)
+			}
 		}
 		g.mu.Unlock()
 		return true
@@ -429,6 +484,9 @@ func (g *Gateway) pumpOnce() bool {
 		j.State = StateRunning
 		j.Seq = lo + int64(i)
 		g.bySeq[j.Seq] = j
+		if obs != nil && j.Root != 0 && msgID != 0 {
+			obs.JobInjected(j.Root, msgID)
+		}
 	}
 	g.running += len(jobs)
 	g.inflight.Set(int64(g.running))

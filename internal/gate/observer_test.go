@@ -1,0 +1,179 @@
+package gate
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gridmdo/internal/metrics"
+)
+
+// tracedFarm is a fakeFarm that also satisfies TracedSubmitter,
+// recording the parent each batch was stamped with.
+type tracedFarm struct {
+	fakeFarm
+	mu2     sync.Mutex
+	parents []uint64
+	msgSeq  uint64
+}
+
+func (f *tracedFarm) SubmitTraced(n int, parent uint64) (int64, uint64, error) {
+	f.mu2.Lock()
+	f.parents = append(f.parents, parent)
+	f.msgSeq++
+	msgID := f.msgSeq
+	f.mu2.Unlock()
+	lo, err := f.Submit(n)
+	return lo, msgID, err
+}
+
+// recObserver records every hook invocation.
+type recObserver struct {
+	mu       sync.Mutex
+	nextRoot uint64
+	admitted map[string]uint64   // jobID -> root
+	injected map[uint64][]uint64 // root -> msgIDs
+	done     map[string]bool     // jobID -> failed
+}
+
+func newRecObserver() *recObserver {
+	return &recObserver{
+		admitted: make(map[string]uint64),
+		injected: make(map[uint64][]uint64),
+		done:     make(map[string]bool),
+	}
+}
+
+func (o *recObserver) JobAdmitted(jobID, tenant string) uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.nextRoot++
+	o.admitted[jobID] = o.nextRoot
+	return o.nextRoot
+}
+
+func (o *recObserver) JobInjected(root, msgID uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.injected[root] = append(o.injected[root], msgID)
+}
+
+func (o *recObserver) JobDone(jobID string, root uint64, tenant string, latency time.Duration, failed bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.done[jobID] = failed
+}
+
+func TestObserverLifecycle(t *testing.T) {
+	obs := newRecObserver()
+	farm := &tracedFarm{fakeFarm: fakeFarm{auto: true}}
+	g, err := New(Config{
+		Tenants:  []TenantConfig{{Name: "acme"}},
+		Metrics:  metrics.NewRegistry(),
+		Observer: obs,
+	}, farm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm.done = g.OnResult
+	defer g.Close(nil)
+
+	j1, _, err := g.Submit("acme", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _, err := g.Submit("acme", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.Root == 0 || j2.Root == 0 || j1.Root == j2.Root {
+		t.Fatalf("roots not stamped distinctly: %d, %d", j1.Root, j2.Root)
+	}
+
+	for _, j := range []*Job{j1, j2} {
+		select {
+		case <-j.Done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("job %s never completed", j.ID)
+		}
+	}
+
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if len(obs.admitted) != 2 {
+		t.Fatalf("admitted %d jobs, want 2", len(obs.admitted))
+	}
+	// Every job's root adopted an injection message (jobs may batch into
+	// one message or ride two — both are valid).
+	for id, root := range obs.admitted {
+		if len(obs.injected[root]) == 0 {
+			t.Errorf("job %s (root %d) never linked to an injection message", id, root)
+		}
+	}
+	if failed, ok := obs.done[j1.ID]; !ok || failed {
+		t.Errorf("job 1 done hook: ok=%v failed=%v, want success", ok, failed)
+	}
+
+	// The batch's traced submission carried a real job root as parent.
+	farm.mu2.Lock()
+	defer farm.mu2.Unlock()
+	if len(farm.parents) == 0 {
+		t.Fatal("SubmitTraced never used despite observer + traced submitter")
+	}
+	for _, p := range farm.parents {
+		if p == 0 {
+			t.Error("batch submitted with zero parent")
+		}
+	}
+}
+
+func TestObserverJobDoneFailedOnClose(t *testing.T) {
+	obs := newRecObserver()
+	// Manual farm: tasks are held, so jobs are non-terminal at Close.
+	farm := &tracedFarm{}
+	g, err := New(Config{
+		Tenants:  []TenantConfig{{Name: "acme"}},
+		Metrics:  metrics.NewRegistry(),
+		Observer: obs,
+	}, farm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm.done = g.OnResult
+
+	j, _, err := g.Submit("acme", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close(nil)
+	obs.mu.Lock()
+	failed, ok := obs.done[j.ID]
+	obs.mu.Unlock()
+	if !ok || !failed {
+		t.Fatalf("close did not report job failed to observer: ok=%v failed=%v", ok, failed)
+	}
+}
+
+func TestObserverWithPlainSubmitter(t *testing.T) {
+	// An observer over a Submitter without SubmitTraced still traces
+	// admission and completion; only the injection link is absent.
+	obs := newRecObserver()
+	g, _ := newTestGate(t, true, Config{Observer: obs})
+	j, _, err := g.Submit("acme", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never completed")
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if j.Root == 0 || len(obs.done) != 1 {
+		t.Fatalf("plain-submitter observer: root=%d done=%d", j.Root, len(obs.done))
+	}
+	if len(obs.injected) != 0 {
+		t.Fatalf("plain submitter cannot report injections, got %v", obs.injected)
+	}
+}

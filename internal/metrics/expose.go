@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 )
 
@@ -70,31 +71,100 @@ func (s Snapshot) Has(name string) bool {
 // prev. Series absent from prev pass through unchanged; series present
 // only in prev are dropped (they cannot have advanced). Gauges are
 // point-in-time readings, not accumulations, so they keep s's value.
-// Bench reporters use this to isolate one phase of a longer run instead
-// of hand-rolling per-counter subtraction.
+// A negative delta — the source counter was reset, as when a process
+// restarts between snapshots — clamps to zero rather than underflowing;
+// a histogram whose bucket layout changed between snapshots keeps s's
+// cumulative buckets (there is no meaningful per-bucket delta across a
+// re-bucketing). Bench reporters use this to isolate one phase of a
+// longer run instead of hand-rolling per-counter subtraction; the
+// telemetry agent uses it to ship compact deltas between full reports.
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	type key struct{ name, labels string }
 	old := make(map[key]Sample, len(prev.Series))
 	for _, smp := range prev.Series {
 		old[key{smp.Name, smp.Labels}] = smp
 	}
+	clamp := func(v int64) int64 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
 	out := Snapshot{Series: make([]Sample, 0, len(s.Series))}
 	for _, smp := range s.Series {
 		p, ok := old[key{smp.Name, smp.Labels}]
 		if ok && smp.Kind == p.Kind && smp.Kind != KindGauge.String() {
-			smp.Value -= p.Value
-			smp.Count -= p.Count
-			smp.Sum -= p.Sum
+			smp.Value = clamp(smp.Value - p.Value)
+			smp.Count = clamp(smp.Count - p.Count)
+			smp.Sum = clamp(smp.Sum - p.Sum)
 			if len(smp.Bucket) == len(p.Bucket) {
 				b := make([]Bucket, len(smp.Bucket))
 				for i := range b {
-					b[i] = Bucket{LE: smp.Bucket[i].LE, Count: smp.Bucket[i].Count - p.Bucket[i].Count}
+					b[i] = Bucket{LE: smp.Bucket[i].LE, Count: clamp(smp.Bucket[i].Count - p.Bucket[i].Count)}
 				}
 				smp.Bucket = b
 			}
 		}
 		out.Series = append(out.Series, smp)
 	}
+	return out
+}
+
+// Merge returns s with a delta applied — the inverse of Sub, used by the
+// telemetry collector to roll a node's incremental reports back into an
+// absolute view. Counters and histogram counts/sums/buckets add; gauges
+// take the delta's value (a gauge in a delta is the newer point-in-time
+// reading, not an increment); series present only in the delta append.
+// Histogram buckets add element-wise when the layouts match and adopt
+// the delta's layout otherwise (the source was re-bucketed; its newer
+// shape wins). The result keeps Snapshot's canonical (name, labels)
+// order regardless of either input's order.
+func (s Snapshot) Merge(delta Snapshot) Snapshot {
+	type key struct{ name, labels string }
+	idx := make(map[key]int, len(s.Series))
+	out := Snapshot{Series: make([]Sample, len(s.Series), len(s.Series)+len(delta.Series))}
+	copy(out.Series, s.Series)
+	for i, smp := range out.Series {
+		idx[key{smp.Name, smp.Labels}] = i
+	}
+	for _, d := range delta.Series {
+		i, ok := idx[key{d.Name, d.Labels}]
+		if !ok || out.Series[i].Kind != d.Kind {
+			if !ok {
+				idx[key{d.Name, d.Labels}] = len(out.Series)
+				out.Series = append(out.Series, d)
+			} else {
+				// The series changed kind at the source; the newer
+				// registration wins wholesale.
+				out.Series[i] = d
+			}
+			continue
+		}
+		smp := &out.Series[i]
+		if d.Kind == KindGauge.String() {
+			smp.Value = d.Value
+			continue
+		}
+		smp.Value += d.Value
+		smp.Count += d.Count
+		smp.Sum += d.Sum
+		if len(smp.Bucket) == len(d.Bucket) {
+			b := make([]Bucket, len(smp.Bucket))
+			for j := range b {
+				b[j] = Bucket{LE: smp.Bucket[j].LE, Count: smp.Bucket[j].Count + d.Bucket[j].Count}
+			}
+			smp.Bucket = b
+		} else {
+			smp.Bucket = append([]Bucket(nil), d.Bucket...)
+		}
+	}
+	sort.Slice(out.Series, func(i, j int) bool {
+		a, b := out.Series[i], out.Series[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Labels < b.Labels
+	})
 	return out
 }
 

@@ -112,6 +112,32 @@ func (s *Service) Submit(n int) (int64, error) {
 	return lo, nil
 }
 
+// SubmitTraced is Submit with a causal trace parent: the submission
+// message posted to the shard carries parent as its trace Parent, and
+// the message's ID is returned alongside the range start — so a
+// telemetry span tree rooted at, say, a gateway job's admission links
+// injection → shard grant → worker execution causally. parent 0 is
+// plain Submit with the ID still returned.
+func (s *Service) SubmitTraced(n int, parent uint64) (int64, uint64, error) {
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("taskfarm: submit %d tasks", n)
+	}
+	s.mu.Lock()
+	if s.rt == nil {
+		s.mu.Unlock()
+		return 0, 0, fmt.Errorf("taskfarm: service not bound to a runtime")
+	}
+	lo := s.next
+	s.next += int64(n)
+	sh := s.rr
+	s.rr = (s.rr + 1) % s.p.Shards
+	rt := s.rt
+	s.mu.Unlock()
+	msgID := rt.PostTraced(core.ElemRef{Array: ArrayShard, Index: sh}, entrySubmit,
+		submitMsg{Ranges: []taskRange{{Lo: lo, N: int64(n)}}}, parent)
+	return lo, msgID, nil
+}
+
 // taskDone is the farm's OnTaskDone hook: bookkeeping first (so the
 // double-execution audit sees every completion even if the callback
 // panics), then the registered callback.

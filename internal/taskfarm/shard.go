@@ -47,6 +47,15 @@ type farmMetrics struct {
 	stealFails *metrics.Counter   // steal requests answered empty
 	stolen     *metrics.Counter   // tasks moved between shards
 
+	// workerDone counts tasks executed by workers hosted on this process.
+	// Unlike grants/granted/shardTasks — which increment on the shard
+	// side and so accumulate only where the shards live — every task
+	// lands in exactly one worker's count, so summing this series across
+	// a cluster's nodes yields the exact number of tasks executed: the
+	// invariant the telemetry collector's aggregate view is checked
+	// against.
+	workerDone *metrics.Counter
+
 	shardTasks []*metrics.Counter // completed per shard (sharded farms)
 }
 
@@ -59,6 +68,7 @@ func newFarmMetrics(p *Params) *farmMetrics {
 		steals:     r.Counter("taskfarm_steals_total"),
 		stealFails: r.Counter("taskfarm_steal_fails_total"),
 		stolen:     r.Counter("taskfarm_stolen_tasks_total"),
+		workerDone: r.Counter("taskfarm_worker_tasks_total"),
 	}
 	if p.Shards > 1 {
 		fm.shardTasks = make([]*metrics.Counter, p.Shards)
@@ -113,6 +123,7 @@ func (w *worker) recvBatch(ctx *core.Ctx, t taskBatchMsg) {
 		}
 	}
 	w.lastDone = ctx.Time()
+	w.fm.workerDone.Add(int64(done))
 	rb := resultBatchMsg{Worker: int32(w.id), Done: done, Sum: sum, Check: check,
 		bytes: w.p.TaskBytes * int(done)}
 	if values != nil {

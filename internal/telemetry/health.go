@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Health tracks a process's readiness as a set of named conditions plus
+// registered checks, serving the conventional probe pair: /healthz
+// answers "is the process alive" (always 200 — reaching the handler is
+// the proof), /readyz answers "should traffic be routed here" (503 with
+// the failing conditions while any is set). A draining node flips
+// readiness long before the process exits, which is what lets an
+// orchestrator or load balancer stop routing before SIGTERM completes.
+type Health struct {
+	mu     sync.Mutex
+	conds  map[string]string       // condition name -> problem ("" cleared)
+	checks map[string]func() error // evaluated on every probe
+}
+
+// NewHealth builds an empty (ready) health tracker.
+func NewHealth() *Health {
+	return &Health{conds: make(map[string]string), checks: make(map[string]func() error)}
+}
+
+// Set raises or clears a named condition: a non-empty problem marks the
+// process unready with that reason; "" clears it. Nil-safe.
+func (h *Health) Set(name, problem string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if problem == "" {
+		delete(h.conds, name)
+		return
+	}
+	h.conds[name] = problem
+}
+
+// AddCheck registers a probe-time check: a non-nil error marks the
+// process unready with that reason. Checks must be cheap and must not
+// block — they run on every /readyz hit.
+func (h *Health) AddCheck(name string, fn func() error) {
+	if h == nil || fn == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.checks[name] = fn
+}
+
+// Problems returns every failing condition as name: problem, sorted.
+func (h *Health) Problems() []string {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	conds := make(map[string]string, len(h.conds))
+	for k, v := range h.conds {
+		conds[k] = v
+	}
+	checks := make(map[string]func() error, len(h.checks))
+	for k, v := range h.checks {
+		checks[k] = v
+	}
+	h.mu.Unlock()
+	// Checks run outside the lock so a slow check cannot wedge Set.
+	for name, fn := range checks {
+		if err := fn(); err != nil {
+			conds[name] = err.Error()
+		}
+	}
+	out := make([]string, 0, len(conds))
+	for name, problem := range conds {
+		out = append(out, name+": "+problem)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Healthz is the liveness handler: always 200.
+func (h *Health) Healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+// Readyz is the readiness handler: 200 when no condition fails, 503
+// listing the failures otherwise.
+func (h *Health) Readyz(w http.ResponseWriter, _ *http.Request) {
+	problems := h.Problems()
+	w.Header().Set("Content-Type", "application/json")
+	if len(problems) == 0 {
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(map[string]any{"ready": true})
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(map[string]any{"ready": false, "problems": problems})
+}

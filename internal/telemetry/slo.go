@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLO tracking: rolling-window latency/error objectives per tenant with
+// multi-window burn-rate alerting, in the SRE-workbook style. A request
+// is "bad" when it failed or exceeded the latency objective. The burn
+// rate over a window is the fraction of bad requests divided by the
+// error budget — burn 1.0 spends the budget exactly at the sustainable
+// rate; burn 2.0 exhausts it in half the window. The alert fires only
+// when BOTH the fast and the slow window burn past the threshold: the
+// fast window gives detection latency, the slow window keeps one latency
+// blip from paging, and requiring both is what makes the alert reset
+// quickly once the cause reverts (the fast window drains first).
+//
+// All methods take explicit timestamps, so the bench harness can drive a
+// virtual clock deterministically; live callers pass time.Now().
+
+// SLOConfig sets the objective and the evaluation windows.
+type SLOConfig struct {
+	Objective     time.Duration // per-request latency objective
+	Budget        float64       // tolerated bad fraction (0.001 = 99.9% target)
+	FastWindow    time.Duration // detection window
+	SlowWindow    time.Duration // sustain window (also the retention horizon)
+	BurnThreshold float64       // both windows must burn at or past this to fire
+}
+
+// DefaultSLOConfig is a reasonable interactive-service starting point:
+// 100ms objective, 99% target, 1m/5m windows, 2x burn threshold.
+func DefaultSLOConfig() SLOConfig {
+	return SLOConfig{
+		Objective:     100 * time.Millisecond,
+		Budget:        0.01,
+		FastWindow:    time.Minute,
+		SlowWindow:    5 * time.Minute,
+		BurnThreshold: 2,
+	}
+}
+
+// sloBucket accumulates one second of one tenant's traffic.
+type sloBucket struct {
+	sec        int64 // unix second this bucket currently holds; 0 = empty
+	total, bad int64
+}
+
+// sloSeries is one tenant's ring of per-second buckets plus alert state.
+type sloSeries struct {
+	buckets []sloBucket
+	firing  bool
+	trips   uint64 // transitions into firing
+}
+
+// SLOStatus is one tenant's evaluation result.
+type SLOStatus struct {
+	Tenant    string  `json:"tenant"`
+	FastBurn  float64 `json:"fast_burn"`
+	SlowBurn  float64 `json:"slow_burn"`
+	FastBad   int64   `json:"fast_bad"`
+	FastTotal int64   `json:"fast_total"`
+	SlowBad   int64   `json:"slow_bad"`
+	SlowTotal int64   `json:"slow_total"`
+	Firing    bool    `json:"firing"`
+	Trips     uint64  `json:"trips"` // lifetime alert activations
+}
+
+// SLOTracker evaluates per-tenant SLO burn. Safe for concurrent use.
+type SLOTracker struct {
+	mu      sync.Mutex
+	cfg     SLOConfig
+	tenants map[string]*sloSeries
+}
+
+// NewSLOTracker builds a tracker; zero config fields take defaults.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	def := DefaultSLOConfig()
+	if cfg.Objective <= 0 {
+		cfg.Objective = def.Objective
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = def.Budget
+	}
+	if cfg.FastWindow <= 0 {
+		cfg.FastWindow = def.FastWindow
+	}
+	if cfg.SlowWindow < cfg.FastWindow {
+		cfg.SlowWindow = def.SlowWindow
+		if cfg.SlowWindow < cfg.FastWindow {
+			cfg.SlowWindow = 5 * cfg.FastWindow
+		}
+	}
+	if cfg.BurnThreshold <= 0 {
+		cfg.BurnThreshold = def.BurnThreshold
+	}
+	return &SLOTracker{cfg: cfg, tenants: make(map[string]*sloSeries)}
+}
+
+// Config reports the resolved configuration.
+func (t *SLOTracker) Config() SLOConfig { return t.cfg }
+
+// windowSecs returns the two windows in whole seconds, minimum 1.
+func (t *SLOTracker) windowSecs() (fast, slow int64) {
+	fast = int64(t.cfg.FastWindow / time.Second)
+	if fast < 1 {
+		fast = 1
+	}
+	slow = int64(t.cfg.SlowWindow / time.Second)
+	if slow < fast {
+		slow = fast
+	}
+	return fast, slow
+}
+
+// Record accounts one finished request. Nil-safe: a nil tracker records
+// nothing, so callers without SLO tracking skip the branch.
+func (t *SLOTracker) Record(tenant string, at time.Time, latency time.Duration, failed bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.tenants[tenant]
+	if s == nil {
+		_, slow := t.windowSecs()
+		s = &sloSeries{buckets: make([]sloBucket, slow)}
+		t.tenants[tenant] = s
+	}
+	sec := at.Unix()
+	b := &s.buckets[sec%int64(len(s.buckets))]
+	if b.sec != sec {
+		// The ring lapped: this slot holds a second now outside the slow
+		// window. Reuse it for the current second.
+		*b = sloBucket{sec: sec}
+	}
+	b.total++
+	if failed || latency > t.cfg.Objective {
+		b.bad++
+	}
+}
+
+// Evaluate computes burn rates for every tenant seen so far, as of the
+// given instant, and updates alert state: an alert fires when both
+// windows burn at or past the threshold and clears when the fast window
+// drops back below it. Results are sorted by tenant. Nil-safe.
+func (t *SLOTracker) Evaluate(at time.Time) []SLOStatus {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fast, slow := t.windowSecs()
+	now := at.Unix()
+	out := make([]SLOStatus, 0, len(t.tenants))
+	for name, s := range t.tenants {
+		st := SLOStatus{Tenant: name}
+		for i := range s.buckets {
+			b := &s.buckets[i]
+			if b.sec == 0 || b.sec > now || now-b.sec >= slow {
+				continue
+			}
+			st.SlowTotal += b.total
+			st.SlowBad += b.bad
+			if now-b.sec < fast {
+				st.FastTotal += b.total
+				st.FastBad += b.bad
+			}
+		}
+		st.FastBurn = burnRate(st.FastBad, st.FastTotal, t.cfg.Budget)
+		st.SlowBurn = burnRate(st.SlowBad, st.SlowTotal, t.cfg.Budget)
+		if !s.firing && st.FastBurn >= t.cfg.BurnThreshold && st.SlowBurn >= t.cfg.BurnThreshold {
+			s.firing = true
+			s.trips++
+		} else if s.firing && st.FastBurn < t.cfg.BurnThreshold {
+			s.firing = false
+		}
+		st.Firing = s.firing
+		st.Trips = s.trips
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// burnRate is (bad/total)/budget, 0 when the window saw no traffic.
+func burnRate(bad, total int64, budget float64) float64 {
+	if total == 0 || budget <= 0 {
+		return 0
+	}
+	return float64(bad) / float64(total) / budget
+}

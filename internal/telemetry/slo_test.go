@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// benchSLO mirrors the bench experiment's configuration: 8ms objective,
+// 10% budget, 2s/8s windows, 2x threshold.
+func benchSLO() *SLOTracker {
+	return NewSLOTracker(SLOConfig{
+		Objective:     8 * time.Millisecond,
+		Budget:        0.1,
+		FastWindow:    2 * time.Second,
+		SlowWindow:    8 * time.Second,
+		BurnThreshold: 2,
+	})
+}
+
+func TestSLOBurnStepFiresAndClears(t *testing.T) {
+	tr := benchSLO()
+	base := time.Unix(1_700_000_000, 0)
+
+	// 10 seconds of healthy traffic: 4ms latency, well under the 8ms
+	// objective. No alert.
+	at := base
+	for s := 0; s < 10; s++ {
+		for i := 0; i < 50; i++ {
+			tr.Record("acme", at, 4*time.Millisecond, false)
+		}
+		at = at.Add(time.Second)
+		for _, st := range tr.Evaluate(at) {
+			if st.Firing {
+				t.Fatalf("alert fired on healthy traffic at +%ds: %+v", s, st)
+			}
+		}
+	}
+
+	// Latency step to 32ms: every request is now bad, burn = 1/0.1 = 10x.
+	// The alert must fire within two fast windows (4s).
+	fired := -1
+	for s := 0; s < 4; s++ {
+		for i := 0; i < 50; i++ {
+			tr.Record("acme", at, 32*time.Millisecond, false)
+		}
+		at = at.Add(time.Second)
+		for _, st := range tr.Evaluate(at) {
+			if st.Firing && fired < 0 {
+				fired = s
+			}
+		}
+	}
+	if fired < 0 {
+		t.Fatal("burn alert never fired under the latency step")
+	}
+	if fired >= 4 {
+		t.Fatalf("alert fired after %ds, want within two 2s windows", fired+1)
+	}
+
+	// Step reverts; the fast window drains and the alert clears.
+	cleared := false
+	for s := 0; s < 6 && !cleared; s++ {
+		for i := 0; i < 50; i++ {
+			tr.Record("acme", at, 4*time.Millisecond, false)
+		}
+		at = at.Add(time.Second)
+		for _, st := range tr.Evaluate(at) {
+			if !st.Firing {
+				cleared = true
+			}
+			if st.Trips != 1 {
+				t.Fatalf("trips = %d, want exactly 1 activation", st.Trips)
+			}
+		}
+	}
+	if !cleared {
+		t.Fatal("alert did not clear after the step reverted")
+	}
+}
+
+func TestSLOFailuresCountAsBad(t *testing.T) {
+	tr := benchSLO()
+	at := time.Unix(1_700_000_100, 0)
+	for i := 0; i < 10; i++ {
+		tr.Record("t", at, time.Millisecond, i%2 == 0) // half fail fast
+	}
+	st := tr.Evaluate(at.Add(time.Second))
+	if len(st) != 1 || st[0].FastBad != 5 {
+		t.Fatalf("failed requests not counted bad: %+v", st)
+	}
+}
+
+func TestSLOQuietTenantDoesNotBurn(t *testing.T) {
+	tr := benchSLO()
+	at := time.Unix(1_700_000_200, 0)
+	tr.Record("quiet", at, time.Millisecond, false)
+	// Evaluate far in the future: all buckets out of window, burn 0.
+	st := tr.Evaluate(at.Add(time.Minute))
+	if len(st) != 1 || st[0].FastBurn != 0 || st[0].SlowBurn != 0 || st[0].Firing {
+		t.Fatalf("stale traffic still burning: %+v", st)
+	}
+}
+
+func TestSLONilTracker(t *testing.T) {
+	var tr *SLOTracker
+	tr.Record("x", time.Now(), time.Second, true) // must not panic
+	if got := tr.Evaluate(time.Now()); got != nil {
+		t.Fatalf("nil tracker evaluated to %+v", got)
+	}
+}
+
+func TestSLOSlowWindowHoldsAlertContext(t *testing.T) {
+	// A single bad second inside an otherwise healthy slow window must
+	// NOT fire: the fast window burns but the slow one does not — the
+	// two-window AND is exactly what suppresses blips.
+	tr := benchSLO()
+	base := time.Unix(1_700_000_300, 0)
+	at := base
+	for s := 0; s < 7; s++ {
+		for i := 0; i < 100; i++ {
+			tr.Record("acme", at, time.Millisecond, false)
+		}
+		at = at.Add(time.Second)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Record("acme", at, 50*time.Millisecond, false) // one bad second
+	}
+	at = at.Add(time.Second)
+	for _, st := range tr.Evaluate(at) {
+		if st.Firing {
+			t.Fatalf("one bad second fired the alert: %+v", st)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+// Package telemetry is the cluster's live observability plane: a
+// per-process Agent periodically ships compact metric deltas, trace-span
+// digests, and per-step overlap summaries over the vmi control path
+// (ControlTelemetry frames), and a Collector — embedded in gridgate or a
+// standalone gridnode -collector — merges the reports into one
+// continuously updating cluster view: aggregated metrics, per-step
+// masked/exposed fractions across all nodes, end-to-end job traces, and
+// SLO burn rates.
+//
+// Reports ride raw control frames, deliberately *below* the Reliable
+// layer: telemetry must never compete with application retransmits for
+// a congested link, so a lossy link degrades the cluster view instead
+// of the computation. The protocol is built for that: every report is
+// either a full snapshot or a delta chained to the previous sequence
+// number, the collector applies deltas only on an unbroken chain and
+// otherwise waits for the next full snapshot, span digests are resent
+// until complete, and per-step overlap rows replace rather than add.
+// Losing frames therefore costs freshness, never correctness.
+package telemetry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"gridmdo/internal/metrics"
+)
+
+// ErrBadWire is wrapped by all telemetry decode failures, mirroring the
+// core codec convention: a malformed control frame is dropped whole, not
+// half-applied.
+var ErrBadWire = errors.New("telemetry: bad wire data")
+
+const (
+	wireMagic0  = 'T'
+	wireMagic1  = 'L'
+	wireVersion = 1
+
+	// Defensive decode caps: a corrupted length prefix must not balloon
+	// an allocation. Far above anything the agent actually sends.
+	maxWireSeries = 1 << 16
+	maxWireSpans  = 1 << 16
+	maxWireSteps  = 1 << 12
+	maxWireStr    = 1 << 10
+)
+
+// Span is a trace-span digest: the per-message lifecycle of one runtime
+// message, folded from EvSend/EvEnqueue/EvBegin/EvEnd events. The agent
+// ships spans incrementally (a span may arrive with only its send half;
+// the execution half follows from the node that ran the handler), and
+// the collector merges by ID with nonzero-wins per field. Times are
+// node-local nanoseconds since that node's runtime epoch; the collector
+// re-bases them onto wall time using the report's EpochUnixNs.
+type Span struct {
+	ID     uint64 // node-unique message ID (node number in the high bits)
+	Parent uint64 // causal parent message ID, 0 at a root
+	PE     int32  // executing PE (from Begin), else enqueue PE
+	Kind   byte   // runtime message kind (core.Kind)
+
+	SendNs    int64 // EvSend time, 0 if not observed
+	EnqueueNs int64 // EvEnqueue time, 0 if not observed
+	BeginNs   int64 // handler start, 0 if not observed
+	EndNs     int64 // handler end, 0 if not observed
+}
+
+// StepOverlap is one application step's latency accounting on one node:
+// how much communication wait overlapped with useful compute (masked)
+// versus stalled a PE (exposed) — the paper's headline quantity, shipped
+// live instead of post-mortem. Values are summed PE-nanoseconds.
+type StepOverlap struct {
+	Step      int64
+	ComputeNs int64
+	MaskedNs  int64
+	ExposedNs int64
+}
+
+// Report is one telemetry shipment from one node's agent.
+type Report struct {
+	Node int32  // reporting node
+	Seq  uint64 // per-agent sequence number, 1-based, increments every report
+
+	// Full marks a complete metrics snapshot; otherwise Metrics is a
+	// delta relative to the agent's report Seq-1 and the collector must
+	// only apply it on an unbroken chain.
+	Full bool
+
+	EpochUnixNs int64  // the node's runtime epoch as wall time (UnixNano)
+	HorizonNs   int64  // node-local time of this report (ns since epoch)
+	Dropped     uint64 // trace events lost to ring wrap or agent backlog
+
+	Metrics []metrics.Sample
+	Spans   []Span
+	Steps   []StepOverlap
+}
+
+// sample kind codes on the wire.
+const (
+	wireKindCounter   = 0
+	wireKindGauge     = 1
+	wireKindHistogram = 2
+)
+
+func kindCode(kind string) (byte, error) {
+	switch kind {
+	case metrics.KindCounter.String():
+		return wireKindCounter, nil
+	case metrics.KindGauge.String():
+		return wireKindGauge, nil
+	case metrics.KindHistogram.String():
+		return wireKindHistogram, nil
+	}
+	return 0, fmt.Errorf("%w: sample kind %q", ErrBadWire, kind)
+}
+
+func kindName(code byte) (string, error) {
+	switch code {
+	case wireKindCounter:
+		return metrics.KindCounter.String(), nil
+	case wireKindGauge:
+		return metrics.KindGauge.String(), nil
+	case wireKindHistogram:
+		return metrics.KindHistogram.String(), nil
+	}
+	return "", fmt.Errorf("%w: sample kind code %d", ErrBadWire, code)
+}
+
+// AppendReport appends r in wire form: magic, version, varint fields,
+// length-prefixed sections. The layout matches the membership codec's
+// conventions so both control-frame payloads decode with the same
+// strictness.
+func AppendReport(dst []byte, r *Report) ([]byte, error) {
+	dst = append(dst, wireMagic0, wireMagic1, wireVersion)
+	dst = binary.AppendVarint(dst, int64(r.Node))
+	dst = binary.AppendUvarint(dst, r.Seq)
+	if r.Full {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendVarint(dst, r.EpochUnixNs)
+	dst = binary.AppendVarint(dst, r.HorizonNs)
+	dst = binary.AppendUvarint(dst, r.Dropped)
+
+	dst = binary.AppendUvarint(dst, uint64(len(r.Metrics)))
+	for _, s := range r.Metrics {
+		code, err := kindCode(s.Kind)
+		if err != nil {
+			return nil, err
+		}
+		dst = appendString(dst, s.Name)
+		dst = appendString(dst, s.Labels)
+		dst = append(dst, code)
+		dst = binary.AppendVarint(dst, s.Value)
+		dst = binary.AppendVarint(dst, s.Count)
+		dst = binary.AppendVarint(dst, s.Sum)
+		dst = binary.AppendUvarint(dst, uint64(len(s.Bucket)))
+		for _, b := range s.Bucket {
+			dst = binary.AppendVarint(dst, b.LE)
+			dst = binary.AppendVarint(dst, b.Count)
+		}
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(len(r.Spans)))
+	for _, sp := range r.Spans {
+		dst = binary.AppendUvarint(dst, sp.ID)
+		dst = binary.AppendUvarint(dst, sp.Parent)
+		dst = binary.AppendVarint(dst, int64(sp.PE))
+		dst = append(dst, sp.Kind)
+		dst = binary.AppendVarint(dst, sp.SendNs)
+		dst = binary.AppendVarint(dst, sp.EnqueueNs)
+		dst = binary.AppendVarint(dst, sp.BeginNs)
+		dst = binary.AppendVarint(dst, sp.EndNs)
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(len(r.Steps)))
+	for _, st := range r.Steps {
+		dst = binary.AppendVarint(dst, st.Step)
+		dst = binary.AppendVarint(dst, st.ComputeNs)
+		dst = binary.AppendVarint(dst, st.MaskedNs)
+		dst = binary.AppendVarint(dst, st.ExposedNs)
+	}
+	return dst, nil
+}
+
+// DecodeReport parses a wire-form report. Strict: bad magic, unknown
+// version, truncated input, oversized counts, and trailing bytes all
+// fail, so a corrupted control frame is rejected whole.
+func DecodeReport(b []byte) (*Report, error) {
+	if len(b) < 3 || b[0] != wireMagic0 || b[1] != wireMagic1 {
+		return nil, fmt.Errorf("%w: bad report magic", ErrBadWire)
+	}
+	if b[2] != wireVersion {
+		return nil, fmt.Errorf("%w: report version %d", ErrBadWire, b[2])
+	}
+	b = b[3:]
+	var r Report
+	var sv int64
+	var uv uint64
+	var err error
+	if sv, b, err = consumeVarint(b); err != nil {
+		return nil, err
+	}
+	r.Node = int32(sv)
+	if r.Seq, b, err = consumeUvarint(b); err != nil {
+		return nil, err
+	}
+	if len(b) < 1 {
+		return nil, fmt.Errorf("%w: truncated full flag", ErrBadWire)
+	}
+	if b[0] > 1 {
+		return nil, fmt.Errorf("%w: full flag %d", ErrBadWire, b[0])
+	}
+	r.Full = b[0] == 1
+	b = b[1:]
+	if r.EpochUnixNs, b, err = consumeVarint(b); err != nil {
+		return nil, err
+	}
+	if r.HorizonNs, b, err = consumeVarint(b); err != nil {
+		return nil, err
+	}
+	if r.Dropped, b, err = consumeUvarint(b); err != nil {
+		return nil, err
+	}
+
+	if uv, b, err = consumeUvarint(b); err != nil {
+		return nil, err
+	}
+	if uv > maxWireSeries {
+		return nil, fmt.Errorf("%w: %d metric series", ErrBadWire, uv)
+	}
+	if uv > 0 {
+		r.Metrics = make([]metrics.Sample, 0, uv)
+	}
+	for i := uint64(0); i < uv; i++ {
+		var s metrics.Sample
+		if s.Name, b, err = consumeString(b); err != nil {
+			return nil, err
+		}
+		if s.Labels, b, err = consumeString(b); err != nil {
+			return nil, err
+		}
+		if len(b) < 1 {
+			return nil, fmt.Errorf("%w: truncated sample kind", ErrBadWire)
+		}
+		if s.Kind, err = kindName(b[0]); err != nil {
+			return nil, err
+		}
+		b = b[1:]
+		if s.Value, b, err = consumeVarint(b); err != nil {
+			return nil, err
+		}
+		if s.Count, b, err = consumeVarint(b); err != nil {
+			return nil, err
+		}
+		if s.Sum, b, err = consumeVarint(b); err != nil {
+			return nil, err
+		}
+		var nb uint64
+		if nb, b, err = consumeUvarint(b); err != nil {
+			return nil, err
+		}
+		if nb > maxWireSeries {
+			return nil, fmt.Errorf("%w: %d histogram buckets", ErrBadWire, nb)
+		}
+		if nb > 0 {
+			s.Bucket = make([]metrics.Bucket, 0, nb)
+		}
+		for j := uint64(0); j < nb; j++ {
+			var bk metrics.Bucket
+			if bk.LE, b, err = consumeVarint(b); err != nil {
+				return nil, err
+			}
+			if bk.Count, b, err = consumeVarint(b); err != nil {
+				return nil, err
+			}
+			s.Bucket = append(s.Bucket, bk)
+		}
+		r.Metrics = append(r.Metrics, s)
+	}
+
+	if uv, b, err = consumeUvarint(b); err != nil {
+		return nil, err
+	}
+	if uv > maxWireSpans {
+		return nil, fmt.Errorf("%w: %d spans", ErrBadWire, uv)
+	}
+	if uv > 0 {
+		r.Spans = make([]Span, 0, uv)
+	}
+	for i := uint64(0); i < uv; i++ {
+		var sp Span
+		if sp.ID, b, err = consumeUvarint(b); err != nil {
+			return nil, err
+		}
+		if sp.Parent, b, err = consumeUvarint(b); err != nil {
+			return nil, err
+		}
+		if sv, b, err = consumeVarint(b); err != nil {
+			return nil, err
+		}
+		sp.PE = int32(sv)
+		if len(b) < 1 {
+			return nil, fmt.Errorf("%w: truncated span kind", ErrBadWire)
+		}
+		sp.Kind = b[0]
+		b = b[1:]
+		if sp.SendNs, b, err = consumeVarint(b); err != nil {
+			return nil, err
+		}
+		if sp.EnqueueNs, b, err = consumeVarint(b); err != nil {
+			return nil, err
+		}
+		if sp.BeginNs, b, err = consumeVarint(b); err != nil {
+			return nil, err
+		}
+		if sp.EndNs, b, err = consumeVarint(b); err != nil {
+			return nil, err
+		}
+		r.Spans = append(r.Spans, sp)
+	}
+
+	if uv, b, err = consumeUvarint(b); err != nil {
+		return nil, err
+	}
+	if uv > maxWireSteps {
+		return nil, fmt.Errorf("%w: %d steps", ErrBadWire, uv)
+	}
+	if uv > 0 {
+		r.Steps = make([]StepOverlap, 0, uv)
+	}
+	for i := uint64(0); i < uv; i++ {
+		var st StepOverlap
+		if st.Step, b, err = consumeVarint(b); err != nil {
+			return nil, err
+		}
+		if st.ComputeNs, b, err = consumeVarint(b); err != nil {
+			return nil, err
+		}
+		if st.MaskedNs, b, err = consumeVarint(b); err != nil {
+			return nil, err
+		}
+		if st.ExposedNs, b, err = consumeVarint(b); err != nil {
+			return nil, err
+		}
+		r.Steps = append(r.Steps, st)
+	}
+
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after report", ErrBadWire, len(b))
+	}
+	return &r, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func consumeString(b []byte) (string, []byte, error) {
+	n, b, err := consumeUvarint(b)
+	if err != nil {
+		return "", b, err
+	}
+	if n > maxWireStr || n > uint64(len(b)) {
+		return "", b, fmt.Errorf("%w: truncated string", ErrBadWire)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func consumeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, fmt.Errorf("%w: bad uvarint", ErrBadWire)
+	}
+	return v, b[n:], nil
+}
+
+func consumeVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, b, fmt.Errorf("%w: bad varint", ErrBadWire)
+	}
+	return v, b[n:], nil
+}

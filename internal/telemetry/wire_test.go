@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"testing"
+
+	"gridmdo/internal/metrics"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Node:        3,
+		Seq:         17,
+		Full:        true,
+		EpochUnixNs: 1_700_000_000_000_000_000,
+		HorizonNs:   2_500_000_000,
+		Dropped:     4,
+		Metrics: []metrics.Sample{
+			{Name: "a_total", Kind: "counter", Value: 42},
+			{Name: "depth", Labels: `{tenant="x"}`, Kind: "gauge", Value: -7},
+			{Name: "lat", Kind: "histogram", Count: 9, Sum: 123,
+				Bucket: []metrics.Bucket{{LE: 10, Count: 3}, {LE: 100, Count: 9}}},
+		},
+		Spans: []Span{
+			{ID: 0x0003_0000_0000_0001, Parent: 0xFFFE_0000_0000_0001, PE: 2, Kind: 1,
+				SendNs: 100, EnqueueNs: 4_100_000, BeginNs: 4_200_000, EndNs: 4_900_000},
+			{ID: 0x0003_0000_0000_0002, SendNs: 500},
+		},
+		Steps: []StepOverlap{
+			{Step: 0, ComputeNs: 9_000_000, MaskedNs: 3_000_000, ExposedNs: 1_000_000},
+			{Step: 1, ComputeNs: 9_100_000, MaskedNs: 3_500_000, ExposedNs: 500_000},
+		},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	want := sampleReport()
+	buf, err := AppendReport(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Node != want.Node || got.Seq != want.Seq || got.Full != want.Full ||
+		got.EpochUnixNs != want.EpochUnixNs || got.HorizonNs != want.HorizonNs ||
+		got.Dropped != want.Dropped {
+		t.Errorf("header round trip: got %+v", got)
+	}
+	if len(got.Metrics) != 3 || got.Metrics[1].Value != -7 || got.Metrics[2].Bucket[1].Count != 9 {
+		t.Errorf("metrics round trip: %+v", got.Metrics)
+	}
+	if got.Metrics[1].Labels != `{tenant="x"}` {
+		t.Errorf("labels round trip: %q", got.Metrics[1].Labels)
+	}
+	if len(got.Spans) != 2 || got.Spans[0] != want.Spans[0] || got.Spans[1] != want.Spans[1] {
+		t.Errorf("spans round trip: %+v", got.Spans)
+	}
+	if len(got.Steps) != 2 || got.Steps[1] != want.Steps[1] {
+		t.Errorf("steps round trip: %+v", got.Steps)
+	}
+}
+
+func TestReportEmptySections(t *testing.T) {
+	buf, err := AppendReport(nil, &Report{Node: 0, Seq: 1, Full: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Metrics) != 0 || len(got.Spans) != 0 || len(got.Steps) != 0 {
+		t.Errorf("empty report decoded with content: %+v", got)
+	}
+}
+
+func TestDecodeReportStrict(t *testing.T) {
+	good, err := AppendReport(nil, sampleReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte{'X', 'Y', 1, 0}},
+		{"bad version", []byte{'T', 'L', 99, 0}},
+		{"truncated", good[:len(good)/2]},
+		{"trailing bytes", append(append([]byte(nil), good...), 0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeReport(tc.b); err == nil {
+				t.Fatalf("decoded %s without error", tc.name)
+			}
+		})
+	}
+
+	// Truncation at EVERY prefix length must error, never panic or
+	// succeed (the trailing-byte check catches accidental short parses).
+	for n := 0; n < len(good); n++ {
+		if _, err := DecodeReport(good[:n]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded cleanly", n, len(good))
+		}
+	}
+}
+
+func TestDecodeReportBadKind(t *testing.T) {
+	r := sampleReport()
+	buf, err := AppendReport(nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encoding an unknown sample kind must fail up front.
+	r.Metrics[0].Kind = "exotic"
+	if _, err := AppendReport(nil, r); err == nil {
+		t.Error("encoded unknown sample kind")
+	}
+	_ = buf
+}

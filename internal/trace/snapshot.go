@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -67,11 +68,43 @@ func (s *Snapshot) Write(w io.Writer) error {
 	return enc.Encode(s)
 }
 
-// ReadSnapshot parses one snapshot file.
+// ReadSnapshot parses one snapshot file. Malformed input — empty files
+// (a run killed before the exit flush), truncated JSON (disk filled
+// mid-write), or non-snapshot content — returns a descriptive error
+// naming the failure mode, so a multi-file merge can report which file
+// is bad and move on instead of surfacing a bare decoder message.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	dec := json.NewDecoder(r)
 	var s Snapshot
-	if err := json.NewDecoder(r).Decode(&s); err != nil {
+	switch err := dec.Decode(&s); {
+	case err == io.EOF:
+		return nil, fmt.Errorf("trace snapshot: empty input (run killed before the exit flush?)")
+	case err == io.ErrUnexpectedEOF:
+		return nil, fmt.Errorf("trace snapshot: truncated JSON (write interrupted?)")
+	case err != nil:
+		var syn *json.SyntaxError
+		if errors.As(err, &syn) {
+			return nil, fmt.Errorf("trace snapshot: not JSON at byte %d: %w", syn.Offset, err)
+		}
+		var typ *json.UnmarshalTypeError
+		if errors.As(err, &typ) {
+			return nil, fmt.Errorf("trace snapshot: field %q has wrong type: %w", typ.Field, err)
+		}
 		return nil, fmt.Errorf("trace snapshot: %w", err)
+	}
+	// Catch JSON that parses but clearly isn't a snapshot (e.g. a metrics
+	// file passed by mistake): a real snapshot always covers at least one
+	// PE, and event PEs sit inside the declared range.
+	if s.PEHi < s.PELo {
+		return nil, fmt.Errorf("trace snapshot: invalid PE range [%d,%d)", s.PELo, s.PEHi)
+	}
+	if s.PEHi == 0 && s.PELo == 0 && len(s.Events) == 0 && s.Horizon == 0 {
+		return nil, fmt.Errorf("trace snapshot: no PE range, events, or horizon — not a trace snapshot?")
+	}
+	for i, se := range s.Events {
+		if se.PE < 0 {
+			return nil, fmt.Errorf("trace snapshot: event %d has negative PE %d", i, se.PE)
+		}
 	}
 	return &s, nil
 }

@@ -124,6 +124,16 @@ func Tee(sinks ...Sink) Sink {
 // (~2.5 MB/PE) that tracing a 64-PE soak run stays bounded.
 const DefaultCapacity = 1 << 15
 
+// DrainedCapacity is the per-PE ring size appropriate when a telemetry
+// agent continuously drains the ring through a Cursor: the ring only has
+// to hold one reporting interval's events, not the whole run. Size is
+// not just memory — Event holds a string, so the GC scans every resident
+// slot on every cycle, and on a busy host an oversized ring taxes the
+// mutator far more than the lock-free Record path does (the telemetry
+// bench prices DefaultCapacity at >10% of stencil step time on one core,
+// DrainedCapacity at noise level).
+const DrainedCapacity = 1 << 12
+
 // Tracer collects events into bounded per-PE ring buffers. Record is
 // lock-free and allocation-free: a shard claims a slot with one atomic add
 // and overwrites the oldest event once the ring wraps, so a tracer left on
@@ -254,6 +264,120 @@ func (t *Tracer) NumPE() int {
 	}
 	return len(t.shards)
 }
+
+// Cursor reads a tracer incrementally: each ReadNew call returns the
+// events recorded since the previous call, so a telemetry agent can ship
+// periodic digests without rescanning (or double-counting) the whole
+// ring. One cursor tracks one consumer; cursors are independent and a
+// cursor must not be shared between goroutines without external locking.
+//
+// The same quiescence caveat as Events applies per call: a Record racing
+// ReadNew may leave its slot half-written or deliver it on the next
+// call. When a ring wraps past the cursor between calls the overwritten
+// events are gone; Skipped reports how many, and the cursor jumps
+// forward to the oldest event still retained.
+type Cursor struct {
+	t       *Tracer
+	pos     []uint64 // per-shard read position (events consumed so far)
+	scratch []Event  // merge buffer, reused across ReadNew calls
+	skipped uint64
+}
+
+// NewCursor returns a cursor positioned at the tracer's current tail:
+// the first ReadNew returns only events recorded after this call. A nil
+// tracer yields a valid cursor that always reads nothing.
+func (t *Tracer) NewCursor() *Cursor {
+	c := &Cursor{t: t}
+	if t == nil {
+		return c
+	}
+	c.pos = make([]uint64, len(t.shards))
+	for i := range t.shards {
+		c.pos[i] = t.shards[i].pos.Load()
+	}
+	return c
+}
+
+// ReadNew appends to dst the events recorded since the last call (or
+// since NewCursor), time-sorted, and returns the extended slice.
+func (c *Cursor) ReadNew(dst []Event) []Event {
+	if c.t == nil {
+		return dst
+	}
+	base := len(dst)
+	bounds := make([]int, 1, len(c.t.shards)+1)
+	for pe := range c.t.shards {
+		s := &c.t.shards[pe]
+		n := s.pos.Load()
+		lo := c.pos[pe]
+		if n == lo {
+			continue
+		}
+		cap64 := uint64(len(s.buf))
+		if n-lo > cap64 {
+			// The ring lapped the cursor; the oldest unread events were
+			// overwritten. Resume at the oldest slot still retained.
+			c.skipped += n - lo - cap64
+			lo = n - cap64
+		}
+		for i := lo; i < n; i++ {
+			dst = append(dst, s.buf[i&s.mask])
+		}
+		c.pos[pe] = n
+		bounds = append(bounds, len(dst)-base)
+	}
+	c.scratch = mergeRuns(dst[base:], bounds, c.scratch)
+	return dst
+}
+
+// mergeRuns time-sorts evs, given bounds marking consecutive runs
+// (evs[bounds[i]:bounds[i+1]]). Each PE shard records in time order, so
+// a cursor tail is one sorted run per shard; merging them is a single
+// linear pass where a whole-tail stable sort pays O(n log n) block
+// rotations — ReadNew dominated telemetry agent tick profiles before
+// this. Ties keep run (shard) order, matching the stable sort this
+// replaces. A run recorded with out-of-order At values (tests stamp
+// events by hand) is sorted before merging. scratch is spare merge
+// space, returned (possibly grown) for the caller to reuse.
+func mergeRuns(evs []Event, bounds []int, scratch []Event) []Event {
+	before := func(run []Event) func(i, j int) bool {
+		return func(i, j int) bool { return run[i].At < run[j].At }
+	}
+	for i := 0; i+1 < len(bounds); i++ {
+		run := evs[bounds[i]:bounds[i+1]]
+		if !sort.SliceIsSorted(run, before(run)) {
+			sort.SliceStable(run, before(run))
+		}
+	}
+	if len(bounds) <= 2 {
+		return scratch // zero or one run: nothing to merge
+	}
+	if cap(scratch) < len(evs) {
+		scratch = make([]Event, len(evs))
+	}
+	tmp := scratch[:len(evs)]
+	heads := append([]int(nil), bounds[:len(bounds)-1]...)
+	for out := range tmp {
+		best := -1
+		for r := range heads {
+			if heads[r] == bounds[r+1] {
+				continue
+			}
+			if best < 0 || evs[heads[r]].At < evs[heads[best]].At {
+				best = r
+			}
+		}
+		tmp[out] = evs[heads[best]]
+		heads[best]++
+	}
+	copy(evs, tmp)
+	return scratch
+}
+
+// Skipped reports how many events ring wrap-around overwrote before the
+// cursor could read them, cumulatively since NewCursor. A growing value
+// means the consumer polls slower than the run records.
+func (c *Cursor) Skipped() uint64 { return c.skipped }
 
 // Utilization reports, per PE, the fraction of [0, horizon) spent inside
 // handlers, derived from Begin/End pairs. Unpaired events are tolerated

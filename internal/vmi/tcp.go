@@ -125,6 +125,14 @@ const ControlShutdown int32 = -2
 // body is a core membership wire message.
 const ControlMembership int32 = -3
 
+// ControlTelemetry is the Dst marker of telemetry reports: periodic
+// metric deltas and trace-span digests a node's telemetry agent ships to
+// the cluster collector; the body is a telemetry wire report. Telemetry
+// frames ride the raw control path — deliberately below the Reliable
+// layer, so a lossy link degrades the cluster view instead of competing
+// with application retransmits; the collector tolerates gaps.
+const ControlTelemetry int32 = -4
+
 // maxPendingBytes bounds a connection's coalescing buffer; senders block
 // (backpressure) until the writer drains below it.
 const maxPendingBytes = 4 << 20
