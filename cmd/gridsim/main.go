@@ -18,13 +18,14 @@ import (
 	"path/filepath"
 	"time"
 
+	"gridmdo/internal/appflags"
 	"gridmdo/internal/bench"
 	"gridmdo/internal/metrics"
 )
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "figure3|figure4|table1|table2|ablations|gridlb-tcp|classes|sdsc|irregular|taskfarm-scale|membership|gate-soak|telemetry|all")
+		experiment   = flag.String("experiment", "all", "figure3|figure4|table1|table2|ablations|gridlb-tcp|classes|sdsc|irregular|taskfarm-scale|membership|gate-soak|telemetry|sim-scale|all")
 		fast         = flag.Bool("fast", false, "use the scaled-down fast profile")
 		skipRealtime = flag.Bool("skip-realtime", false, "skip wall-clock (host) columns in tables 1 and 2")
 		csvDir       = flag.String("csv", "", "also write CSV files into this directory")
@@ -35,13 +36,41 @@ func main() {
 		gateJSON     = flag.String("gate-json", "", "write the gateway soak measurements as JSON to this file (e.g. BENCH_gate.json)")
 		telemJSON    = flag.String("telemetry-json", "", "write the telemetry-plane measurements as JSON to this file (e.g. BENCH_telemetry.json)")
 		traceOut     = flag.String("trace-out", "", "write per-run trace snapshots and overlap reports of the real-time runs into this directory (analyze with gridtrace)")
+		scaleJSON    = flag.String("simscale-json", "", "write the engine-scaling measurements as JSON to this file (e.g. BENCH_simscale.json)")
 		quiet        = flag.Bool("quiet", false, "suppress per-run progress lines")
 	)
+	var eng appflags.Engine
+	eng.Register(flag.CommandLine)
 	flag.Parse()
+	if err := eng.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+		os.Exit(2)
+	}
+	flagSet := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
 
 	profile := bench.PaperProfile()
 	if *fast {
 		profile = bench.FastProfile()
+	}
+	// The engine flags steer the sim-scale sweep: -topo pins the machine,
+	// -engine seq drops the parallel arms, -engine par narrows them to
+	// -sim-workers (the sequential arm always runs — it is the reference
+	// the checksums and speedups are measured against), and -pack-cold
+	// resizes the big arm's live set.
+	if flagSet["topo"] {
+		profile.SimScale.Spec = eng.Topo
+	}
+	if flagSet["engine"] || flagSet["sim-workers"] {
+		switch eng.Engine {
+		case "seq":
+			profile.SimScale.Workers = nil
+		case "par":
+			profile.SimScale.Workers = []int{eng.Workers}
+		}
+	}
+	if flagSet["pack-cold"] {
+		profile.SimScale.Big.PackCap = eng.PackCold
 	}
 	if *metricsOut != "" {
 		profile.Metrics = metrics.NewRegistry()
@@ -244,6 +273,27 @@ func main() {
 				}
 				return writeCSV(*csvDir, csvName, tbl.CSV)
 			}
+		case "sim-scale":
+			tbl, rep, err := bench.SimScale(progress, profile)
+			if err != nil {
+				return err
+			}
+			csvName = "sim_scale.csv"
+			render = func() error {
+				tbl.Render(os.Stdout)
+				if !rep.ChecksumsMatch {
+					fmt.Fprintln(os.Stderr, "gridsim: WARNING: parallel-engine checksums diverged from the sequential reference")
+				}
+				if !rep.Big.WithinBound {
+					fmt.Fprintln(os.Stderr, "gridsim: WARNING: cold-store arm exceeded its heap bound")
+				}
+				if *scaleJSON != "" {
+					if err := writeSimScaleJSON(*scaleJSON, rep); err != nil {
+						return err
+					}
+				}
+				return writeCSV(*csvDir, csvName, tbl.CSV)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -256,7 +306,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"figure3", "table1", "figure4", "table2", "ablations", "gridlb-tcp", "classes", "sdsc", "irregular", "taskfarm-scale", "membership", "gate-soak", "telemetry"}
+		names = []string{"figure3", "table1", "figure4", "table2", "ablations", "gridlb-tcp", "classes", "sdsc", "irregular", "taskfarm-scale", "membership", "gate-soak", "telemetry", "sim-scale"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {
@@ -335,6 +385,25 @@ func writeGateJSON(path string, rep *bench.GateReport) error {
 // writeTelemetryJSON dumps the telemetry-plane report (the
 // BENCH_telemetry.json artifact).
 func writeTelemetryJSON(path string, rep *bench.TelemetryReport) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeSimScaleJSON dumps the engine-scaling report (the
+// BENCH_simscale.json artifact).
+func writeSimScaleJSON(path string, rep *bench.SimScaleReport) error {
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err

@@ -71,6 +71,9 @@ type Profile struct {
 	// (telemetry).
 	Telemetry TelemetryConfig
 
+	// SimScale sizes the parallel-engine scaling experiment (sim-scale).
+	SimScale SimScaleConfig
+
 	// Metrics, when non-nil, instruments every real-time runtime and TCP
 	// stack the harness constructs (the Table 1/2 host and TCP columns).
 	// The registry accumulates across runs; gridsim -metrics-out writes
@@ -189,6 +192,23 @@ func PaperProfile() Profile {
 			SLOThreshold: 2,
 			Seed:         1,
 		},
+		// The sweep crosses the WRONJ-style scaling questions for the
+		// engine itself: thousands of PEs, tokens charged ~1 intra-hop of
+		// model time each, enough host work per event that a multi-core
+		// host can show real speedup. The big arm packs a million chares
+		// through the PUP cold store with a small per-PE live set.
+		SimScale: SimScaleConfig{
+			PEs:         []int{1024, 2048, 4096},
+			Workers:     []int{2, 4, 8},
+			TokensPerPE: 2, Rounds: 400,
+			CharesPerPE: 4, Scratch: 256,
+			HopCost: 10 * time.Microsecond,
+			Big: SimScaleBig{
+				Chares: 1 << 20, PEs: 1024, Rounds: 64,
+				PackCap: 48, Workers: 4,
+				HeapBoundBytes: 1 << 31, // 2 GiB for a million chares
+			},
+		},
 	}
 }
 
@@ -259,6 +279,20 @@ func FastProfile() Profile {
 			SLOFastWindow: 2 * time.Second, SLOSlowWindow: 8 * time.Second,
 			SLOThreshold: 2,
 			Seed:         1,
+		},
+		// Same structure at CI scale; the 1024-PE point is kept because
+		// the sim-scale-smoke job asserts parallel speedup there.
+		SimScale: SimScaleConfig{
+			PEs:         []int{256, 1024},
+			Workers:     []int{2, 4},
+			TokensPerPE: 2, Rounds: 120,
+			CharesPerPE: 4, Scratch: 256,
+			HopCost: 10 * time.Microsecond,
+			Big: SimScaleBig{
+				Chares: 1 << 18, PEs: 1024, Rounds: 32,
+				PackCap: 32, Workers: 4,
+				HeapBoundBytes: 1 << 30, // 1 GiB for a quarter million chares
+			},
 		},
 	}
 }

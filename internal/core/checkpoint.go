@@ -87,6 +87,9 @@ func buildCheckpoint(prog *Program, hosts []*PEHost, partial bool) (*Checkpoint,
 		if err != nil {
 			return nil, err
 		}
+		if cerr := h.ColdError(); cerr != nil {
+			return nil, cerr
+		}
 	}
 	ck := &Checkpoint{Partial: partial}
 	for ai := range prog.Arrays {
@@ -260,12 +263,18 @@ func (c *Checkpoint) Install(prog *Program) error {
 }
 
 // Each visits every element on this host in deterministic (array, index)
-// order. It must only be called from the host's scheduler context or
-// while the executor is stopped.
+// order, including PUP-packed cold elements (rebuilt transiently, without
+// disturbing the live set). It must only be called from the host's
+// scheduler context or while the executor is stopped.
 func (h *PEHost) Each(fn func(ref ElemRef, ch Chare)) {
-	refs := make([]ElemRef, 0, len(h.elems))
+	refs := make([]ElemRef, 0, h.NumElements())
 	for ref := range h.elems {
 		refs = append(refs, ref)
+	}
+	if h.cold != nil {
+		for ref := range h.cold.packed {
+			refs = append(refs, ref)
+		}
 	}
 	sort.Slice(refs, func(i, j int) bool {
 		if refs[i].Array != refs[j].Array {
@@ -274,6 +283,10 @@ func (h *PEHost) Each(fn func(ref ElemRef, ch Chare)) {
 		return refs[i].Index < refs[j].Index
 	})
 	for _, ref := range refs {
-		fn(ref, h.elems[ref])
+		if ch, ok := h.elems[ref]; ok {
+			fn(ref, ch)
+		} else if ch, ok := h.peekCold(ref); ok {
+			fn(ref, ch)
+		}
 	}
 }

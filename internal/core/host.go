@@ -28,6 +28,11 @@ type PEHost struct {
 	// duration of each handler to the element's measured load, in addition
 	// to any explicitly charged time.
 	MeasureWall bool
+
+	// cold, when non-nil, bounds the constructed element set: idle
+	// elements live as PUP-packed bytes and are hydrated on delivery.
+	// See EnableColdStore.
+	cold *coldStore
 }
 
 // NewPEHost builds an empty host for pe.
@@ -45,17 +50,21 @@ func NewPEHost(b Backend, pe int) *PEHost {
 func (h *PEHost) AddElement(ref ElemRef, ch Chare) {
 	h.elems[ref] = ch
 	h.meta[ref] = &elemMeta{}
+	h.coldTouch(ref)
 }
 
 // addElementWithMeta reinstalls a migrated element, preserving metadata.
 func (h *PEHost) addElementWithMeta(ref ElemRef, ch Chare, m *elemMeta) {
 	h.elems[ref] = ch
 	h.meta[ref] = m
+	h.coldTouch(ref)
 }
 
-// removeElement evicts an element, returning its state and metadata.
+// removeElement evicts an element, returning its state and metadata. A
+// cold (packed) element is hydrated first so the caller always gets a
+// constructed chare.
 func (h *PEHost) removeElement(ref ElemRef) (Chare, *elemMeta, bool) {
-	ch, ok := h.elems[ref]
+	ch, ok := h.liveOrHydrated(ref)
 	if !ok {
 		return nil, nil, false
 	}
@@ -63,24 +72,42 @@ func (h *PEHost) removeElement(ref ElemRef) (Chare, *elemMeta, bool) {
 	delete(h.elems, ref)
 	delete(h.meta, ref)
 	delete(h.parked, ref)
+	h.coldForget(ref)
 	return ch, m, true
 }
 
-// NumElements reports how many elements live on this PE.
-func (h *PEHost) NumElements() int { return len(h.elems) }
+// NumElements reports how many elements live on this PE, constructed or
+// PUP-packed.
+func (h *PEHost) NumElements() int {
+	n := len(h.elems)
+	if h.cold != nil {
+		n += len(h.cold.packed)
+	}
+	return n
+}
 
-// Has reports whether element ref lives on this PE.
+// Has reports whether element ref lives on this PE (constructed or
+// PUP-packed).
 func (h *PEHost) Has(ref ElemRef) bool {
-	_, ok := h.elems[ref]
-	return ok
+	if _, ok := h.elems[ref]; ok {
+		return true
+	}
+	if h.cold != nil {
+		_, ok := h.cold.packed[ref]
+		return ok
+	}
+	return false
 }
 
 // DeliverApp dispatches an application message to its target element. A
 // message for an element parked at a load-balancing sync is buffered and
 // replays after the element resumes.
 func (h *PEHost) DeliverApp(m *Message) error {
-	ch, ok := h.elems[m.To]
+	ch, ok := h.liveOrHydrated(m.To)
 	if !ok {
+		if err := h.ColdError(); err != nil {
+			return err
+		}
 		return fmt.Errorf("core: PE %d has no element %v (message %v)", h.pe, m.To, m)
 	}
 	meta := h.meta[m.To]
@@ -88,10 +115,11 @@ func (h *PEHost) DeliverApp(m *Message) error {
 		h.parked[m.To] = append(h.parked[m.To], m)
 		return nil
 	}
+	h.coldTouch(m.To)
 	ctx := newCtx(h.b, h.pe, m.To, meta)
 	ctx.msgID = m.ID
 	h.invoke(ctx, meta, func() { ch.Recv(ctx, m.Entry, m.Data) })
-	return nil
+	return h.ColdError()
 }
 
 // ParkedMessages reports how many application messages are buffered for
@@ -118,12 +146,16 @@ func (h *PEHost) RunReduction(prog *Program, a ArrayID, seq int64, v any) {
 // that were buffered while the element was parked, in arrival order. If
 // the element re-enters sync during replay, the remainder stays parked.
 func (h *PEHost) ResumeFromSync(ref ElemRef) error {
-	ch, ok := h.elems[ref]
+	ch, ok := h.liveOrHydrated(ref)
 	if !ok {
+		if err := h.ColdError(); err != nil {
+			return err
+		}
 		return fmt.Errorf("core: PE %d cannot resume missing element %v", h.pe, ref)
 	}
 	meta := h.meta[ref]
 	meta.atSync = false
+	h.coldTouch(ref)
 	ctx := newCtx(h.b, h.pe, ref, meta)
 	h.invoke(ctx, meta, func() { ch.Recv(ctx, EntryResumeFromSync, nil) })
 	for len(h.parked[ref]) > 0 && !meta.atSync {

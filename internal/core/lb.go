@@ -352,9 +352,13 @@ func (l *LBMgr) evict(moves []Move) error {
 	states := make([][]byte, len(moves))
 	var errs []error
 	for i, mv := range moves {
-		ch, ok := l.host.elems[mv.Ref]
+		ch, ok := l.host.liveOrHydrated(mv.Ref)
 		if !ok {
-			errs = append(errs, fmt.Errorf("missing element %v", mv.Ref))
+			if cerr := l.host.ColdError(); cerr != nil {
+				errs = append(errs, cerr)
+			} else {
+				errs = append(errs, fmt.Errorf("missing element %v", mv.Ref))
+			}
 			continue
 		}
 		if mv.ToPE < 0 || mv.ToPE >= l.topo.NumPE() {

@@ -1,7 +1,7 @@
-// Package sim is GridMDO's virtual-time executor: a deterministic,
-// sequential discrete-event simulator that runs unmodified core.Programs
-// against a modeled machine. It plays the role Charm++'s BigSim emulator
-// plays for the real Charm++ runtime — handlers execute real Go code (so
+// Package sim is GridMDO's virtual-time executor: a deterministic
+// discrete-event simulator that runs unmodified core.Programs against a
+// modeled machine. It plays the role Charm++'s BigSim emulator plays for
+// the real Charm++ runtime — handlers execute real Go code (so
 // application numerics are exact), but time advances according to a cost
 // model: handlers charge modeled execution time via Ctx.Charge, and
 // message delivery times come from the topology's link model
@@ -11,11 +11,25 @@
 // inherited from the host, the engine reproduces the paper's 2–64
 // Itanium-processor experiments faithfully on any development machine,
 // and two runs of the same program are event-for-event identical.
+//
+// Two executors share one event model. New builds the sequential engine:
+// a single event queue popped in order, the reference semantics.
+// NewParallel builds the conservative parallel engine: PEs are divided
+// into shards, each with its own event heap, executed by a worker pool in
+// time windows bounded by the topology's lookahead (the minimum cross-PE
+// link delay — every cross-PE interaction is a modeled message with
+// nonzero delay, so within one window the shards cannot affect each
+// other). Both engines order events by the same deterministic
+// (time, kind, key) comparator, where keys are drawn from per-PE
+// counters, so the parallel engine replays the identical per-PE event
+// sequence and produces bit-identical results — see DESIGN.md §13.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridmdo/internal/core"
@@ -43,6 +57,13 @@ type Options struct {
 	// MaxEvents aborts runs that process more than this many events.
 	// Zero means no bound.
 	MaxEvents int64
+
+	// PackCold, when positive, bounds each PE's constructed element set
+	// to that many chares: idle elements are kept PUP-packed between
+	// events and hydrated on delivery, so simulations of millions of
+	// chares fit in memory. Every element must implement core.Migratable.
+	// Results are unaffected — PUP round-trips state exactly.
+	PackCold int
 }
 
 type evKind uint8
@@ -52,9 +73,16 @@ const (
 	evExec                  // PE begins executing its next queued message
 )
 
+// event ordering is fully deterministic: (at, kind, key), with deliveries
+// before executions at the same instant. Deliver keys come from per-PE
+// send counters (each PE's execution sequence is deterministic, so the
+// keys are too, independent of shard interleaving); exec keys are the PE
+// id (at most one exec event per PE is pending at a time). This replaces
+// a global push-order tie-break, which only a sequential executor could
+// reproduce.
 type event struct {
 	at   time.Duration
-	seq  uint64
+	key  uint64
 	kind evKind
 	pe   int32
 	m    *core.Message
@@ -67,7 +95,10 @@ func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
-	return h[i].seq < h[j].seq
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].key < h[j].key
 }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
@@ -79,6 +110,26 @@ func (h *eventHeap) Pop() any {
 	return x
 }
 
+// ordKey is an event's position in the global deterministic order, used
+// to compare stop candidates (exit, error) across shards.
+type ordKey struct {
+	at   time.Duration
+	kind evKind
+	key  uint64
+}
+
+func (k ordKey) less(o ordKey) bool {
+	if k.at != o.at {
+		return k.at < o.at
+	}
+	if k.kind != o.kind {
+		return k.kind < o.kind
+	}
+	return k.key < o.key
+}
+
+func (k ordKey) greater(o ordKey) bool { return o.less(k) }
+
 type simPE struct {
 	id          int
 	q           *core.Queue
@@ -89,21 +140,40 @@ type simPE struct {
 	execPending bool
 	busyTotal   time.Duration
 	processed   int64
-	pending     *core.PendingBundles
+
+	// sendSeq drives this PE's deterministic event keys and message IDs;
+	// only the shard owning the PE ever touches it.
+	sendSeq uint64
+
+	pending *core.PendingBundles
 }
 
-// Engine is the virtual-time executor. It implements core.Backend. An
-// Engine runs in a single goroutine; none of its methods are safe for
-// concurrent use.
-type Engine struct {
-	topo *topology.Topology
-	prog *core.Program
-	opts Options
-	loc  *core.Locations
-	pes  []*simPE
+// rewindRec snapshots the engine state an event is about to mutate, so a
+// parallel window that raced past an exit (or error) can restore the
+// exact per-PE clocks and counters the sequential engine would have
+// stopped with. One record is appended per event; records are discarded
+// at each window barrier.
+type rewindRec struct {
+	key                  ordKey
+	pe                   int32
+	now                  time.Duration
+	busyUntil, busyTotal time.Duration
+	processed            int64
+	sendSeq              uint64
+	events, msgs, frames int64
+}
+
+// shard owns a contiguous range of PEs: their event heap, queues, hosts,
+// and the execution state of whichever handler is running. It implements
+// core.Backend, so each PE's host routes sends and reads the clock
+// through its own shard without any cross-shard locking on the hot path.
+// The sequential engine is the one-shard special case.
+type shard struct {
+	eng        *Engine
+	id         int
+	peLo, peHi int
 
 	events eventHeap
-	seq    uint64
 	now    time.Duration
 
 	// current handler execution state
@@ -112,57 +182,187 @@ type Engine struct {
 	execStart time.Duration
 	charged   time.Duration
 	curMsg    uint64 // causal ID of the message being executed (0 between)
+	curKey    ordKey // deterministic order key of the event being processed
 
-	// msgSeq assigns causal trace IDs at routing time (single-threaded,
-	// so a plain counter suffices; node 0 namespace).
-	msgSeq uint64
-
-	exited  bool
-	exitVal any
-	err     error
+	// parallel-mode state: cross-shard sends buffered until the window
+	// barrier, trace events staged so a stop can filter raced-past
+	// history, and the rewind log (see rewindRec).
+	outbox     []event
+	staged     []trace.Event
+	stagedKeys []ordKey
+	rewind     []rewindRec
 
 	eventCount int64
 	msgCount   int64
 	frameCount int64
 }
 
-// New builds a virtual-time engine for prog on topo.
+// Engine is the virtual-time executor. Run may only be called once; after
+// it returns the engine is quiescent and Stats/Checkpoint may be used.
+type Engine struct {
+	topo *topology.Topology
+	prog *core.Program
+	opts Options
+	loc  *core.Locations
+	pes  []*simPE
+
+	shards    []*shard
+	shardOf   []int32 // PE -> owning shard
+	parallel  bool
+	workers   int
+	lookahead time.Duration
+
+	// bootSeq keys events originated outside any PE (the start message).
+	bootSeq uint64
+
+	now time.Duration
+
+	// Stop candidates: the first (in deterministic event order) exit and
+	// error seen. Shards race to offer candidates under stopMu; the
+	// smallest key wins, exactly as if the sequential engine had stopped
+	// there. stopFlag makes the common no-stop check a cheap atomic load.
+	stopMu   sync.Mutex
+	stopFlag atomic.Bool
+	exitCand struct {
+		have bool
+		key  ordKey
+		val  any
+	}
+	errCand struct {
+		have bool
+		key  ordKey
+		err  error
+	}
+
+	exited  bool
+	exitVal any
+	err     error
+}
+
+// New builds the sequential virtual-time engine for prog on topo.
 func New(topo *topology.Topology, prog *core.Program, opts Options) (*Engine, error) {
+	return newEngine(topo, prog, opts, 1, false)
+}
+
+// NewParallel builds the conservative parallel engine: workers goroutines
+// execute PE shards in lookahead-bounded time windows. Results (exit
+// value, virtual times, checksums, traces) are bit-identical to the
+// sequential engine's. The topology must have positive lookahead — some
+// modeled delay on every cross-PE link — unless it has a single PE.
+func NewParallel(topo *topology.Topology, prog *core.Program, opts Options, workers int) (*Engine, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("sim: NewParallel needs at least one worker, got %d", workers)
+	}
+	return newEngine(topo, prog, opts, workers, true)
+}
+
+func newEngine(topo *topology.Topology, prog *core.Program, opts Options, workers int, parallel bool) (*Engine, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
 	e := &Engine{
-		topo: topo,
-		prog: prog,
-		opts: opts,
-		loc:  core.NewLocations(prog, topo.NumPE()),
+		topo:     topo,
+		prog:     prog,
+		opts:     opts,
+		loc:      core.NewLocations(prog, topo.NumPE()),
+		parallel: parallel,
+		workers:  workers,
 	}
-	e.pes = make([]*simPE, topo.NumPE())
-	for pe := 0; pe < topo.NumPE(); pe++ {
+	numPE := topo.NumPE()
+	numShards := 1
+	if parallel {
+		e.lookahead = topo.Lookahead()
+		if numPE > 1 && e.lookahead <= 0 {
+			return nil, fmt.Errorf("sim: parallel execution needs positive lookahead, but topology %v has a zero-delay cross-PE link; give every link some latency or overhead", topo)
+		}
+		// More shards than workers keeps the per-shard heaps small and
+		// lets the pool balance uneven windows; beyond ~4× there is only
+		// bookkeeping.
+		numShards = 4 * workers
+		if numShards < 16 {
+			numShards = 16
+		}
+		if numShards > numPE {
+			numShards = numPE
+		}
+	}
+	e.shards = make([]*shard, numShards)
+	e.shardOf = make([]int32, numPE)
+	base, rem := numPE/numShards, numPE%numShards
+	lo := 0
+	for i := 0; i < numShards; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		s := &shard{eng: e, id: i, peLo: lo, peHi: lo + n}
+		if parallel {
+			s.outbox = make([]event, 0, 16)
+		}
+		e.shards[i] = s
+		for pe := lo; pe < lo+n; pe++ {
+			e.shardOf[pe] = int32(i)
+		}
+		lo += n
+	}
+	e.pes = make([]*simPE, numPE)
+	for pe := 0; pe < numPE; pe++ {
+		sh := e.shards[e.shardOf[pe]]
 		ps := &simPE{id: pe, q: core.NewQueue()}
 		if opts.Bundle {
 			ps.pending = core.NewPendingBundles()
 		}
-		ps.host = core.NewPEHost(e, pe)
+		ps.host = core.NewPEHost(sh, pe)
+		if opts.PackCold > 0 {
+			ps.host.EnableColdStore(opts.PackCold, func(ref core.ElemRef) (core.Chare, error) {
+				if int(ref.Array) < 0 || int(ref.Array) >= len(prog.Arrays) {
+					return nil, fmt.Errorf("sim: cold rebuild of element %v in unknown array", ref)
+				}
+				return prog.Arrays[ref.Array].New(ref.Index), nil
+			})
+		}
 		pe := pe
 		ps.reduce = core.NewReduceMgr(pe,
 			func(a core.ArrayID) int { return e.loc.LocalCount(a, pe) },
 			func(a core.ArrayID) int { return e.prog.Arrays[a].N },
-			e.Route,
+			sh.Route,
 			func(a core.ArrayID, seq int64, v any) { ps.host.RunReduction(e.prog, a, seq, v) },
 		)
 		if prog.LB != nil {
-			ps.lb = core.NewLBMgr(pe, prog.LB, topo, e.loc, ps.host, prog, e.Route)
+			ps.lb = core.NewLBMgr(pe, prog.LB, topo, e.loc, ps.host, prog, sh.Route)
 		}
 		e.pes[pe] = ps
 	}
-	if err := core.ConstructElements(prog, e.loc, 0, topo.NumPE(), func(pe int) *core.PEHost {
+	if err := core.ConstructElements(prog, e.loc, 0, numPE, func(pe int) *core.PEHost {
 		return e.pes[pe].host
 	}); err != nil {
 		return nil, err
 	}
+	if opts.PackCold > 0 {
+		for _, ps := range e.pes {
+			if err := ps.host.ColdError(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return e, nil
 }
+
+// nextKey draws the next deterministic event key (and message ID) for a
+// send originated by pe; pe < 0 is the engine itself (the start message).
+// Only the shard owning pe may call this for it, so no synchronization is
+// needed and the sequence each PE draws is identical in both engines.
+func (e *Engine) nextKey(pe int) uint64 {
+	if pe < 0 {
+		e.bootSeq++
+		return e.bootSeq
+	}
+	ps := e.pes[pe]
+	ps.sendSeq++
+	return uint64(pe+1)<<40 | ps.sendSeq
+}
+
+func (s *shard) owns(pe int32) bool { return int(pe) >= s.peLo && int(pe) < s.peHi }
 
 // Backend implementation ---------------------------------------------------
 
@@ -170,57 +370,76 @@ func New(topo *topology.Topology, prog *core.Program, opts Options) (*Engine, er
 // send-time + link delay, where send time is the virtual instant within
 // the running handler at which the send occurs (execution start plus time
 // charged so far).
-func (e *Engine) Route(m *core.Message) {
+func (s *shard) Route(m *core.Message) {
+	e := s.eng
 	if m.Kind == core.KindApp {
 		m.DstPE = e.loc.PEOf(m.To)
 	}
 	if e.opts.PrioritizeWAN && m.Prio == 0 && e.topo.CrossesWAN(int(m.SrcPE), int(m.DstPE)) {
 		m.Prio = -1
 	}
-	e.msgCount++
+	s.msgCount++
+	src := int(m.SrcPE)
+	if s.inHandler {
+		src = s.curPE
+	}
 	if m.ID == 0 {
-		e.msgSeq++
-		m.ID = e.msgSeq
+		m.ID = e.nextKey(src)
 	}
-	if m.Parent == 0 && e.inHandler {
-		m.Parent = e.curMsg
+	if m.Parent == 0 && s.inHandler {
+		m.Parent = s.curMsg
 	}
-	e.opts.Trace.Record(trace.Event{PE: int(m.SrcPE), Kind: trace.EvSend, At: e.Now(), MsgID: m.ID, Parent: m.Parent, MsgKind: byte(m.Kind), Arg1: int64(m.DstPE), Arg2: int64(m.Bytes)})
-	if e.opts.Bundle && core.BundleEligible(m) && e.inHandler {
+	s.record(trace.Event{PE: int(m.SrcPE), Kind: trace.EvSend, At: s.Now(), MsgID: m.ID, Parent: m.Parent, MsgKind: byte(m.Kind), Arg1: int64(m.DstPE), Arg2: int64(m.Bytes)})
+	if e.opts.Bundle && core.BundleEligible(m) && s.inHandler {
 		// Held until the running handler completes; exec flushes the
 		// per-destination groups as single modeled frames. The sender pays
 		// full per-frame CPU only for the first message to a destination;
 		// later messages into the same bundle cost a quarter (marshal
 		// without the frame setup).
-		pend := e.pes[e.curPE].pending
+		pend := e.pes[s.curPE].pending
 		cpu := e.topo.LinkBetween(int(m.SrcPE), int(m.DstPE)).SendCPU
 		if pend.Has(m.DstPE) {
 			cpu /= 4
 		}
-		e.Charge(cpu)
+		s.Charge(cpu)
 		pend.Add(m)
 		return
 	}
-	if e.inHandler {
-		e.Charge(e.topo.LinkBetween(int(m.SrcPE), int(m.DstPE)).SendCPU)
+	if s.inHandler {
+		s.Charge(e.topo.LinkBetween(int(m.SrcPE), int(m.DstPE)).SendCPU)
 	}
-	e.transmit(m, e.Now())
+	s.transmit(m, s.Now(), src)
 }
 
 // transmit schedules a resolved message's delivery at sendAt plus the
-// link's modeled delay.
-func (e *Engine) transmit(m *core.Message, sendAt time.Duration) {
+// link's modeled delay. src is the PE whose key counter stamps the event
+// (the PE doing the sending; < 0 for the bootstrap message).
+func (s *shard) transmit(m *core.Message, sendAt time.Duration, src int) {
+	e := s.eng
 	link := e.topo.LinkBetween(int(m.SrcPE), int(m.DstPE))
-	e.push(event{at: sendAt + link.Delay(m.Bytes), kind: evDeliver, pe: m.DstPE, m: m})
+	s.push(event{at: sendAt + link.Delay(m.Bytes), key: e.nextKey(src), kind: evDeliver, pe: m.DstPE, m: m})
+}
+
+// push routes an event to its PE's shard: onto the local heap, or — for
+// another shard, in parallel mode — into the outbox to be distributed at
+// the window barrier. Cross-shard events always carry at least the
+// lookahead of delay, so they land beyond the current window and the
+// deferred hand-off cannot reorder anything.
+func (s *shard) push(ev event) {
+	if !s.eng.parallel || s.owns(ev.pe) {
+		heap.Push(&s.events, ev)
+		return
+	}
+	s.outbox = append(s.outbox, ev)
 }
 
 // Now implements core.Backend: virtual time at the current execution
 // point.
-func (e *Engine) Now() time.Duration {
-	if e.inHandler {
-		return e.execStart + e.charged
+func (s *shard) Now() time.Duration {
+	if s.inHandler {
+		return s.execStart + s.charged
 	}
-	return e.now
+	return s.now
 }
 
 // Charge implements core.Backend: modeled execution time accumulates into
@@ -228,85 +447,146 @@ func (e *Engine) Now() time.Duration {
 // Charged durations are expressed for the reference machine and scaled by
 // the executing PE's speed factor, so heterogeneous clusters run the same
 // application code at different rates.
-func (e *Engine) Charge(d time.Duration) {
-	if e.inHandler && d > 0 {
-		if s := e.topo.PESpeed(e.curPE); s != 1 {
-			d = time.Duration(float64(d) / s)
+func (s *shard) Charge(d time.Duration) {
+	if s.inHandler && d > 0 {
+		if sp := s.eng.topo.PESpeed(s.curPE); sp != 1 {
+			d = time.Duration(float64(d) / sp)
 		}
-		e.charged += d
+		s.charged += d
 	}
 }
 
 // NumPE implements core.Backend.
-func (e *Engine) NumPE() int { return e.topo.NumPE() }
+func (s *shard) NumPE() int { return s.eng.topo.NumPE() }
 
 // Topo implements core.Backend.
-func (e *Engine) Topo() *topology.Topology { return e.topo }
+func (s *shard) Topo() *topology.Topology { return s.eng.topo }
 
 // ArrayN implements core.Backend.
-func (e *Engine) ArrayN(a core.ArrayID) int { return e.prog.Arrays[a].N }
+func (s *shard) ArrayN(a core.ArrayID) int { return s.eng.prog.Arrays[a].N }
 
-// ExitWith implements core.Backend.
-func (e *Engine) ExitWith(v any) {
-	if !e.exited {
-		e.exited = true
-		e.exitVal = v
-	}
+// ExitWith implements core.Backend. In a parallel run several shards may
+// reach exits within one window; the one earliest in deterministic event
+// order wins, exactly as if the sequential engine had stopped there.
+func (s *shard) ExitWith(v any) {
+	s.eng.offerExit(s.curKey, v)
 }
 
 // Contribute implements core.Backend.
-func (e *Engine) Contribute(_ core.ElemRef, pe int, a core.ArrayID, seq int64, v any, op core.ReduceOp) {
-	e.pes[pe].reduce.Contribute(a, seq, v, op)
+func (s *shard) Contribute(_ core.ElemRef, pe int, a core.ArrayID, seq int64, v any, op core.ReduceOp) {
+	s.eng.pes[pe].reduce.Contribute(a, seq, v, op)
 }
 
 // AtSync implements core.Backend.
-func (e *Engine) AtSync(_ core.ElemRef, pe int) {
-	if e.pes[pe].lb == nil {
+func (s *shard) AtSync(_ core.ElemRef, pe int) {
+	if s.eng.pes[pe].lb == nil {
 		panic("sim: AtSync without an LB configuration")
 	}
-	e.pes[pe].lb.ElementAtSync()
+	s.eng.pes[pe].lb.ElementAtSync()
 }
 
 // Record implements core.Backend: events from libraries and applications
 // (step marks, AMPI block/wake) land in the same tracer as scheduler
 // events, stamped with virtual time by the caller.
-func (e *Engine) Record(ev trace.Event) { e.opts.Trace.Record(ev) }
+func (s *shard) Record(ev trace.Event) { s.record(ev) }
+
+// record emits a trace event. The sequential engine writes straight into
+// the tracer; a parallel shard stages events with the key of the event
+// being processed, and the barrier flushes them — dropping any recorded
+// by events that raced past a stop — so the per-PE trace streams are
+// bit-identical to a sequential run's.
+func (s *shard) record(ev trace.Event) {
+	e := s.eng
+	if e.opts.Trace == nil {
+		return
+	}
+	if !e.parallel {
+		e.opts.Trace.Record(ev)
+		return
+	}
+	s.staged = append(s.staged, ev)
+	s.stagedKeys = append(s.stagedKeys, s.curKey)
+}
+
+// Stop candidates -----------------------------------------------------------
+
+func (e *Engine) offerExit(k ordKey, v any) {
+	e.stopMu.Lock()
+	if !e.exitCand.have || k.less(e.exitCand.key) {
+		e.exitCand.have, e.exitCand.key, e.exitCand.val = true, k, v
+	}
+	e.stopMu.Unlock()
+	e.stopFlag.Store(true)
+}
+
+func (e *Engine) offerErr(k ordKey, err error) {
+	e.stopMu.Lock()
+	if !e.errCand.have || k.less(e.errCand.key) {
+		e.errCand.have, e.errCand.key, e.errCand.err = true, k, err
+	}
+	e.stopMu.Unlock()
+	e.stopFlag.Store(true)
+}
+
+// stopKeySnapshot reports the earliest stop candidate so far, if any.
+func (e *Engine) stopKeySnapshot() (ordKey, bool) {
+	e.stopMu.Lock()
+	defer e.stopMu.Unlock()
+	switch {
+	case e.exitCand.have && e.errCand.have:
+		if e.errCand.key.less(e.exitCand.key) {
+			return e.errCand.key, true
+		}
+		return e.exitCand.key, true
+	case e.exitCand.have:
+		return e.exitCand.key, true
+	case e.errCand.have:
+		return e.errCand.key, true
+	}
+	return ordKey{}, false
+}
+
+// resolveStop finalizes exited/exitVal/err from the candidates: only
+// candidates at or before the earliest stop survive (an error after the
+// winning exit never happened, and vice versa). A candidate pair from the
+// same event keeps both, matching the sequential engine's behavior when
+// one handler both exits and fails.
+func (e *Engine) resolveStop() {
+	stop, ok := e.stopKeySnapshot()
+	if !ok {
+		return
+	}
+	if e.exitCand.have && !e.exitCand.key.greater(stop) {
+		e.exited, e.exitVal = true, e.exitCand.val
+	}
+	if e.errCand.have && !e.errCand.key.greater(stop) && e.err == nil {
+		e.err = e.errCand.err
+	}
+}
 
 // Event loop ----------------------------------------------------------------
 
-func (e *Engine) push(ev event) {
-	e.seq++
-	ev.seq = e.seq
-	heap.Push(&e.events, ev)
-}
-
-// Run executes the program to completion: until ExitWith is called or no
-// events remain (natural quiescence). It returns the exit value and the
-// virtual time at which the run ended.
+// Run executes the program to completion: until ExitWith is called, an
+// error or budget stops the run, or no events remain (natural
+// quiescence). It returns the exit value and the virtual time at which
+// the run ended.
 func (e *Engine) Run() (any, time.Duration, error) {
-	e.msgSeq++
-	e.push(event{at: 0, kind: evDeliver, pe: 0, m: &core.Message{Kind: core.KindStart, ID: e.msgSeq}})
-	for len(e.events) > 0 && !e.exited && e.err == nil {
-		ev := heap.Pop(&e.events).(event)
-		e.now = ev.at
-		e.eventCount++
-		if e.opts.MaxEvents > 0 && e.eventCount > e.opts.MaxEvents {
-			e.err = fmt.Errorf("sim: event budget %d exhausted at t=%v", e.opts.MaxEvents, e.now)
-			break
-		}
-		if e.opts.MaxVirtual > 0 && e.now > e.opts.MaxVirtual {
-			e.err = fmt.Errorf("sim: virtual time bound %v exceeded", e.opts.MaxVirtual)
-			break
-		}
-		switch ev.kind {
-		case evDeliver:
-			e.deliver(ev)
-		case evExec:
-			e.exec(ev)
-		}
+	startKey := e.nextKey(-1)
+	s0 := e.shards[e.shardOf[0]]
+	heap.Push(&s0.events, event{at: 0, key: startKey, kind: evDeliver, pe: 0, m: &core.Message{Kind: core.KindStart, ID: startKey}})
+	if e.parallel {
+		e.runParallel()
+	} else {
+		e.runSequential()
 	}
+	e.resolveStop()
 	// The run ends when the last handler's charged time elapses, which may
 	// be after the final event was dequeued.
+	for _, s := range e.shards {
+		if s.now > e.now {
+			e.now = s.now
+		}
+	}
 	for _, ps := range e.pes {
 		if ps.busyUntil > e.now {
 			e.now = ps.busyUntil
@@ -315,44 +595,74 @@ func (e *Engine) Run() (any, time.Duration, error) {
 	return e.exitVal, e.now, e.err
 }
 
-func (e *Engine) deliver(ev event) {
-	e.frameCount++
+func (e *Engine) runSequential() {
+	s := e.shards[0]
+	for len(s.events) > 0 && !e.stopFlag.Load() {
+		ev := heap.Pop(&s.events).(event)
+		s.now = ev.at
+		s.curKey = ordKey{at: ev.at, kind: ev.kind, key: ev.key}
+		s.eventCount++
+		if e.opts.MaxEvents > 0 && s.eventCount > e.opts.MaxEvents {
+			e.offerErr(s.curKey, fmt.Errorf("sim: event budget %d exhausted at t=%v", e.opts.MaxEvents, s.now))
+			break
+		}
+		if e.opts.MaxVirtual > 0 && s.now > e.opts.MaxVirtual {
+			e.offerErr(s.curKey, fmt.Errorf("sim: virtual time bound %v exceeded", e.opts.MaxVirtual))
+			break
+		}
+		s.dispatch(ev)
+	}
+}
+
+func (s *shard) dispatch(ev event) {
+	switch ev.kind {
+	case evDeliver:
+		s.deliver(ev)
+	case evExec:
+		s.exec(ev)
+	}
+}
+
+func (s *shard) deliver(ev event) {
+	s.frameCount++
+	e := s.eng
 	ps := e.pes[ev.pe]
 	if ev.m.Kind == core.KindBundle {
 		// A bundle's messages share the arrival instant; enqueue in order.
 		for _, sub := range core.BundleMessages(ev.m) {
-			sub.EnqueuedAt = e.now
+			sub.EnqueuedAt = s.now
 			ps.q.Push(sub)
-			e.opts.Trace.Record(trace.Event{PE: int(ev.pe), Kind: trace.EvEnqueue, At: e.now, MsgID: sub.ID, Parent: sub.Parent, MsgKind: byte(sub.Kind), Arg1: int64(sub.SrcPE)})
+			s.record(trace.Event{PE: int(ev.pe), Kind: trace.EvEnqueue, At: s.now, MsgID: sub.ID, Parent: sub.Parent, MsgKind: byte(sub.Kind), Arg1: int64(sub.SrcPE)})
 		}
 	} else {
-		ev.m.EnqueuedAt = e.now
+		ev.m.EnqueuedAt = s.now
 		ps.q.Push(ev.m)
-		e.opts.Trace.Record(trace.Event{PE: int(ev.pe), Kind: trace.EvEnqueue, At: e.now, MsgID: ev.m.ID, Parent: ev.m.Parent, MsgKind: byte(ev.m.Kind), Arg1: int64(ev.m.SrcPE)})
+		s.record(trace.Event{PE: int(ev.pe), Kind: trace.EvEnqueue, At: s.now, MsgID: ev.m.ID, Parent: ev.m.Parent, MsgKind: byte(ev.m.Kind), Arg1: int64(ev.m.SrcPE)})
 	}
 	if !ps.execPending {
-		at := e.now
+		at := s.now
 		if ps.busyUntil > at {
 			at = ps.busyUntil
 		}
 		ps.execPending = true
-		e.push(event{at: at, kind: evExec, pe: ev.pe})
+		s.push(event{at: at, key: uint64(ev.pe), kind: evExec, pe: ev.pe})
 	}
 }
 
-func (e *Engine) exec(ev event) {
+func (s *shard) exec(ev event) {
+	e := s.eng
 	ps := e.pes[ev.pe]
 	ps.execPending = false
 	m := ps.q.TryPop()
 	if m == nil {
 		return
 	}
-	e.inHandler = true
-	e.curPE = ps.id
-	e.execStart = e.now
-	e.charged = 0
-	e.curMsg = m.ID
-	e.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvBegin, At: e.now, MsgID: m.ID, MsgKind: byte(m.Kind), Arg1: int64(m.To.Array), Arg2: int64(m.To.Index)})
+	s.inHandler = true
+	s.curPE = ps.id
+	s.execStart = s.now
+	s.charged = 0
+	s.curMsg = m.ID
+	s.record(trace.Event{PE: ps.id, Kind: trace.EvBegin, At: s.now, MsgID: m.ID, MsgKind: byte(m.Kind), Arg1: int64(m.To.Array), Arg2: int64(m.To.Index)})
 
 	var err error
 	switch m.Kind {
@@ -372,34 +682,38 @@ func (e *Engine) exec(ev event) {
 		err = fmt.Errorf("sim: PE %d received unknown message kind %d", ps.id, m.Kind)
 	}
 
-	cost := e.charged
-	e.inHandler = false
-	e.curMsg = 0
+	cost := s.charged
+	s.inHandler = false
+	s.curMsg = 0
 	if m.Kind == core.KindApp {
 		ps.host.AddLoad(m.To, cost)
 	}
-	ps.busyUntil = e.now + cost
+	ps.busyUntil = s.now + cost
 	ps.busyTotal += cost
 	ps.processed++
 	if ps.pending != nil && !ps.pending.Empty() {
 		// Bundled messages leave when the handler completes.
 		for _, group := range ps.pending.Drain() {
-			e.transmit(core.MakeBundle(group), ps.busyUntil)
+			s.transmit(core.MakeBundle(group), ps.busyUntil, ps.id)
 		}
 	}
-	e.opts.Trace.Record(trace.Event{PE: ps.id, Kind: trace.EvEnd, At: ps.busyUntil, MsgID: m.ID, MsgKind: byte(m.Kind)})
+	s.record(trace.Event{PE: ps.id, Kind: trace.EvEnd, At: ps.busyUntil, MsgID: m.ID, MsgKind: byte(m.Kind)})
 	if err != nil {
-		e.err = err
+		e.offerErr(s.curKey, err)
 		return
 	}
 	if ps.q.Len() > 0 {
 		ps.execPending = true
-		e.push(event{at: ps.busyUntil, kind: evExec, pe: int32(ps.id)})
+		s.push(event{at: ps.busyUntil, key: uint64(ps.id), kind: evExec, pe: int32(ps.id)})
 	}
 }
 
-// Checkpoint snapshots all array elements. It must be called after Run
-// has returned (a quiescent point).
+// Checkpoint snapshots all array elements (including PUP-packed cold
+// ones). It must be called after Run has returned. After a parallel run
+// that ended via ExitWith, element state on other shards may include
+// effects of events that were rewound (clocks, counters, and traces are
+// exact; chare memory is not rolled back) — checkpoint at natural
+// quiescence, or from the sequential engine, when that matters.
 func (e *Engine) Checkpoint() (*core.Checkpoint, error) {
 	hosts := make([]*core.PEHost, len(e.pes))
 	for i, ps := range e.pes {
@@ -418,21 +732,40 @@ type Stats struct {
 	Frames      int64           // transport frames delivered (bundles count once)
 	PEBusy      []time.Duration // charged execution time per PE
 	Processed   []int64         // handlers executed per PE
+
+	Shards    int           // event shards (1 = sequential)
+	Workers   int           // worker goroutines (1 = sequential)
+	Lookahead time.Duration // synchronization window (0 = sequential)
+
+	ColdPacks    int64 // cold-store pack operations (PackCold runs)
+	ColdHydrates int64 // cold-store hydrate operations
+	ColdBytes    int64 // high-water mark of packed cold bytes, summed over PEs
 }
 
 // Stats reports run statistics; call after Run.
 func (e *Engine) Stats() Stats {
 	s := Stats{
 		VirtualTime: e.now,
-		Events:      e.eventCount,
-		Messages:    e.msgCount,
-		Frames:      e.frameCount,
 		PEBusy:      make([]time.Duration, len(e.pes)),
 		Processed:   make([]int64, len(e.pes)),
+		Shards:      len(e.shards),
+		Workers:     e.workers,
+		Lookahead:   e.lookahead,
+	}
+	for _, sh := range e.shards {
+		s.Events += sh.eventCount
+		s.Messages += sh.msgCount
+		s.Frames += sh.frameCount
 	}
 	for i, ps := range e.pes {
 		s.PEBusy[i] = ps.busyTotal
 		s.Processed[i] = ps.processed
+		if e.opts.PackCold > 0 {
+			_, _, packs, hydrates, maxBytes := ps.host.ColdStats()
+			s.ColdPacks += packs
+			s.ColdHydrates += hydrates
+			s.ColdBytes += maxBytes
+		}
 	}
 	return s
 }

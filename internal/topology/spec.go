@@ -1,0 +1,393 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec is a declarative description of a synthetic grid machine, beyond
+// the paper's fixed two-cluster pair: N clusters in groups of identical
+// shape, per-cluster relative speeds, an optional heterogeneous
+// cluster-pair latency mesh, and an optional hierarchical WAN (clusters
+// grouped into sites, with extra latency between sites). It round-trips
+// through a compact string form (see ParseSpec) so topologies can be
+// passed on the gridsim command line and recorded in benchmark artifacts.
+//
+// The grammar is
+//
+//	spec   := group ("," group)* (";" option)*
+//	group  := [COUNT "x"] PES ["@" SPEED]
+//	option := "wan=" DUR | "intra=" DUR
+//	        | "mesh=rand:" SEED ":" DURMIN ":" DURMAX
+//	        | "site=" SIZE ":" DUR
+//
+// e.g. "8x128,4x64@0.5;wan=5ms;mesh=rand:7:2ms:20ms;site=4:30ms" is
+// twelve clusters — eight of 128 full-speed PEs and four of 64 half-speed
+// PEs — whose pairwise one-way latencies are drawn deterministically from
+// [2ms, 20ms) (seed 7), plus 30ms between clusters in different groups of
+// four.
+type Spec struct {
+	Groups []GroupSpec
+
+	// WAN is the base inter-cluster one-way latency (the knob the paper
+	// sweeps); Intra, when positive, adds wire latency inside clusters.
+	WAN   time.Duration
+	Intra time.Duration
+
+	// Mesh, when non-nil, replaces the uniform WAN latency with a
+	// deterministic per-cluster-pair draw from [Min, Max).
+	Mesh *MeshSpec
+
+	// SiteSize, when positive, groups consecutive clusters into sites of
+	// that many clusters; pairs in different sites pay SiteExtra on top of
+	// their base latency (hierarchical WAN: campus vs cross-country).
+	SiteSize  int
+	SiteExtra time.Duration
+}
+
+// GroupSpec describes Count identical clusters of PEs processors each,
+// running at Speed relative to the reference machine.
+type GroupSpec struct {
+	Count int
+	PEs   int
+	Speed float64
+}
+
+// MeshSpec seeds the heterogeneous latency mesh.
+type MeshSpec struct {
+	Seed     uint64
+	Min, Max time.Duration
+}
+
+const (
+	// maxMeshClusters bounds the cluster-pair override table a mesh or
+	// site layout may allocate (entries grow as clusters²).
+	maxMeshClusters = 1024
+
+	// maxSpecPEs bounds the machines a spec may describe, so a malformed
+	// or adversarial spec string fails validation instead of attempting a
+	// multi-gigabyte allocation.
+	maxSpecPEs = 1 << 22
+
+	// maxSpecLatency keeps composed latencies (mesh draw + site extra)
+	// far from time.Duration overflow.
+	maxSpecLatency = time.Hour
+)
+
+// NumClusters reports how many clusters the spec expands to (saturating
+// at maxSpecPEs+1 for out-of-range specs).
+func (s *Spec) NumClusters() int {
+	n := 0
+	for _, g := range s.Groups {
+		if g.Count <= 0 || g.Count > maxSpecPEs-n {
+			return maxSpecPEs + 1
+		}
+		n += g.Count
+	}
+	return n
+}
+
+// NumPE reports the total processor count the spec expands to (saturating
+// at maxSpecPEs+1 for out-of-range specs).
+func (s *Spec) NumPE() int {
+	n := 0
+	for _, g := range s.Groups {
+		if g.Count <= 0 || g.PEs <= 0 || g.PEs > (maxSpecPEs-n)/g.Count {
+			return maxSpecPEs + 1
+		}
+		n += g.Count * g.PEs
+	}
+	return n
+}
+
+// Validate checks the spec and returns every problem at once.
+func (s *Spec) Validate() error {
+	var errs []error
+	if len(s.Groups) == 0 {
+		errs = append(errs, fmt.Errorf("no cluster groups"))
+	}
+	for i, g := range s.Groups {
+		if g.Count <= 0 {
+			errs = append(errs, fmt.Errorf("group %d: non-positive cluster count %d", i, g.Count))
+		}
+		if g.PEs <= 0 {
+			errs = append(errs, fmt.Errorf("group %d: non-positive PE count %d", i, g.PEs))
+		}
+		if !(g.Speed > 0) { // also rejects NaN
+			errs = append(errs, fmt.Errorf("group %d: non-positive speed %v", i, g.Speed))
+		}
+	}
+	lat := func(name string, d time.Duration) {
+		if d < 0 {
+			errs = append(errs, fmt.Errorf("negative %s latency %v", name, d))
+		}
+		if d > maxSpecLatency {
+			errs = append(errs, fmt.Errorf("%s latency %v above the %v limit", name, d, maxSpecLatency))
+		}
+	}
+	lat("wan", s.WAN)
+	lat("intra", s.Intra)
+	if m := s.Mesh; m != nil {
+		lat("mesh minimum", m.Min)
+		lat("mesh maximum", m.Max)
+		if m.Max < m.Min {
+			errs = append(errs, fmt.Errorf("mesh: maximum latency %v below minimum %v", m.Max, m.Min))
+		}
+	}
+	if s.SiteSize < 0 {
+		errs = append(errs, fmt.Errorf("negative site size %d", s.SiteSize))
+	}
+	lat("site extra", s.SiteExtra)
+	if s.SiteExtra > 0 && s.SiteSize == 0 {
+		errs = append(errs, fmt.Errorf("site extra latency %v without a site size", s.SiteExtra))
+	}
+	if (s.Mesh != nil || s.SiteSize > 0) && s.NumClusters() > maxMeshClusters {
+		errs = append(errs, fmt.Errorf("mesh/site layouts support at most %d clusters", maxMeshClusters))
+	}
+	if s.NumPE() > maxSpecPEs {
+		errs = append(errs, fmt.Errorf("spec exceeds the %d-PE limit", maxSpecPEs))
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("topology: invalid spec: %w", errors.Join(errs...))
+	}
+	return nil
+}
+
+// Build expands the spec into a Topology.
+func (s *Spec) Build() (*Topology, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var sizes []int
+	for _, g := range s.Groups {
+		for i := 0; i < g.Count; i++ {
+			sizes = append(sizes, g.PEs)
+		}
+	}
+	opts := []Option{WithInterLatency(s.WAN)}
+	if s.Intra > 0 {
+		opts = append(opts, WithIntraLink(Link{
+			Latency: s.Intra, Overhead: DefaultIntraOverhead, Bandwidth: DefaultIntraBandwidth,
+		}))
+	}
+	t, err := New(sizes, opts...)
+	if err != nil {
+		return nil, err
+	}
+	c := 0
+	for _, g := range s.Groups {
+		for i := 0; i < g.Count; i++ {
+			if g.Speed != 1 {
+				if err := t.SetClusterSpeed(ClusterID(c), g.Speed); err != nil {
+					return nil, err
+				}
+			}
+			c++
+		}
+	}
+	if s.Mesh != nil || s.SiteSize > 0 {
+		n := t.NumClusters()
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				d := s.WAN
+				if s.Mesh != nil {
+					d = s.Mesh.pairLatency(a, b)
+				}
+				if s.SiteSize > 0 && a/s.SiteSize != b/s.SiteSize {
+					d += s.SiteExtra
+				}
+				if err := t.SetClusterPairLatency(ClusterID(a), ClusterID(b), d); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// pairLatency draws the mesh latency for cluster pair (a, b), a < b,
+// deterministically from the seed: the same spec always builds the same
+// machine, on any host.
+func (m *MeshSpec) pairLatency(a, b int) time.Duration {
+	h := splitmix64(m.Seed ^ splitmix64(uint64(a)<<32|uint64(uint32(b))))
+	if span := m.Max - m.Min; span > 0 {
+		frac := float64(h>>11) / float64(uint64(1)<<53)
+		return m.Min + time.Duration(frac*float64(span))
+	}
+	return m.Min
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// String renders the spec in the canonical form accepted by ParseSpec;
+// ParseSpec(s.String()) reproduces s exactly for any valid spec.
+func (s *Spec) String() string {
+	var b strings.Builder
+	for i, g := range s.Groups {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if g.Count != 1 {
+			fmt.Fprintf(&b, "%dx", g.Count)
+		}
+		fmt.Fprintf(&b, "%d", g.PEs)
+		if g.Speed != 1 {
+			fmt.Fprintf(&b, "@%s", strconv.FormatFloat(g.Speed, 'g', -1, 64))
+		}
+	}
+	if s.WAN != 0 {
+		fmt.Fprintf(&b, ";wan=%v", s.WAN)
+	}
+	if s.Intra != 0 {
+		fmt.Fprintf(&b, ";intra=%v", s.Intra)
+	}
+	if s.Mesh != nil {
+		fmt.Fprintf(&b, ";mesh=rand:%d:%v:%v", s.Mesh.Seed, s.Mesh.Min, s.Mesh.Max)
+	}
+	if s.SiteSize != 0 {
+		fmt.Fprintf(&b, ";site=%d:%v", s.SiteSize, s.SiteExtra)
+	}
+	return b.String()
+}
+
+// ParseSpec parses the compact topology grammar documented on Spec. All
+// syntax and validation problems are reported together.
+func ParseSpec(text string) (*Spec, error) {
+	s := &Spec{}
+	var errs []error
+	parts := strings.Split(text, ";")
+	for _, raw := range strings.Split(parts[0], ",") {
+		g, err := parseGroup(strings.TrimSpace(raw))
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		s.Groups = append(s.Groups, g)
+	}
+	for _, raw := range parts[1:] {
+		opt := strings.TrimSpace(raw)
+		key, val, ok := strings.Cut(opt, "=")
+		if !ok {
+			errs = append(errs, fmt.Errorf("option %q is not key=value", opt))
+			continue
+		}
+		switch key {
+		case "wan":
+			d, err := parseLatency(val)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("wan: %w", err))
+				continue
+			}
+			s.WAN = d
+		case "intra":
+			d, err := parseLatency(val)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("intra: %w", err))
+				continue
+			}
+			s.Intra = d
+		case "mesh":
+			m, err := parseMesh(val)
+			if err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			s.Mesh = m
+		case "site":
+			size, extra, err := parseSite(val)
+			if err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			s.SiteSize, s.SiteExtra = size, extra
+		default:
+			errs = append(errs, fmt.Errorf("unknown option %q", key))
+		}
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("topology: bad spec %q: %w", text, errors.Join(errs...))
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseGroup(text string) (GroupSpec, error) {
+	g := GroupSpec{Count: 1, Speed: 1}
+	rest := text
+	if pre, post, ok := strings.Cut(rest, "x"); ok {
+		n, err := strconv.Atoi(pre)
+		if err != nil {
+			return g, fmt.Errorf("group %q: bad cluster count %q", text, pre)
+		}
+		g.Count = n
+		rest = post
+	}
+	if pre, post, ok := strings.Cut(rest, "@"); ok {
+		sp, err := strconv.ParseFloat(post, 64)
+		if err != nil {
+			return g, fmt.Errorf("group %q: bad speed %q", text, post)
+		}
+		g.Speed = sp
+		rest = pre
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return g, fmt.Errorf("group %q: bad PE count %q", text, rest)
+	}
+	g.PEs = n
+	return g, nil
+}
+
+func parseLatency(text string) (time.Duration, error) {
+	d, err := time.ParseDuration(text)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", text)
+	}
+	return d, nil
+}
+
+func parseMesh(text string) (*MeshSpec, error) {
+	fields := strings.Split(text, ":")
+	if len(fields) != 4 || fields[0] != "rand" {
+		return nil, fmt.Errorf("mesh %q: want rand:SEED:MIN:MAX", text)
+	}
+	seed, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("mesh %q: bad seed %q", text, fields[1])
+	}
+	min, err := parseLatency(fields[2])
+	if err != nil {
+		return nil, fmt.Errorf("mesh %q: %w", text, err)
+	}
+	max, err := parseLatency(fields[3])
+	if err != nil {
+		return nil, fmt.Errorf("mesh %q: %w", text, err)
+	}
+	return &MeshSpec{Seed: seed, Min: min, Max: max}, nil
+}
+
+func parseSite(text string) (int, time.Duration, error) {
+	pre, post, ok := strings.Cut(text, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("site %q: want SIZE:EXTRA", text)
+	}
+	size, err := strconv.Atoi(pre)
+	if err != nil {
+		return 0, 0, fmt.Errorf("site %q: bad size %q", text, pre)
+	}
+	extra, err := parseLatency(post)
+	if err != nil {
+		return 0, 0, fmt.Errorf("site %q: %w", text, err)
+	}
+	return size, extra, nil
+}

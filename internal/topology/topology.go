@@ -72,6 +72,12 @@ type Topology struct {
 	// pairwise overrides, keyed by pairKey(a, b); nil when unused
 	overrides map[int64]Link
 
+	// clusterLinks overrides the inter link per cluster pair, keyed by
+	// pairKey(a, b) over cluster IDs; nil when unused. It makes
+	// heterogeneous WAN meshes affordable at thousands of PEs where per-PE
+	// pair overrides would need O(P²) entries.
+	clusterLinks map[int64]Link
+
 	// speed holds per-PE relative compute speed factors; nil means all 1.0
 	speed []float64
 }
@@ -156,9 +162,44 @@ func (t *Topology) SetPairLatency(a, b int, d time.Duration) {
 	t.overrides[pairKey(b, a)] = base
 }
 
+// SetClusterPairLatency overrides the one-way latency between every PE of
+// cluster a and every PE of cluster b (both directions), keeping the inter
+// link's overhead and bandwidth. It is the scalable form of SetPairLatency
+// for heterogeneous WAN meshes: one entry per cluster pair instead of one
+// per PE pair. It must be called before the topology is shared across
+// goroutines.
+func (t *Topology) SetClusterPairLatency(a, b ClusterID, d time.Duration) error {
+	l := t.inter
+	l.Latency = d
+	return t.SetClusterPairLink(a, b, l)
+}
+
+// SetClusterPairLink overrides the whole link model between a specific
+// pair of clusters, in both directions.
+func (t *Topology) SetClusterPairLink(a, b ClusterID, l Link) error {
+	if int(a) < 0 || int(a) >= len(t.clusters) || int(b) < 0 || int(b) >= len(t.clusters) {
+		return fmt.Errorf("topology: cluster pair (%d,%d) out of range [0,%d)", a, b, len(t.clusters))
+	}
+	if a == b {
+		return fmt.Errorf("topology: cluster pair link needs two distinct clusters, got (%d,%d)", a, b)
+	}
+	if t.clusterLinks == nil {
+		t.clusterLinks = make(map[int64]Link)
+	}
+	t.clusterLinks[pairKey(int(a), int(b))] = l
+	t.clusterLinks[pairKey(int(b), int(a))] = l
+	return nil
+}
+
 func (t *Topology) baseLink(a, b int) Link {
-	if t.cluster[a] == t.cluster[b] {
+	ca, cb := t.cluster[a], t.cluster[b]
+	if ca == cb {
 		return t.intra
+	}
+	if t.clusterLinks != nil {
+		if l, ok := t.clusterLinks[pairKey(int(ca), int(cb))]; ok {
+			return l
+		}
 	}
 	return t.inter
 }
@@ -240,6 +281,56 @@ func (t *Topology) LinkBetween(a, b int) Link {
 		return Link{Overhead: time.Microsecond, Bandwidth: 0}
 	}
 	return t.baseLink(a, b)
+}
+
+// Lookahead reports the minimum zero-byte delivery delay over every link
+// that can carry a message between two *distinct* PEs. It is the
+// conservative synchronization horizon of the parallel virtual-time
+// engine: any cross-PE message sent at time t arrives no earlier than
+// t + Lookahead(), regardless of which PEs are involved, so PE shards may
+// run Lookahead() of virtual time without coordinating. Self-send links
+// are excluded (they never cross shards). The result is 0 when the
+// machine has a single PE (no cross-PE links exist) or when some link has
+// no delay at all.
+func (t *Topology) Lookahead() time.Duration {
+	if t.numPE <= 1 {
+		return 0
+	}
+	la := time.Duration(-1)
+	consider := func(l Link) {
+		if d := l.Delay(0); la < 0 || d < la {
+			la = d
+		}
+	}
+	intraPairs := false
+	for _, members := range t.clusters {
+		if len(members) > 1 {
+			intraPairs = true
+			break
+		}
+	}
+	if intraPairs {
+		consider(t.intra)
+	}
+	if c := len(t.clusters); c > 1 {
+		// The base inter link applies unless every cluster pair is
+		// overridden; each override contributes its own delay.
+		if len(t.clusterLinks) < c*(c-1) {
+			consider(t.inter)
+		}
+		for _, l := range t.clusterLinks {
+			consider(l)
+		}
+	}
+	for k, l := range t.overrides {
+		if a, b := int(k>>32), int(uint32(k)); a != b {
+			consider(l)
+		}
+	}
+	if la < 0 {
+		return 0
+	}
+	return la
 }
 
 // Latency is shorthand for LinkBetween(a, b).Latency.
